@@ -1,0 +1,503 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation (Section 4), plus a Bechamel micro-benchmark section for the
+   barrier-cost claims and an ablation section for the design choices
+   DESIGN.md calls out.
+
+   Usage: main.exe [--quick] [--only fig8,table1,...]
+   Sections: fig8 fig9 table1 table2 fig10 fig11a fig11b micro ablation *)
+
+open Captured_apps
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Stats = Captured_stm.Stats
+module Txn = Captured_stm.Txn
+module Alloc_log = Captured_core.Alloc_log
+module Site = Captured_core.Site
+module Ustats = Captured_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                  *)
+
+let quick = ref false
+let only : string list ref = ref []
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--only" :: spec :: rest ->
+        only := String.split_on_char ',' spec;
+        parse rest
+    | arg :: rest ->
+        Printf.eprintf "warning: ignoring argument %s\n%!" arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let wants section = !only = [] || List.mem section !only
+let scale () = if !quick then App.Test else App.Bench
+let sim_threads = 16
+let apps = Registry.all
+
+let headline fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "\n%s\n%s\n" s (String.make (String.length s) '='))
+    fmt
+
+let row_label name = Printf.printf "%-14s" name
+
+(* ------------------------------------------------------------------ *)
+(* Shared run helpers                                                   *)
+
+let run_sim app cfg ~nthreads ~seed =
+  App.run app ~nthreads ~scale:(scale ()) ~mode:(`Sim seed) cfg
+
+let run_native1 app cfg =
+  App.run app ~nthreads:1 ~scale:(scale ()) ~mode:`Native cfg
+
+let improvement ~base x = 100. *. (base -. x) /. base
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: breakdown of compiler-inserted barriers                    *)
+
+let fig8 () =
+  headline
+    "Figure 8: memory-access breakdown (1 thread, %% of compiler-inserted \
+     barriers)";
+  Printf.printf
+    "%-14s | %28s | %28s | %28s\n" ""
+    "reads  heap/stack/other/req" "writes heap/stack/other/req"
+    "all    heap/stack/other/req";
+  List.iter
+    (fun app ->
+      let r = run_sim app Config.audit ~nthreads:1 ~seed:1 in
+      let s = r.Engine.stats in
+      let line h st o req =
+        let tot = float_of_int (max 1 (h + st + o + req)) in
+        Printf.sprintf "%5.1f %5.1f %5.1f %5.1f"
+          (100. *. float_of_int h /. tot)
+          (100. *. float_of_int st /. tot)
+          (100. *. float_of_int o /. tot)
+          (100. *. float_of_int req /. tot)
+      in
+      row_label app.App.name;
+      Printf.printf " | %28s | %28s | %28s\n"
+        (line s.Stats.audit_reads_heap s.Stats.audit_reads_stack
+           s.Stats.audit_reads_other s.Stats.audit_reads_required)
+        (line s.Stats.audit_writes_heap s.Stats.audit_writes_stack
+           s.Stats.audit_writes_other s.Stats.audit_writes_required)
+        (line
+           (s.Stats.audit_reads_heap + s.Stats.audit_writes_heap)
+           (s.Stats.audit_reads_stack + s.Stats.audit_writes_stack)
+           (s.Stats.audit_reads_other + s.Stats.audit_writes_other)
+           (s.Stats.audit_reads_required + s.Stats.audit_writes_required)))
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: portion of barriers removed per technique                  *)
+
+let fig9_configs =
+  [
+    ("tree", Config.runtime Alloc_log.Tree);
+    ("array", Config.runtime Alloc_log.Array);
+    ("filtering", Config.runtime Alloc_log.Filter);
+    ("compiler", Config.compiler);
+  ]
+
+let fig9 () =
+  headline "Figure 9: %% of barriers removed by each capture-analysis technique";
+  Printf.printf "%-14s | %s\n" ""
+    (String.concat " | "
+       (List.map (fun (n, _) -> Printf.sprintf "%9s r%% w%%" n) fig9_configs));
+  List.iter
+    (fun app ->
+      row_label app.App.name;
+      List.iter
+        (fun (_, cfg) ->
+          let r = run_sim app cfg ~nthreads:1 ~seed:1 in
+          let s = r.Engine.stats in
+          (* Sanity: compiler runs must never have violated soundness. *)
+          assert (s.Stats.audit_static_violations = 0);
+          let rp =
+            100. *. float_of_int (Stats.reads_elided s)
+            /. float_of_int (max 1 s.Stats.reads)
+          in
+          let wp =
+            100. *. float_of_int (Stats.writes_elided s)
+            /. float_of_int (max 1 s.Stats.writes)
+          in
+          Printf.printf " |     %5.1f %5.1f" rp wp)
+        fig9_configs;
+      print_newline ())
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: abort-to-commit ratio at 16 threads                         *)
+
+let table_configs =
+  [
+    ("baseline", Config.baseline);
+    ("tree", Config.runtime Alloc_log.Tree);
+    ("array", Config.runtime Alloc_log.Array);
+    ("filtering", Config.runtime Alloc_log.Filter);
+    ("compiler", Config.compiler);
+  ]
+
+let table1 () =
+  let reps = if !quick then 1 else 3 in
+  headline "Table 1: abort-to-commit ratio at %d threads (mean of %d seeds)"
+    sim_threads reps;
+  Printf.printf "%-14s" "";
+  List.iter (fun (n, _) -> Printf.printf " %9s" n) table_configs;
+  print_newline ();
+  List.iter
+    (fun app ->
+      row_label app.App.name;
+      List.iter
+        (fun (_, cfg) ->
+          let ratios =
+            List.init reps (fun k ->
+                let r = run_sim app cfg ~nthreads:sim_threads ~seed:(1 + k) in
+                Stats.abort_ratio r.Engine.stats)
+          in
+          Printf.printf " %9.2f"
+            (List.fold_left ( +. ) 0. ratios /. float_of_int reps))
+        table_configs;
+      print_newline ())
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: %% relative standard deviation at 16 threads (5 runs)       *)
+
+let table2 () =
+  let reps = if !quick then 3 else 5 in
+  headline "Table 2: %% relative standard deviation at %d threads (%d runs)"
+    sim_threads reps;
+  Printf.printf "%-14s" "";
+  List.iter (fun (n, _) -> Printf.printf " %9s" n) table_configs;
+  print_newline ();
+  List.iter
+    (fun app ->
+      row_label app.App.name;
+      List.iter
+        (fun (_, cfg) ->
+          let samples =
+            List.init reps (fun k ->
+                let r =
+                  run_sim app cfg ~nthreads:sim_threads ~seed:(100 + k)
+                in
+                float_of_int r.Engine.makespan)
+          in
+          Printf.printf " %9.2f" (Ustats.rel_stddev_percent (Ustats.of_list samples)))
+        table_configs;
+      print_newline ())
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: single-thread improvement (native wall-clock)             *)
+
+let scope_configs =
+  [
+    ("rt s+h,r+w", Config.runtime ~scope:Config.full_scope Alloc_log.Tree);
+    ("rt s+h,w", Config.runtime ~scope:Config.write_only_scope Alloc_log.Tree);
+    ("rt h,w", Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Tree);
+    ("compiler", Config.compiler);
+  ]
+
+let fig10 () =
+  let reps = if !quick then 2 else 5 in
+  headline
+    "Figure 10: single-thread improvement vs baseline (native wall-clock, \
+     median of %d, %%; negative = slowdown)"
+    reps;
+  Printf.printf "%-14s" "";
+  List.iter (fun (n, _) -> Printf.printf " %11s" n) scope_configs;
+  print_newline ();
+  List.iter
+    (fun app ->
+      (* Batch enough fresh runs per sample that one sample spans >=20ms:
+         single runs are milliseconds and wall-clock noise would swamp
+         them. *)
+      let probe = (run_native1 app Config.baseline).Engine.wall in
+      let batch =
+        max (if !quick then 1 else 3) (min 64 (int_of_float (0.02 /. max 1e-5 probe)))
+      in
+      let sample cfg =
+        List.fold_left ( +. ) 0.
+          (List.init batch (fun _ -> (run_native1 app cfg).Engine.wall))
+      in
+      let median cfg =
+        ignore (sample cfg : float) (* warm-up *);
+        Ustats.median (List.init reps (fun _ -> sample cfg))
+      in
+      let base = median Config.baseline in
+      row_label app.App.name;
+      List.iter
+        (fun (_, cfg) ->
+          Printf.printf " %11.1f" (improvement ~base (median cfg)))
+        scope_configs;
+      print_newline ();
+      Printf.printf "%!")
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11a/11b: 16-thread improvement (simulated makespan)           *)
+
+let fig11 ~name configs =
+  let reps = if !quick then 1 else 3 in
+  headline
+    "Figure %s: improvement vs baseline at %d threads (virtual makespan,      median of %d seeds, %%)"
+    name sim_threads reps;
+  Printf.printf "%-14s" "";
+  List.iter (fun (n, _) -> Printf.printf " %11s" n) configs;
+  print_newline ();
+  List.iter
+    (fun app ->
+      let makespan cfg =
+        Captured_util.Stats.median
+          (List.init reps (fun k ->
+               float_of_int
+                 (run_sim app cfg ~nthreads:sim_threads ~seed:(1 + k))
+                   .Engine.makespan))
+      in
+      let base = makespan Config.baseline in
+      row_label app.App.name;
+      List.iter
+        (fun (_, cfg) -> Printf.printf " %11.1f" (improvement ~base (makespan cfg)))
+        configs;
+      print_newline ())
+    apps
+
+let fig11a () = fig11 ~name:"11a" scope_configs
+
+let fig11b_configs =
+  [
+    ("tree", Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Tree);
+    ("array", Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Array);
+    ( "filtering",
+      Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Filter );
+    ("compiler", Config.compiler);
+  ]
+
+let fig11b () = fig11 ~name:"11b (heap, write-only runtime checks)" fig11b_configs
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel): barrier and capture-check costs         *)
+
+let micro () =
+  headline "Micro: barrier & capture-check latencies (Bechamel, ns per txn)";
+  let open Bechamel in
+  let open Toolkit in
+  (* One world per flavour; each measured closure runs one transaction of
+     64 accesses (plus begin/commit), so figures are directly comparable. *)
+  let accesses = 64 in
+  let mk_world cfg =
+    let w = Engine.create ~nthreads:1 cfg in
+    let cell =
+      Captured_tmem.Alloc.alloc (Engine.global_arena w) accesses
+    in
+    let th = Engine.setup_thread w in
+    (th, cell)
+  in
+  let txn_shared_reads cfg =
+    let th, cell = mk_world cfg in
+    Staged.stage (fun () ->
+        Txn.atomic th (fun tx ->
+            for k = 0 to accesses - 1 do
+              ignore (Txn.read tx (cell + k) : int)
+            done))
+  in
+  let txn_shared_writes cfg =
+    let th, cell = mk_world cfg in
+    let i = ref 0 in
+    Staged.stage (fun () ->
+        incr i;
+        Txn.atomic th (fun tx ->
+            for k = 0 to accesses - 1 do
+              Txn.write tx (cell + k) !i
+            done))
+  in
+  let txn_captured_writes cfg =
+    let th, _ = mk_world cfg in
+    Staged.stage (fun () ->
+        Txn.atomic th (fun tx ->
+            let b = Txn.alloc tx accesses in
+            for k = 0 to accesses - 1 do
+              Txn.write tx (b + k) k
+            done;
+            Txn.free tx b))
+  in
+  let txn_captured_reads cfg =
+    let th, _ = mk_world cfg in
+    Staged.stage (fun () ->
+        Txn.atomic th (fun tx ->
+            let b = Txn.alloc tx accesses in
+            Txn.write tx b 1;
+            for _ = 1 to accesses do
+              ignore (Txn.read tx b : int)
+            done;
+            Txn.free tx b))
+  in
+  let empty_txn =
+    let th, _ = mk_world Config.baseline in
+    Staged.stage (fun () -> Txn.atomic th (fun _ -> ()))
+  in
+  let direct_reads =
+    let th, cell = mk_world Config.baseline in
+    Staged.stage (fun () ->
+        for k = 0 to accesses - 1 do
+          ignore (Txn.raw_read th (cell + k) : int)
+        done)
+  in
+  let cfg_tree = Config.runtime Alloc_log.Tree in
+  let cfg_array = Config.runtime Alloc_log.Array in
+  let cfg_filter = Config.runtime Alloc_log.Filter in
+  let tests =
+    Test.make_grouped ~name:"stm"
+      [
+        Test.make ~name:"empty-txn" empty_txn;
+        Test.make ~name:"direct-64-reads" direct_reads;
+        Test.make ~name:"baseline-64-shared-reads" (txn_shared_reads Config.baseline);
+        Test.make ~name:"baseline-64-shared-writes" (txn_shared_writes Config.baseline);
+        Test.make ~name:"baseline-64-captured-writes"
+          (txn_captured_writes Config.baseline);
+        Test.make ~name:"tree-64-captured-writes" (txn_captured_writes cfg_tree);
+        Test.make ~name:"array-64-captured-writes" (txn_captured_writes cfg_array);
+        Test.make ~name:"filter-64-captured-writes" (txn_captured_writes cfg_filter);
+        Test.make ~name:"tree-64-captured-reads" (txn_captured_reads cfg_tree);
+        Test.make ~name:"tree-64-shared-reads(miss)" (txn_shared_reads cfg_tree);
+        Test.make ~name:"array-64-shared-reads(miss)" (txn_shared_reads cfg_array);
+        Test.make ~name:"filter-64-shared-reads(miss)" (txn_shared_reads cfg_filter);
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.1 else 0.4))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some (est :: _) -> Printf.printf "%-42s %12.1f ns\n" name est
+      | Some [] | None -> Printf.printf "%-42s %12s\n" name "n/a")
+    (List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+
+let ablation () =
+  headline "Ablation: design choices";
+  (* (a) Orec table size vs false conflicts (vacation-high, baseline). *)
+  Printf.printf "\n(a) orec table bits vs abort ratio (vacation-high, 16 thr)\n";
+  List.iter
+    (fun bits ->
+      let cfg = { Config.baseline with Config.orec_bits = bits } in
+      let r =
+        App.run (Option.get (Registry.find "vacation-high")) ~nthreads:sim_threads
+          ~scale:(scale ()) ~mode:(`Sim 1) cfg
+      in
+      Printf.printf "  bits=%2d  abort/commit=%.3f\n" bits
+        (Stats.abort_ratio r.Engine.stats))
+    [ 8; 10; 12; 14; 18 ];
+  (* (b) WAW filter on/off (yada, single thread): undo-log entries. *)
+  Printf.printf "\n(b) write-after-write filter (yada, 1 thr)\n";
+  List.iter
+    (fun waw ->
+      let cfg = { Config.baseline with Config.waw_filter = waw } in
+      let r =
+        App.run (Option.get (Registry.find "yada")) ~nthreads:1
+          ~scale:(scale ()) ~mode:(`Sim 1) cfg
+      in
+      Printf.printf "  waw=%-5b undo entries=%d  waw hits=%d  makespan=%d\n" waw
+        r.Engine.stats.Stats.undo_entries r.Engine.stats.Stats.waw_hits
+        r.Engine.makespan)
+    [ true; false ];
+  (* (c) Range-array capacity (yada, write elision rate). *)
+  Printf.printf "\n(c) range-array capacity vs writes elided (yada, 1 thr)\n";
+  List.iter
+    (fun cap ->
+      let cfg =
+        { (Config.runtime Alloc_log.Array) with Config.array_capacity = cap }
+      in
+      let r =
+        App.run (Option.get (Registry.find "yada")) ~nthreads:1
+          ~scale:(scale ()) ~mode:(`Sim 1) cfg
+      in
+      let s = r.Engine.stats in
+      Printf.printf "  capacity=%2d  writes elided=%4.1f%%\n" cap
+        (100. *. float_of_int (Stats.writes_elided s)
+        /. float_of_int (max 1 s.Stats.writes)))
+    [ 1; 2; 4; 8; 16 ];
+  (* (d') Hybrid (paper future work): compiler-proved shared sites skip
+     the runtime checks — recovering baseline speed where there is nothing
+     to elide while keeping full elision elsewhere. *)
+  Printf.printf
+    "\n(e) hybrid static-filter (runtime tree, full scope, 1 thr makespans)\n";
+  List.iter
+    (fun appname ->
+      let run cfg =
+        (App.run (Option.get (Registry.find appname)) ~nthreads:1
+           ~scale:(scale ()) ~mode:(`Sim 1) cfg)
+          .Engine.makespan
+      in
+      Printf.printf "  %-12s baseline=%8d  runtime=%8d  hybrid=%8d\n" appname
+        (run Config.baseline)
+        (run (Config.runtime Alloc_log.Tree))
+        (run (Config.runtime_hybrid Alloc_log.Tree)))
+    [ "kmeans-high"; "ssca2"; "labyrinth"; "vacation-high" ];
+  (* (f) Optimistic vs pessimistic reads: with read locks, every barrier
+     is a lock acquisition, so capture-based read elision saves even
+     more. *)
+  Printf.printf "\n(f) read strategy (vacation-high, 16 thr: abort ratio / makespan)\n";
+  List.iter
+    (fun (name, cfg) ->
+      let r =
+        App.run (Option.get (Registry.find "vacation-high")) ~nthreads:sim_threads
+          ~scale:(scale ()) ~mode:(`Sim 1) cfg
+      in
+      Printf.printf "  %-36s %5.2f  %9d\n" name
+        (Stats.abort_ratio r.Engine.stats)
+        r.Engine.makespan)
+    [
+      ("optimistic baseline", Config.baseline);
+      ("pessimistic baseline", Config.pessimistic Config.baseline);
+      ("optimistic runtime-tree", Config.runtime Alloc_log.Tree);
+      ("pessimistic runtime-tree", Config.pessimistic (Config.runtime Alloc_log.Tree));
+    ];
+  (* (d) Check scope: runtime checks on reads are what hurts kmeans. *)
+  Printf.printf "\n(d) runtime check scope vs makespan (kmeans-high, 1 thr)\n";
+  List.iter
+    (fun (name, cfg) ->
+      let r =
+        App.run (Option.get (Registry.find "kmeans-high")) ~nthreads:1
+          ~scale:(scale ()) ~mode:(`Sim 1) cfg
+      in
+      Printf.printf "  %-12s makespan=%d\n" name r.Engine.makespan)
+    (("baseline", Config.baseline) :: scope_configs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "captured-memory STM reproduction harness (scale=%s, %d sim threads)\n"
+    (if !quick then "test/quick" else "bench")
+    sim_threads;
+  if wants "fig8" then fig8 ();
+  if wants "fig9" then fig9 ();
+  if wants "table1" then table1 ();
+  if wants "table2" then table2 ();
+  if wants "fig10" then fig10 ();
+  if wants "fig11a" then fig11a ();
+  if wants "fig11b" then fig11b ();
+  if wants "micro" then micro ();
+  if wants "ablation" then ablation ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,158 @@
+(* CLI front end: run any STAMP workload under any capture-analysis
+   configuration, on the deterministic simulator or native domains, and
+   print the full statistics.
+
+   Examples:
+     stamp_run list
+     stamp_run run vacation-high --config tree --threads 16
+     stamp_run run yada --config compiler --scale large --native
+     stamp_run analyze bayes *)
+
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Stats = Captured_stm.Stats
+module Alloc_log = Captured_core.Alloc_log
+module App = Captured_apps.App
+module Registry = Captured_apps.Registry
+open Cmdliner
+
+let config_of_name ~scope = function
+  | "baseline" -> Ok Config.baseline
+  | "tree" -> Ok (Config.runtime ~scope Alloc_log.Tree)
+  | "array" -> Ok (Config.runtime ~scope Alloc_log.Array)
+  | "filter" | "filtering" -> Ok (Config.runtime ~scope Alloc_log.Filter)
+  | "hybrid" -> Ok (Config.runtime_hybrid ~scope Alloc_log.Tree)
+  | "compiler" -> Ok Config.compiler
+  | "audit" -> Ok Config.audit
+  | other -> Error (Printf.sprintf "unknown config %s" other)
+
+let scope_of_name = function
+  | "full" -> Ok Config.full_scope
+  | "write" -> Ok Config.write_only_scope
+  | "heap-write" -> Ok Config.heap_write_only_scope
+  | other -> Error (Printf.sprintf "unknown scope %s" other)
+
+let scale_of_name = function
+  | "test" -> Ok App.Test
+  | "bench" -> Ok App.Bench
+  | "large" -> Ok App.Large
+  | other -> Error (Printf.sprintf "unknown scale %s" other)
+
+let print_result (r : Engine.result) ~native =
+  let s = r.Engine.stats in
+  Printf.printf "commits:            %d\n" s.Stats.commits;
+  Printf.printf "aborts:             %d (ratio %.3f)\n" s.Stats.aborts
+    (Stats.abort_ratio s);
+  Printf.printf "user aborts:        %d\n" s.Stats.user_aborts;
+  Printf.printf "reads:              %d\n" s.Stats.reads;
+  Printf.printf "  elided (stack):   %d\n" s.Stats.reads_elided_stack;
+  Printf.printf "  elided (heap):    %d\n" s.Stats.reads_elided_heap;
+  Printf.printf "  elided (private): %d\n" s.Stats.reads_elided_private;
+  Printf.printf "  elided (static):  %d\n" s.Stats.reads_elided_static;
+  Printf.printf "writes:             %d\n" s.Stats.writes;
+  Printf.printf "  elided (stack):   %d\n" s.Stats.writes_elided_stack;
+  Printf.printf "  elided (heap):    %d\n" s.Stats.writes_elided_heap;
+  Printf.printf "  elided (private): %d\n" s.Stats.writes_elided_private;
+  Printf.printf "  elided (static):  %d\n" s.Stats.writes_elided_static;
+  Printf.printf "waw filter hits:    %d\n" s.Stats.waw_hits;
+  Printf.printf "undo log entries:   %d\n" s.Stats.undo_entries;
+  Printf.printf "lock waits:         %d\n" s.Stats.lock_waits;
+  Printf.printf "tx allocs / frees:  %d / %d\n" s.Stats.tx_allocs s.Stats.tx_frees;
+  if native then Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall)
+  else Printf.printf "virtual makespan:   %d cycles\n" r.Engine.makespan
+
+let run_cmd app_name config_name scope_name scale_name threads native seed
+    pessimistic =
+  let ( let* ) = Result.bind in
+  let outcome =
+    let* scope = scope_of_name scope_name in
+    let* config = config_of_name ~scope config_name in
+    let config = if pessimistic then Config.pessimistic config else config in
+    let* scale = scale_of_name scale_name in
+    match Registry.find app_name with
+    | None ->
+        Error
+          (Printf.sprintf "unknown app %s (try: %s)" app_name
+             (String.concat " " (Registry.names ())))
+    | Some app ->
+        Printf.printf "%s [%s, %d threads, %s, %s]\n\n" app.App.name
+          (Config.name config) threads scale_name
+          (if native then "native domains" else "simulator");
+        let mode = if native then `Native else `Sim seed in
+        let* result =
+          App.run_checked app ~nthreads:threads ~scale ~mode config
+        in
+        print_result result ~native;
+        Printf.printf "\nverification: OK\n";
+        Ok ()
+  in
+  match outcome with
+  | Ok () -> `Ok ()
+  | Error m -> `Error (false, m)
+
+let list_cmd () =
+  List.iter
+    (fun app -> Printf.printf "%-14s %s\n" app.App.name app.App.description)
+    Registry.all;
+  `Ok ()
+
+let analyze_cmd app_name =
+  match Registry.find app_name with
+  | None -> `Error (false, "unknown app " ^ app_name)
+  | Some app ->
+      let analysis =
+        Captured_tmir.Capture_analysis.analyze (Lazy.force app.App.model)
+      in
+      Format.printf "%a@." Captured_tmir.Capture_analysis.pp analysis;
+      `Ok ()
+
+let app_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Workload name (see `stamp_run list`).")
+
+let config_arg =
+  Arg.(value & opt string "baseline"
+       & info [ "config"; "c" ] ~docv:"CONFIG"
+           ~doc:"baseline | tree | array | filter | hybrid | compiler | audit")
+
+let scope_arg =
+  Arg.(value & opt string "full"
+       & info [ "scope" ] ~docv:"SCOPE"
+           ~doc:"Runtime-check scope: full | write | heap-write")
+
+let scale_arg =
+  Arg.(value & opt string "bench"
+       & info [ "scale"; "s" ] ~docv:"SCALE" ~doc:"test | bench | large")
+
+let threads_arg =
+  Arg.(value & opt int 16 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Logical threads.")
+
+let native_arg =
+  Arg.(value & flag
+       & info [ "native" ]
+           ~doc:"Run on real domains (wall-clock) instead of the simulator.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulator seed.")
+
+let pessimistic_arg =
+  Arg.(value & flag
+       & info [ "pessimistic" ] ~doc:"Lock records for reads (2PL).")
+
+let run_term =
+  Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
+             $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg))
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run one workload") run_term;
+    Cmd.v (Cmd.info "list" ~doc:"List workloads") Term.(ret (const list_cmd $ const ()));
+    Cmd.v (Cmd.info "analyze" ~doc:"Print the compiler capture-analysis verdicts for a workload's IR model")
+      Term.(ret (const analyze_cmd $ app_arg));
+  ]
+
+let () =
+  let info =
+    Cmd.info "stamp_run" ~version:"1.0"
+      ~doc:"Captured-memory STM workload runner (SPAA 2009 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/captured_list.ml: Captured_core Captured_stm Captured_tstruct List Printf

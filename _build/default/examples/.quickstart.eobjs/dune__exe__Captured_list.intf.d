@@ -1,0 +1,1 @@
+examples/captured_list.mli:

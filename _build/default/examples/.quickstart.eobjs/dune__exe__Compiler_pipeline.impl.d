@@ -1,0 +1,1 @@
+examples/compiler_pipeline.ml: Capture_analysis Captured_core Captured_stm Captured_tmir Format Interp Ir Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Captured_stm Captured_tmem Captured_util Printf

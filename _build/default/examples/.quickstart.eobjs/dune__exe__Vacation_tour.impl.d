@@ -1,0 +1,1 @@
+examples/vacation_tour.ml: Captured_apps Captured_core Captured_stm List Option Printf

@@ -1,0 +1,1 @@
+examples/vacation_tour.mli:

@@ -1,0 +1,83 @@
+(* The compiler path, end to end: write a transactional program in the
+   IR, run the capture analysis, inspect its verdicts, then execute the
+   program under the Compiler configuration and watch the statically
+   elided barriers.
+
+   Run with: dune exec examples/compiler_pipeline.exe *)
+
+open Captured_tmir
+open Ir
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Txn = Captured_stm.Txn
+module Stats = Captured_stm.Stats
+module Site = Captured_core.Site
+
+(* A producer pushing records onto a shared stack: the record
+   initialisation is captured (fresh malloc inside the transaction); the
+   head pointer update is genuinely shared. *)
+let program =
+  {
+    globals = [ { gname = "head"; gwords = 1; ginit = Some [| 0 |] } ];
+    funcs =
+      [
+        {
+          name = "produce";
+          params = [ "value" ];
+          body =
+            [
+              Atomic
+                [
+                  Malloc { dst = "rec"; words = i 3; label = "record" };
+                  store ~manual:false ~site:"demo.rec.value" (v "rec")
+                    (v "value");
+                  store ~manual:false ~site:"demo.rec.double" (v "rec" +: i 1)
+                    (v "value" *: i 2);
+                  load ~site:"demo.head_r" "h" (Global "head");
+                  store ~manual:false ~site:"demo.rec.next" (v "rec" +: i 2)
+                    (v "h");
+                  store ~site:"demo.head_w" (Global "head") (v "rec");
+                ];
+              Return (i 0);
+            ];
+        };
+        {
+          name = "main";
+          params = [ "n" ];
+          body =
+            [
+              Let ("k", i 0);
+              While
+                ( v "k" <: v "n",
+                  [
+                    Call { dst = None; func = "produce"; args = [ v "k" ] };
+                    Let ("k", v "k" +: i 1);
+                  ] );
+              Return (i 0);
+            ];
+        };
+      ];
+  }
+
+let () =
+  print_endline "=== IR program: transactional stack producer ===\n";
+  print_endline "--- compiler capture analysis verdicts ---";
+  let analysis = Capture_analysis.analyze program in
+  Format.printf "%a@." Capture_analysis.pp analysis;
+  (* Execute under the Compiler configuration: verdicts drive elision. *)
+  Site.reset_verdicts ();
+  Capture_analysis.apply analysis;
+  let world = Engine.create ~nthreads:1 Config.compiler in
+  let genv =
+    Interp.load program ~arena:(Engine.global_arena world)
+      ~memory:(Engine.memory world)
+  in
+  let th = Engine.setup_thread world in
+  ignore (Interp.call genv th "main" [ 100 ] : int);
+  let s = Txn.thread_stats th in
+  Printf.printf
+    "--- execution under Compiler config ---\n\
+     writes: %d, statically elided: %d, full barriers kept: %d\n"
+    s.Stats.writes s.Stats.writes_elided_static
+    (s.Stats.writes - Stats.writes_elided s);
+  Site.reset_verdicts ()

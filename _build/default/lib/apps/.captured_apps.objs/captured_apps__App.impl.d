@@ -1,0 +1,1 @@
+lib/apps/app.ml: Captured_core Captured_stm Captured_tmir Lazy Printf

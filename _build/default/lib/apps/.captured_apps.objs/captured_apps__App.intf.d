@@ -1,0 +1,1 @@
+lib/apps/app.mli: Captured_stm Captured_tmir Lazy

@@ -1,0 +1,1 @@
+lib/apps/bayes.ml: App Array Captured_core Captured_stm Captured_tmem Captured_tmir Captured_tstruct Captured_util Fun Lazy List Model_lib Printf Sync

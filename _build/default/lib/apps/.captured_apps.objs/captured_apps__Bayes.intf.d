@@ -1,0 +1,1 @@
+lib/apps/bayes.mli: App

@@ -1,0 +1,1 @@
+lib/apps/genome.ml: App Array Buffer Captured_core Captured_stm Captured_tmem Captured_tmir Captured_tstruct Captured_util Char List Model_lib Printf Sync

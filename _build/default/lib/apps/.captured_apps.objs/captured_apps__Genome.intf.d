@@ -1,0 +1,1 @@
+lib/apps/genome.mli: App

@@ -1,0 +1,1 @@
+lib/apps/intruder.mli: App

@@ -1,0 +1,1 @@
+lib/apps/labyrinth.mli: App

@@ -1,0 +1,1 @@
+lib/apps/model_lib.ml: Captured_tmir

@@ -1,0 +1,1 @@
+lib/apps/model_lib.mli: Captured_tmir

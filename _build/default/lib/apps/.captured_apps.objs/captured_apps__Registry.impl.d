@@ -1,0 +1,1 @@
+lib/apps/registry.ml: App Bayes Genome Intruder Kmeans Labyrinth List Ssca2 Vacation Yada

@@ -1,0 +1,1 @@
+lib/apps/ssca2.ml: App Array Captured_core Captured_stm Captured_tmem Captured_tmir Captured_tstruct Captured_util List Model_lib Printf Sync

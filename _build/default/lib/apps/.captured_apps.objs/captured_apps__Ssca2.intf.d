@@ -1,0 +1,1 @@
+lib/apps/ssca2.mli: App

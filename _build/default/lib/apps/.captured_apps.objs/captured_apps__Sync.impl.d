@@ -1,0 +1,1 @@
+lib/apps/sync.ml: Captured_core Captured_stm Captured_tstruct

@@ -1,0 +1,1 @@
+lib/apps/sync.mli: Captured_stm Captured_tstruct

@@ -1,0 +1,1 @@
+lib/apps/vacation.ml: App Array Captured_core Captured_stm Captured_tmem Captured_tmir Captured_tstruct Captured_util Hashtbl Model_lib Option Printf

@@ -1,0 +1,1 @@
+lib/apps/yada.ml: App Captured_core Captured_stm Captured_tmem Captured_tmir Captured_tstruct Captured_util List Model_lib Printf

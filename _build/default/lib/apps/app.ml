@@ -1,0 +1,42 @@
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Txn = Captured_stm.Txn
+module Site = Captured_core.Site
+
+type scale = Test | Bench | Large
+
+type prepared = {
+  world : Engine.world;
+  body : Txn.thread -> unit;
+  verify : unit -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  description : string;
+  prepare : nthreads:int -> scale:scale -> Config.t -> prepared;
+  model : Captured_tmir.Ir.program Lazy.t;
+}
+
+let load_verdicts app =
+  Site.reset_verdicts ();
+  let analysis = Captured_tmir.Capture_analysis.analyze (Lazy.force app.model) in
+  Captured_tmir.Capture_analysis.apply analysis
+
+let run_checked app ~nthreads ~scale ~mode config =
+  (match config.Config.analysis with
+  | Config.Compiler -> load_verdicts app
+  | Config.Runtime _ when config.Config.static_filter -> load_verdicts app
+  | Config.Baseline | Config.Runtime _ -> Site.reset_verdicts ());
+  let p = app.prepare ~nthreads ~scale config in
+  let result =
+    match mode with
+    | `Sim seed -> Engine.run_sim ~seed p.world p.body
+    | `Native -> Engine.run_native p.world p.body
+  in
+  match p.verify () with Ok () -> Ok result | Error m -> Error m
+
+let run app ~nthreads ~scale ~mode config =
+  match run_checked app ~nthreads ~scale ~mode config with
+  | Ok r -> r
+  | Error m -> failwith (Printf.sprintf "%s: verification failed: %s" app.name m)

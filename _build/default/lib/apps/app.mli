@@ -1,0 +1,52 @@
+(** Common shape of the STAMP workload analogues.
+
+    Each application prepares a world (building its shared data in the
+    global arena), exposes a per-thread transactional body, a post-run
+    verifier of application-level invariants, and an IR model of its
+    transactional routines for the compiler capture analysis. *)
+
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Txn = Captured_stm.Txn
+
+(** Workload size: [Test] for unit tests, [Bench] for the reproduction
+    harness (still laptop-scale), [Large] for longer runs. *)
+type scale = Test | Bench | Large
+
+type prepared = {
+  world : Engine.world;
+  body : Txn.thread -> unit;
+  verify : unit -> (unit, string) result;
+}
+
+type t = {
+  name : string;
+  description : string;
+  prepare : nthreads:int -> scale:scale -> Config.t -> prepared;
+  model : Captured_tmir.Ir.program Lazy.t;
+      (** IR model of the transactional routines; analyzed and applied
+          before Compiler-configured runs. *)
+}
+
+(** [run app ~nthreads ~scale ~mode config] prepares and executes one run.
+    [`Sim seed] uses the simulator; [`Native] uses domains.  For
+    [Config.Compiler] configurations the app's model is analyzed and its
+    verdicts loaded first (after resetting the site table); for other
+    configurations verdicts are reset.  Raises [Failure] if [verify]
+    fails. *)
+val run :
+  t ->
+  nthreads:int ->
+  scale:scale ->
+  mode:[ `Sim of int | `Native ] ->
+  Config.t ->
+  Engine.result
+
+(** As [run] but returns the verification error instead of raising. *)
+val run_checked :
+  t ->
+  nthreads:int ->
+  scale:scale ->
+  mode:[ `Sim of int | `Native ] ->
+  Config.t ->
+  (Engine.result, string) result

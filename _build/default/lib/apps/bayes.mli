@@ -1,0 +1,16 @@
+(** STAMP bayes analogue: Bayesian-network structure learning.
+
+    Hill-climbing over parent sets: tasks (candidate edge insertions) live
+    in a shared heap ordered by score gain; applying a task re-validates
+    its gain against the current network — allocating a *query vector
+    inside the transaction* (the paper's Figure 1(b) pattern), walking the
+    candidate's parent list with a transaction-stack iterator, and
+    scanning the shared read-only record data through barriers that only
+    an annotation could remove (the paper's "other not required"
+    category).  Scores use fixed-point log-likelihood with Laplace
+    smoothing, all integer arithmetic, so runs are deterministic.
+
+    The verifier checks the learned network is acyclic, respects the
+    parent bound, and scores at least as well as the empty network. *)
+
+val app : App.t

@@ -1,0 +1,11 @@
+(** STAMP genome analogue: gene sequencing by segment matching.
+
+    A genome string (nucleotides, one per word) is sampled into
+    overlapping segments (plus random duplicates).  Phase 1 deduplicates
+    segments into a shared hash table — the transactional list-node
+    allocations are captured memory.  Phase 2 builds a suffix-hash index
+    and links each unique segment to its (overlap s-1) successor with
+    small transactions.  Phase 3 (serial) walks the chain and must
+    reproduce the original genome exactly. *)
+
+val app : App.t

@@ -1,0 +1,10 @@
+(** STAMP intruder analogue: network intrusion detection.
+
+    Flows are split into fragments arriving out of order on a shared
+    queue.  Threads pop fragments (txn), reassemble them in a shared
+    session map — session records, per-flow fragment lists and the final
+    assembled buffer are all allocated *inside* transactions (captured) —
+    and run the signature detector on completed, privatised buffers
+    outside any transaction.  Detected attacks bump a shared counter. *)
+
+val app : App.t

@@ -1,0 +1,15 @@
+(** STAMP kmeans analogue: iterative clustering.
+
+    Points are shared read-only data scanned non-transactionally; each
+    point assignment updates the shared per-cluster accumulators in a
+    small transaction; an iteration barrier lets the last thread
+    recompute the centres serially.  Every transactional access targets
+    shared accumulators, so kmeans offers *no* capture-based elision — at
+    one thread, runtime capture checks are pure overhead (the paper's
+    Figure 10 kmeans story).
+
+    High contention = few clusters, low = many (STAMP's -c15 / -c40
+    configurations, scaled). *)
+
+val high : App.t
+val low : App.t

@@ -1,0 +1,12 @@
+(** STAMP labyrinth analogue: transactional maze routing (Lee's
+    algorithm).
+
+    Threads pop (source, destination) work items and route a path through
+    a shared 3-D grid inside one transaction: breadth-first expansion
+    reads grid cells through barriers, traceback claims the path cells
+    with barrier writes.  Scratch state (BFS cost map, frontier) is native
+    thread-local memory with no barriers at all — which is why labyrinth
+    shows essentially *no* elidable compiler-added barriers (paper,
+    Figure 8: all required). *)
+
+val app : App.t

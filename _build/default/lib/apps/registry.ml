@@ -1,0 +1,16 @@
+let all =
+  [
+    Kmeans.high;
+    Kmeans.low;
+    Ssca2.app;
+    Genome.app;
+    Intruder.app;
+    Labyrinth.app;
+    Yada.app;
+    Bayes.app;
+    Vacation.high;
+    Vacation.low;
+  ]
+
+let find name = List.find_opt (fun a -> a.App.name = name) all
+let names () = List.map (fun a -> a.App.name) all

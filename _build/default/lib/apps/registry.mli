@@ -1,0 +1,5 @@
+(** All workloads, in the paper's Figure/Table row order. *)
+
+val all : App.t list
+val find : string -> App.t option
+val names : unit -> string list

@@ -1,0 +1,9 @@
+(** STAMP ssca2 analogue: graph construction kernel (SSCA2 kernel 1).
+
+    Threads scan a shared read-only edge list and build the adjacency
+    structure with very small transactions on shared index arrays
+    (degree counting, then slot claiming).  Like kmeans, there is
+    essentially nothing captured to elide — the paper's Figure 8 shows
+    ssca2 almost entirely "required". *)
+
+val app : App.t

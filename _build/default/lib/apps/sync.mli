@@ -1,0 +1,18 @@
+(** Thread synchronisation over transactional memory.
+
+    A sense-reversing barrier: arrival is a small transaction, waiting is
+    a plain spin on the sense word (yielding, so simulator fibers make
+    progress).  The last arriver may run a serial callback before
+    releasing the others — kmeans uses this for its per-iteration centre
+    recomputation. *)
+
+module Access = Captured_tstruct.Access
+
+type t
+
+val create : Access.t -> nthreads:int -> t
+
+(** [wait t th ?serial ()] blocks until all [nthreads] threads arrive;
+    [serial] runs exactly once per round, in the last arriver. *)
+val wait :
+  t -> Captured_stm.Txn.thread -> ?serial:(unit -> unit) -> unit -> unit

@@ -1,0 +1,22 @@
+(** STAMP yada analogue: transactional mesh refinement.
+
+    A triangle mesh lives in transactional memory; a shared max-heap
+    orders "bad" (over-area) elements.  A refinement transaction pops a
+    bad element, reads its vertices, allocates a centroid vertex and
+    three child elements *inside the transaction* (heavily captured —
+    yada is the paper's most elidable benchmark, ~60 % of all barriers),
+    retires the parent, registers the children in the shared element map
+    and pushes the still-bad ones.
+
+    Geometry is exact: coordinates are integers pre-scaled by 3^6, so
+    centroid coordinates (divisions by 3) stay integral for the full
+    refinement depth, and the total doubled-area is conserved exactly —
+    the verifier checks conservation and that no bad element survives.
+
+    Substitution note (DESIGN.md): STAMP yada performs Ruppert
+    cavity-based Delaunay refinement; this analogue splits at centroids,
+    which preserves the transaction structure (worklist pop, neighbour
+    reads, in-transaction allocation burst, shared-structure updates)
+    with exactly verifiable geometry. *)
+
+val app : App.t

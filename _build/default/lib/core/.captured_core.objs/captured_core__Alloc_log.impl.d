@@ -1,0 +1,1 @@
+lib/core/alloc_log.ml: Range_array Range_filter Range_tree

@@ -1,0 +1,1 @@
+lib/core/alloc_log.mli:

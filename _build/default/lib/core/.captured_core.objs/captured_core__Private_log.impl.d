@@ -1,0 +1,1 @@
+lib/core/private_log.ml: Alloc_log

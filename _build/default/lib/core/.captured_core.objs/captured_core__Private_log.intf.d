@@ -1,0 +1,1 @@
+lib/core/private_log.mli: Alloc_log

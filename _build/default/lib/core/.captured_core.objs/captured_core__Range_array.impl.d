@@ -1,0 +1,1 @@
+lib/core/range_array.ml: Array

@@ -1,0 +1,1 @@
+lib/core/range_tree.ml:

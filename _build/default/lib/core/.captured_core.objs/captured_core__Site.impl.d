@@ -1,0 +1,1 @@
+lib/core/site.ml: Array Hashtbl

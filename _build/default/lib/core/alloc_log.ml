@@ -1,0 +1,71 @@
+type backend = Tree | Array | Filter
+
+let backend_name = function
+  | Tree -> "tree"
+  | Array -> "array"
+  | Filter -> "filtering"
+
+let all_backends = [ Tree; Array; Filter ]
+
+type repr =
+  | Rtree of Range_tree.t
+  | Rarray of Range_array.t
+  | Rfilter of Range_filter.t
+
+type t = { repr : repr; mutable blocks : int }
+
+let create ?array_capacity ?filter_buckets backend =
+  let repr =
+    match backend with
+    | Tree -> Rtree (Range_tree.create ())
+    | Array -> Rarray (Range_array.create ?capacity:array_capacity ())
+    | Filter -> Rfilter (Range_filter.create ?buckets:filter_buckets ())
+  in
+  { repr; blocks = 0 }
+
+let backend t =
+  match t.repr with Rtree _ -> Tree | Rarray _ -> Array | Rfilter _ -> Filter
+
+let add t ~lo ~hi =
+  (match t.repr with
+  | Rtree r -> Range_tree.insert r ~lo ~hi
+  | Rarray r -> ignore (Range_array.insert r ~lo ~hi : bool)
+  | Rfilter r -> Range_filter.insert r ~lo ~hi);
+  t.blocks <- t.blocks + 1
+
+let remove t ~lo ~hi =
+  (match t.repr with
+  | Rtree r -> ignore (Range_tree.remove r ~lo : bool)
+  | Rarray r -> ignore (Range_array.remove r ~lo : bool)
+  | Rfilter r -> Range_filter.remove r ~lo ~hi);
+  if t.blocks > 0 then t.blocks <- t.blocks - 1
+
+let contains t ~lo ~hi =
+  match t.repr with
+  | Rtree r -> Range_tree.contains r ~lo ~hi
+  | Rarray r -> Range_array.contains r ~lo ~hi
+  | Rfilter r -> Range_filter.contains r ~lo ~hi
+
+let size t = t.blocks
+
+(* Cost model: a tree probe touches O(depth) nodes; an array probe scans its
+   (tiny) occupancy; a filter probe is one hash+compare per probed word
+   (accesses are almost always single words, so charge one). *)
+let search_cost t =
+  match t.repr with
+  | Rtree r -> 3 + (2 * Range_tree.depth r)
+  | Rarray r -> 2 + Range_array.size r
+  | Rfilter _ -> 4
+
+let add_cost t ~lo ~hi =
+  match t.repr with
+  | Rtree r -> 6 + (3 * Range_tree.depth r)
+  | Rarray _ -> 3
+  | Rfilter _ -> 2 * (hi - lo)
+
+let clear t =
+  (match t.repr with
+  | Rtree r -> Range_tree.clear r
+  | Rarray r -> Range_array.clear r
+  | Rfilter r -> Range_filter.clear r);
+  t.blocks <- 0

@@ -1,0 +1,41 @@
+(** Per-transaction allocation log (paper, §3.1.2).
+
+    Records every block the running transaction has allocated, so barriers
+    can answer "is this address captured?".  The backend is selectable —
+    the paper's three data structures — and all three are conservative:
+    [Tree] is precise; [Array] and [Filter] may miss (false negatives
+    only), which costs elision opportunities but never correctness for an
+    in-place-update STM. *)
+
+type backend = Tree | Array | Filter
+
+val backend_name : backend -> string
+val all_backends : backend list
+
+type t
+
+val create : ?array_capacity:int -> ?filter_buckets:int -> backend -> t
+val backend : t -> backend
+
+(** [add t ~lo ~hi] logs an allocation of [\[lo, hi)]. *)
+val add : t -> lo:int -> hi:int -> unit
+
+(** [remove t ~lo ~hi] unlogs a block (the transaction freed memory it had
+    itself allocated). *)
+val remove : t -> lo:int -> hi:int -> unit
+
+(** [contains t ~lo ~hi] — conservative captured-on-heap test. *)
+val contains : t -> lo:int -> hi:int -> bool
+
+val size : t -> int
+(** Blocks currently logged (journal count — exact for every backend). *)
+
+val search_cost : t -> int
+(** Simulator cycles one [contains] probe costs right now (depends on the
+    backend and its occupancy). *)
+
+val add_cost : t -> lo:int -> hi:int -> int
+(** Simulator cycles logging [\[lo, hi)] costs. *)
+
+val clear : t -> unit
+(** Empty the log (transaction end — commit or abort). *)

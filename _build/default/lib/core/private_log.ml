@@ -1,0 +1,15 @@
+type t = Alloc_log.t
+
+let create ?(backend = Alloc_log.Tree) () = Alloc_log.create backend
+
+let add_block t ~addr ~size =
+  if size <= 0 then invalid_arg "Private_log.add_block";
+  Alloc_log.add t ~lo:addr ~hi:(addr + size)
+
+let remove_block t ~addr ~size =
+  Alloc_log.remove t ~lo:addr ~hi:(addr + size)
+
+let contains t ~addr ~size = Alloc_log.contains t ~lo:addr ~hi:(addr + size)
+let size = Alloc_log.size
+let search_cost = Alloc_log.search_cost
+let clear = Alloc_log.clear

@@ -1,0 +1,29 @@
+(** Per-thread log of annotated thread-local / read-only data (paper,
+    §3.1.3 and Figure 7).
+
+    Programmers annotate address ranges as safe for direct (barrier-free)
+    access with [add_block] / [remove_block] — the paper's
+    [addPrivateMemoryBlock] / [removePrivateMemoryBlock] APIs.  The log
+    uses the same range structures as the allocation log but, unlike it,
+    persists across transaction boundaries; that difference is why the two
+    logs are separate objects.  Incorrect annotations can introduce data
+    races — exactly the caveat the paper states. *)
+
+type t
+
+val create : ?backend:Alloc_log.backend -> unit -> t
+(** Default backend: [Tree] (precision matters more here because
+    annotations are few and long-lived). *)
+
+(** [add_block t ~addr ~size] marks [\[addr, addr+size)] safe for direct
+    access by this thread. *)
+val add_block : t -> addr:int -> size:int -> unit
+
+(** [remove_block t ~addr ~size] reverts the annotation (the data becomes
+    shared again). *)
+val remove_block : t -> addr:int -> size:int -> unit
+
+val contains : t -> addr:int -> size:int -> bool
+val size : t -> int
+val search_cost : t -> int
+val clear : t -> unit

@@ -1,0 +1,54 @@
+type t = {
+  los : int array;
+  his : int array;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 4
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Range_array.create";
+  { los = Array.make capacity 0; his = Array.make capacity 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.los
+
+let insert t ~lo ~hi =
+  if hi <= lo then invalid_arg "Range_array.insert: empty range";
+  if t.len < Array.length t.los then begin
+    t.los.(t.len) <- lo;
+    t.his.(t.len) <- hi;
+    t.len <- t.len + 1;
+    true
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+
+let remove t ~lo =
+  let rec find i = if i >= t.len then -1 else if t.los.(i) = lo then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then false
+  else begin
+    t.len <- t.len - 1;
+    t.los.(i) <- t.los.(t.len);
+    t.his.(i) <- t.his.(t.len);
+    true
+  end
+
+let contains t ~lo ~hi =
+  let rec scan i =
+    if i >= t.len then false
+    else if lo >= t.los.(i) && hi <= t.his.(i) then true
+    else scan (i + 1)
+  in
+  hi > lo && scan 0
+
+let size t = t.len
+
+let clear t =
+  t.len <- 0;
+  t.dropped <- 0
+
+let dropped t = t.dropped

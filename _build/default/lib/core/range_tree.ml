@@ -1,0 +1,153 @@
+(* AVL tree keyed by range lower bound, augmented with the subtree envelope
+   upper bound (max hi).  Because allocator ranges are disjoint, ordering by
+   [lo] is total; the envelope gives the paper's fast-miss behaviour:
+   a lookup prunes any subtree whose envelope cannot cover the probe. *)
+
+type node = {
+  lo : int;
+  hi : int;
+  mutable left : node option;
+  mutable right : node option;
+  mutable height : int;
+  mutable max_hi : int;
+}
+
+type t = { mutable root : node option; mutable count : int }
+
+let create () = { root = None; count = 0 }
+
+let height = function None -> 0 | Some n -> n.height
+let max_hi_of = function None -> min_int | Some n -> n.max_hi
+
+let update n =
+  n.height <- 1 + max (height n.left) (height n.right);
+  n.max_hi <- max n.hi (max (max_hi_of n.left) (max_hi_of n.right))
+
+let rotate_right n =
+  match n.left with
+  | None -> assert false
+  | Some l ->
+      n.left <- l.right;
+      l.right <- Some n;
+      update n;
+      update l;
+      l
+
+let rotate_left n =
+  match n.right with
+  | None -> assert false
+  | Some r ->
+      n.right <- r.left;
+      r.left <- Some n;
+      update n;
+      update r;
+      r
+
+let balance n =
+  update n;
+  let bf = height n.left - height n.right in
+  if bf > 1 then begin
+    (match n.left with
+    | Some l when height l.right > height l.left ->
+        n.left <- Some (rotate_left l)
+    | Some _ | None -> ());
+    rotate_right n
+  end
+  else if bf < -1 then begin
+    (match n.right with
+    | Some r when height r.left > height r.right ->
+        n.right <- Some (rotate_right r)
+    | Some _ | None -> ());
+    rotate_left n
+  end
+  else n
+
+let rec insert_node node ~lo ~hi =
+  match node with
+  | None ->
+      Some { lo; hi; left = None; right = None; height = 1; max_hi = hi }
+  | Some n ->
+      if lo < n.lo then begin
+        if hi > n.lo then invalid_arg "Range_tree.insert: overlapping range";
+        n.left <- insert_node n.left ~lo ~hi
+      end
+      else if lo > n.lo then begin
+        if lo < n.hi then invalid_arg "Range_tree.insert: overlapping range";
+        n.right <- insert_node n.right ~lo ~hi
+      end
+      else invalid_arg "Range_tree.insert: duplicate lower bound";
+      Some (balance n)
+
+let insert t ~lo ~hi =
+  if hi <= lo then invalid_arg "Range_tree.insert: empty range";
+  t.root <- insert_node t.root ~lo ~hi;
+  t.count <- t.count + 1
+
+let rec min_node n = match n.left with None -> n | Some l -> min_node l
+
+let rec remove_node node lo found =
+  match node with
+  | None -> None
+  | Some n ->
+      if lo < n.lo then begin
+        n.left <- remove_node n.left lo found;
+        Some (balance n)
+      end
+      else if lo > n.lo then begin
+        n.right <- remove_node n.right lo found;
+        Some (balance n)
+      end
+      else begin
+        found := true;
+        match (n.left, n.right) with
+        | None, r -> r
+        | l, None -> l
+        | Some _, Some r ->
+            (* Replace with in-order successor. *)
+            let succ = min_node r in
+            let replacement =
+              {
+                lo = succ.lo;
+                hi = succ.hi;
+                left = n.left;
+                right = remove_node n.right succ.lo (ref false);
+                height = 0;
+                max_hi = 0;
+              }
+            in
+            Some (balance replacement)
+      end
+
+let remove t ~lo =
+  let found = ref false in
+  t.root <- remove_node t.root lo found;
+  if !found then t.count <- t.count - 1;
+  !found
+
+let contains t ~lo ~hi =
+  let rec go = function
+    | None -> false
+    | Some n ->
+        if hi > n.max_hi then false (* envelope prune: fast miss *)
+        else if lo >= n.lo && hi <= n.hi then true
+        else if lo < n.lo then go n.left
+        else go n.right
+  in
+  hi > lo && go t.root
+
+let size t = t.count
+let depth t = height t.root
+
+let clear t =
+  t.root <- None;
+  t.count <- 0
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        go n.left;
+        f ~lo:n.lo ~hi:n.hi;
+        go n.right
+  in
+  go t.root

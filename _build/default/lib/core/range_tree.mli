@@ -1,0 +1,37 @@
+(** Search tree of memory ranges (paper, Figure 5).
+
+    Leaves are allocated blocks; every internal node carries the envelope
+    (min lower bound, max upper bound) of its subtree, so misses usually
+    terminate at a high internal node — the paper's "optimise the common
+    case" property for barriers that do not benefit from elision.  Ranges
+    are half-open [\[lo, hi)] and, as allocator blocks, mutually disjoint.
+
+    This backend is precise: [contains] answers exactly whether a range is
+    covered by a logged block. *)
+
+type t
+
+val create : unit -> t
+
+(** [insert t ~lo ~hi] logs block [\[lo, hi)].  Overlapping an existing
+    range is a programming error and raises [Invalid_argument]. *)
+val insert : t -> lo:int -> hi:int -> unit
+
+(** [remove t ~lo] unlogs the block starting at [lo]; returns false when no
+    such block is logged. *)
+val remove : t -> lo:int -> bool
+
+(** [contains t ~lo ~hi] — is [\[lo, hi)] wholly inside one logged
+    block? *)
+val contains : t -> lo:int -> hi:int -> bool
+
+val size : t -> int
+(** Number of logged blocks. *)
+
+val depth : t -> int
+(** Height of the tree, used by the simulator cost model. *)
+
+val clear : t -> unit
+
+val iter : t -> (lo:int -> hi:int -> unit) -> unit
+(** In address order. *)

@@ -1,0 +1,1 @@
+lib/sim/platform.mli: Sched

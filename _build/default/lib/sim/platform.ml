@@ -1,0 +1,11 @@
+type t = { consume : int -> unit; yield : unit -> unit; self : unit -> int }
+
+let native ~tid =
+  { consume = ignore; yield = Domain.cpu_relax; self = (fun () -> tid) }
+
+let simulated ctx =
+  {
+    consume = Sched.consume ctx;
+    yield = (fun () -> Sched.yield ctx);
+    self = (fun () -> Sched.self ctx);
+  }

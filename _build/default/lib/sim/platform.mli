@@ -1,0 +1,19 @@
+(** Execution-platform abstraction used by the STM.
+
+    The same STM code runs either on real domains (native wall-clock
+    experiments) or on simulator fibers (virtual-time experiments); it sees
+    the platform only through this record. *)
+
+type t = {
+  consume : int -> unit;
+      (** Charge virtual cycles (no-op on the native platform). *)
+  yield : unit -> unit;  (** Back off while spinning on a lock. *)
+  self : unit -> int;  (** Logical thread id. *)
+}
+
+(** [native ~tid] is a platform for a real domain: [consume] is free,
+    [yield] is [Domain.cpu_relax]. *)
+val native : tid:int -> t
+
+(** [simulated ctx] adapts a simulator fiber context. *)
+val simulated : Sched.ctx -> t

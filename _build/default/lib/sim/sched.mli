@@ -1,0 +1,50 @@
+(** Deterministic cooperative multithread simulator.
+
+    Each logical thread runs as an effect-handler fiber with a private
+    virtual cycle clock.  The scheduler always resumes the fiber with the
+    smallest virtual time (ties broken by thread id), preempting a running
+    fiber once it gets [quantum] cycles ahead of the next-waiting one.  This
+    models N cores executing in lock-step virtual time on a single real
+    core: conflicts, aborts and barrier-cost ratios behave as they would
+    under true concurrency, and every run is bit-reproducible.
+
+    The virtual makespan (largest per-thread finish time) plays the role of
+    wall-clock execution time in the 16-thread experiments. *)
+
+type t
+(** A completed simulation. *)
+
+type ctx
+(** Handle a fiber uses to interact with its scheduler. *)
+
+(** [run ?quantum ~threads ()] executes [threads.(i) ctx] for each [i] as a
+    fiber and returns the completed simulation.  [quantum] (default 200) is
+    the preemption grain in cycles. *)
+val run : ?quantum:int -> threads:(ctx -> unit) array -> unit -> t
+
+(** [consume ctx c] charges [c] virtual cycles to the calling fiber; may
+    switch to another fiber. *)
+val consume : ctx -> int -> unit
+
+(** [yield ctx] charges one cycle and unconditionally reschedules; spinning
+    code must call it so lock owners can make progress. *)
+val yield : ctx -> unit
+
+(** [self ctx] is the calling fiber's thread id (its index in [threads]). *)
+val self : ctx -> int
+
+(** [vtime ctx] is the calling fiber's current virtual time. *)
+val vtime : ctx -> int
+
+(** [makespan t] is the largest per-thread virtual finish time. *)
+val makespan : t -> int
+
+(** [thread_time t i] is thread [i]'s virtual finish time. *)
+val thread_time : t -> int -> int
+
+(** [switches t] counts context switches, a determinism check hook. *)
+val switches : t -> int
+
+exception Fiber_failure of int * exn
+(** Raised by [run] if a fiber raises; carries the thread id and the
+    original exception. *)

@@ -1,0 +1,1 @@
+lib/stm/config.ml: Captured_core Printf

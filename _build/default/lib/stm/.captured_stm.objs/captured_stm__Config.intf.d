@@ -1,0 +1,1 @@
+lib/stm/config.mli: Captured_core

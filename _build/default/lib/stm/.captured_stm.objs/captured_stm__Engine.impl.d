@@ -1,0 +1,1 @@
+lib/stm/engine.ml: Array Captured_sim Captured_tmem Captured_util Config Domain Orec Stats Txn

@@ -1,0 +1,1 @@
+lib/stm/engine.mli: Captured_tmem Config Orec Stats Txn

@@ -1,0 +1,1 @@
+lib/stm/stats.ml: Format List

@@ -1,0 +1,1 @@
+lib/stm/stats.mli: Format

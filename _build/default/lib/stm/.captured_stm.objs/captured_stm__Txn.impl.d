@@ -1,0 +1,1 @@
+lib/stm/txn.ml: Array Captured_core Captured_sim Captured_tmem Captured_util Config Costs Hashtbl List Option Orec Stats Waw

@@ -1,0 +1,1 @@
+lib/stm/txn.mli: Captured_core Captured_sim Captured_tmem Captured_util Config Hashtbl Orec Stats

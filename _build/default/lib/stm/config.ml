@@ -1,0 +1,86 @@
+module Alloc_log = Captured_core.Alloc_log
+
+type analysis = Baseline | Runtime of Alloc_log.backend | Compiler
+
+type scope = {
+  check_stack : bool;
+  check_heap : bool;
+  on_reads : bool;
+  on_writes : bool;
+}
+
+type t = {
+  analysis : analysis;
+  scope : scope;
+  static_filter : bool;
+  pessimistic_reads : bool;
+  waw_filter : bool;
+  use_private_log : bool;
+  audit : bool;
+  orec_bits : int;
+  line_words_log2 : int;
+  array_capacity : int;
+  filter_buckets : int;
+  spin_limit : int;
+  validate_every : int;
+}
+
+let full_scope =
+  { check_stack = true; check_heap = true; on_reads = true; on_writes = true }
+
+let write_only_scope =
+  { check_stack = true; check_heap = true; on_reads = false; on_writes = true }
+
+let heap_write_only_scope =
+  { check_stack = false; check_heap = true; on_reads = false; on_writes = true }
+
+let default =
+  {
+    analysis = Baseline;
+    scope = full_scope;
+    static_filter = false;
+    pessimistic_reads = false;
+    waw_filter = true;
+    use_private_log = true;
+    audit = false;
+    orec_bits = 14;
+    line_words_log2 = 2;
+    array_capacity = 4;
+    filter_buckets = 4096;
+    spin_limit = 32;
+    validate_every = 512;
+  }
+
+let baseline = default
+let runtime ?(scope = full_scope) backend =
+  { default with analysis = Runtime backend; scope }
+
+let compiler = { default with analysis = Compiler }
+
+let runtime_hybrid ?(scope = full_scope) backend =
+  { default with analysis = Runtime backend; scope; static_filter = true }
+
+let pessimistic t = { t with pessimistic_reads = true }
+let audit = { default with audit = true }
+
+let name t =
+  let scope_name s =
+    match (s.check_stack, s.check_heap, s.on_reads, s.on_writes) with
+    | true, true, true, true -> "stack+heap,r+w"
+    | true, true, false, true -> "stack+heap,w"
+    | false, true, false, true -> "heap,w"
+    | _ ->
+        Printf.sprintf "%s%s,%s%s"
+          (if s.check_stack then "stack" else "")
+          (if s.check_heap then "+heap" else "")
+          (if s.on_reads then "r" else "")
+          (if s.on_writes then "+w" else "")
+  in
+  let suffix = if t.pessimistic_reads then "+pessimistic" else "" in
+  match t.analysis with
+  | Baseline -> (if t.audit then "audit" else "baseline") ^ suffix
+  | Runtime b ->
+      Printf.sprintf "%s-%s(%s)%s"
+        (if t.static_filter then "hybrid" else "runtime")
+        (Alloc_log.backend_name b) (scope_name t.scope) suffix
+  | Compiler -> "compiler" ^ suffix

@@ -1,0 +1,79 @@
+(** STM optimisation configuration — which capture-analysis technique the
+    barriers apply, and where.
+
+    The paper's evaluated systems map to:
+    - [Baseline]: no capture analysis (write-after-write undo-log filtering
+      stays on — the paper's baseline has those "cheap checks").
+    - [Runtime backend]: the barrier first runs runtime capture analysis
+      (Figure 2) with the given allocation-log backend; [scope] selects
+      Figure 10/11's configurations (stack and/or heap checks, in read
+      and/or write barriers).
+    - [Compiler]: no runtime checks; barriers at sites the compiler
+      analysis proved captured are replaced by direct accesses. *)
+
+type analysis =
+  | Baseline
+  | Runtime of Captured_core.Alloc_log.backend
+  | Compiler
+
+type scope = {
+  check_stack : bool;
+  check_heap : bool;
+  on_reads : bool;
+  on_writes : bool;
+}
+
+type t = {
+  analysis : analysis;
+  scope : scope;
+  static_filter : bool;
+      (** Skip runtime capture checks at sites the compiler proved
+          definitely shared (the paper's §3.2/§6 future work); only
+          meaningful with [Runtime]. *)
+  pessimistic_reads : bool;
+      (** Lock records for reads (two-phase locking) instead of optimistic
+          versioned reads — the mode the paper's §2.1 says Intel's STM
+          falls back to "in certain cases".  Readers are exclusive here
+          (no shared read locks), the simplest pessimistic scheme. *)
+  waw_filter : bool;
+  use_private_log : bool;
+      (** Consult the thread-local/read-only annotation log in barriers
+          (cheap when empty; the paper's experiments leave annotations
+          unused, and so do ours except the annotation examples). *)
+  audit : bool;
+      (** Maintain a precise side tree and classify every instrumented
+          access (Figure 8 measurement mode); independent of elision. *)
+  orec_bits : int;  (** log2 of the ownership-record table size. *)
+  line_words_log2 : int;  (** words per conflict-detection granule. *)
+  array_capacity : int;
+  filter_buckets : int;
+  spin_limit : int;  (** lock-wait spins before self-abort. *)
+  validate_every : int;
+      (** Barriers between incremental validations (zombie guard). *)
+}
+
+val full_scope : scope
+val write_only_scope : scope
+(** Stack+heap checks, write barriers only. *)
+
+val heap_write_only_scope : scope
+(** Heap checks in write barriers only (Figure 11b's runtime
+    configuration). *)
+
+val default : t
+(** Baseline with defaults. *)
+
+val baseline : t
+val runtime : ?scope:scope -> Captured_core.Alloc_log.backend -> t
+val compiler : t
+
+(** Runtime capture analysis + compiler shared-site filtering: barriers at
+    definitely-shared sites skip the runtime checks entirely. *)
+val runtime_hybrid : ?scope:scope -> Captured_core.Alloc_log.backend -> t
+
+(** [pessimistic t] switches [t] to read-locking barriers. *)
+val pessimistic : t -> t
+val audit : t
+(** Baseline + audit counting (Figure 8 runs). *)
+
+val name : t -> string

@@ -1,0 +1,27 @@
+let direct_access = 1
+let stack_check = 2
+let read_barrier = 28
+let write_barrier_acquire = 45
+let write_barrier_owned = 16
+let undo_log_entry = 10
+let waw_hit = 5
+let read_owned = 12
+let pessimistic_read = 40
+
+let commit_base = 20
+let commit_per_read = 2
+let commit_per_orec = 6
+let abort_base = 40
+let abort_per_undo = 4
+
+let alloc = 30
+let free = 18
+let alloca = 2
+
+let validate_per_read = 2
+let lock_spin = 4
+let txn_begin = 12
+
+let backoff ~attempt ~jitter =
+  let shift = min attempt 10 in
+  (64 lsl shift) + (jitter land 63) * attempt

@@ -1,0 +1,45 @@
+(** Virtual-cycle cost model for the simulator.
+
+    Relative magnitudes follow the paper's characterisation: an STM barrier
+    costs "about 10 or more instructions", write barriers (lock
+    acquisition + undo logging) are more expensive than read barriers,
+    capture checks are a few cycles (one range compare for the stack;
+    structure-dependent for the heap), and commits/aborts pay per logged
+    entry.  Native runs ignore these constants — they measure wall-clock
+    directly. *)
+
+val direct_access : int
+(** A plain load or store, the unit of the model. *)
+
+val stack_check : int
+val read_barrier : int
+val write_barrier_acquire : int
+(** First write to an orec: CAS acquisition. *)
+
+val write_barrier_owned : int
+(** Subsequent writes to an already-owned orec. *)
+
+val undo_log_entry : int
+val waw_hit : int
+val read_owned : int
+
+val pessimistic_read : int
+(** Read-locking barrier (CAS acquisition, like a write). *)
+
+val commit_base : int
+val commit_per_read : int
+val commit_per_orec : int
+val abort_base : int
+val abort_per_undo : int
+
+val alloc : int
+val free : int
+val alloca : int
+
+val validate_per_read : int
+val lock_spin : int
+val txn_begin : int
+
+val backoff : attempt:int -> jitter:int -> int
+(** Exponential backoff cycles for retry [attempt] (1-based); [jitter] in
+    [0, 63] decorrelates threads. *)

@@ -1,0 +1,112 @@
+module Memory = Captured_tmem.Memory
+module Tstack = Captured_tmem.Tstack
+module Alloc = Captured_tmem.Alloc
+module Platform = Captured_sim.Platform
+module Sched = Captured_sim.Sched
+module Prng = Captured_util.Prng
+module Clock = Captured_util.Clock
+
+type world = {
+  memory : Memory.t;
+  orecs : Orec.t;
+  config : Config.t;
+  nthreads : int;
+  global_arena : Alloc.t;
+  stacks : Tstack.t array;
+  arenas : Alloc.t array;
+}
+
+let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
+    ?(arena_words = 1 lsl 18) ~nthreads config =
+  if nthreads < 1 then invalid_arg "Engine.create: nthreads";
+  let words =
+    1 + global_words + (nthreads * (stack_words + arena_words))
+  in
+  let memory = Memory.create ~words in
+  let orecs =
+    Orec.create ~bits:config.Config.orec_bits
+      ~line_words_log2:config.Config.line_words_log2
+  in
+  let global_arena = Alloc.create memory ~base:1 ~words:global_words in
+  let stacks =
+    Array.init nthreads (fun i ->
+        Tstack.create memory
+          ~base:(1 + global_words + (i * stack_words))
+          ~words:stack_words)
+  in
+  let arenas =
+    Array.init nthreads (fun i ->
+        Alloc.create memory
+          ~base:(1 + global_words + (nthreads * stack_words) + (i * arena_words))
+          ~words:arena_words)
+  in
+  { memory; orecs; config; nthreads; global_arena; stacks; arenas }
+
+let memory w = w.memory
+let global_arena w = w.global_arena
+let arena_of w i = w.arenas.(i)
+let nthreads w = w.nthreads
+let config w = w.config
+let orecs w = w.orecs
+
+type result = {
+  per_thread : Stats.t array;
+  stats : Stats.t;
+  makespan : int;
+  wall : float;
+}
+
+let thread_seed seed tid =
+  let root = Prng.create seed in
+  let rec skip g n = if n = 0 then Prng.bits g else (ignore (Prng.bits g); skip g (n - 1)) in
+  skip root tid
+
+let make_thread w ~tid ~platform ~seed =
+  Txn.create_thread ~tid ~platform ~memory:w.memory ~stack:w.stacks.(tid)
+    ~arena:w.arenas.(tid) ~orecs:w.orecs ~config:w.config
+    ~seed:(thread_seed seed tid)
+
+let collect threads makespan wall =
+  let per_thread = Array.map Txn.thread_stats threads in
+  { per_thread; stats = Stats.sum (Array.to_list per_thread); makespan; wall }
+
+let run_sim ?quantum ?(seed = 42) w body =
+  let threads = Array.make w.nthreads None in
+  let fibers =
+    Array.init w.nthreads (fun tid ctx ->
+        let platform = Platform.simulated ctx in
+        let th = make_thread w ~tid ~platform ~seed in
+        threads.(tid) <- Some th;
+        (* Stagger thread starts: symmetric workloads would otherwise run
+           in perfect (deterministic) lockstep that real machines never
+           exhibit. *)
+        platform.Platform.consume (tid * 53);
+        body th)
+  in
+  let (sim, wall) = Clock.time (fun () -> Sched.run ?quantum ~threads:fibers ()) in
+  let threads =
+    Array.map (function Some th -> th | None -> assert false) threads
+  in
+  collect threads (Sched.makespan sim) wall
+
+let run_native ?(seed = 42) w body =
+  let threads =
+    Array.init w.nthreads (fun tid ->
+        make_thread w ~tid ~platform:(Platform.native ~tid) ~seed)
+  in
+  let ((), wall) =
+    Clock.time (fun () ->
+        if w.nthreads = 1 then body threads.(0)
+        else begin
+          let domains =
+            Array.init (w.nthreads - 1) (fun i ->
+                Domain.spawn (fun () -> body threads.(i + 1)))
+          in
+          body threads.(0);
+          Array.iter Domain.join domains
+        end)
+  in
+  collect threads 0 wall
+
+let setup_thread ?(seed = 42) w =
+  make_thread w ~tid:0 ~platform:(Platform.native ~tid:0) ~seed

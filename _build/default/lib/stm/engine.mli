@@ -1,0 +1,51 @@
+(** World setup and thread execution.
+
+    A [world] is one application instance: flat memory carved into a
+    global region (shared data built at init time), per-thread stacks and
+    per-thread allocator arenas, plus the system-wide ownership-record
+    table.  Threads then execute either on simulator fibers (deterministic
+    virtual time — the multithread experiments) or on real domains
+    (wall-clock — the single-thread experiments). *)
+
+type world
+
+val create :
+  ?global_words:int ->
+  ?stack_words:int ->
+  ?arena_words:int ->
+  nthreads:int ->
+  Config.t ->
+  world
+(** Defaults: 256 Ki global words, 16 Ki stack words and 256 Ki arena
+    words per thread. *)
+
+val memory : world -> Captured_tmem.Memory.t
+val global_arena : world -> Captured_tmem.Alloc.t
+(** Arena for init-time shared data (single-threaded use only). *)
+
+val arena_of : world -> int -> Captured_tmem.Alloc.t
+val nthreads : world -> int
+val config : world -> Config.t
+val orecs : world -> Orec.t
+
+type result = {
+  per_thread : Stats.t array;
+  stats : Stats.t;  (** merged over threads *)
+  makespan : int;  (** virtual cycles (simulated runs; 0 native) *)
+  wall : float;  (** host seconds *)
+}
+
+(** [run_sim ?quantum ?seed world body] executes [body thread] for each of
+    the world's logical threads on simulator fibers.  Deterministic for a
+    fixed [seed]. *)
+val run_sim : ?quantum:int -> ?seed:int -> world -> (Txn.thread -> unit) -> result
+
+(** [run_native ?seed world body] executes on real domains (thread 0 runs
+    on the calling domain).  With [nthreads = 1] this measures pure
+    single-thread STM cost — the paper's Figure 10 setting. *)
+val run_native : ?seed:int -> world -> (Txn.thread -> unit) -> result
+
+(** [setup_thread world] builds a thread context bound to thread 0 on the
+    native platform without running anything — for tests and examples that
+    want direct control. *)
+val setup_thread : ?seed:int -> world -> Txn.thread

@@ -1,0 +1,33 @@
+type t = {
+  records : int Atomic.t array;
+  shift : int; (* take the HIGH bits of the multiplicative hash *)
+  line_words_log2 : int;
+}
+
+let create ~bits ~line_words_log2 =
+  if bits < 4 || bits > 24 then invalid_arg "Orec.create: bits";
+  let n = 1 lsl bits in
+  {
+    records = Array.init n (fun _ -> Atomic.make 0);
+    shift = 62 - bits;
+    line_words_log2;
+  }
+
+(* Fibonacci hashing: the low product bits are periodic in the address
+   (stride 2^k aliasing!), so the index must come from the HIGH bits. *)
+let index_of t addr =
+  (((addr lsr t.line_words_log2) * 0x2545F4914F6CDD1D) land max_int)
+  lsr t.shift
+
+let count t = Array.length t.records
+let get t i = Atomic.get t.records.(i)
+let is_locked word = word land 1 = 1
+let owner_of word = word lsr 1
+let version_of word = word lsr 1
+let locked_word ~owner = (owner lsl 1) lor 1
+let bumped prev = ((version_of prev) + 1) lsl 1
+
+let try_lock t i ~owner ~expected =
+  Atomic.compare_and_set t.records.(i) expected (locked_word ~owner)
+
+let unlock t i word = Atomic.set t.records.(i) word

@@ -1,0 +1,41 @@
+(** Ownership-record (transaction-record) table (paper, §2.1).
+
+    A system-wide table maps each memory line (cache-line granularity) to
+    one record via a hash; the table is deliberately finite, so distinct
+    addresses alias — the *false conflicts* whose reduction explains part
+    of the paper's speedups (Table 1).
+
+    Record encoding in one int: even values are versions
+    ([version lsl 1]); odd values are locks ([owner lsl 1 lor 1]).
+    Versions only grow, monotonically per record. *)
+
+type t
+
+val create : bits:int -> line_words_log2:int -> t
+
+val index_of : t -> int -> int
+(** Record index for a word address. *)
+
+val count : t -> int
+
+val get : t -> int -> int
+(** Current word of record [i]. *)
+
+val is_locked : int -> bool
+val owner_of : int -> int
+(** Only meaningful when [is_locked]. *)
+
+val version_of : int -> int
+(** Only meaningful when unlocked. *)
+
+val locked_word : owner:int -> int
+
+val bumped : int -> int
+(** [bumped prev] is the unlocked word with [prev]'s version + 1 ([prev]
+    must be an unlocked word). *)
+
+val try_lock : t -> int -> owner:int -> expected:int -> bool
+(** CAS record [i] from unlocked [expected] to locked-by-[owner]. *)
+
+val unlock : t -> int -> int -> unit
+(** [unlock t i word] stores an unlocked [word] (release). *)

@@ -1,0 +1,156 @@
+type t = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable user_aborts : int;
+  mutable nested_commits : int;
+  mutable nested_aborts : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable reads_elided_stack : int;
+  mutable reads_elided_heap : int;
+  mutable reads_elided_private : int;
+  mutable reads_elided_static : int;
+  mutable writes_elided_stack : int;
+  mutable writes_elided_heap : int;
+  mutable writes_elided_private : int;
+  mutable writes_elided_static : int;
+  mutable waw_hits : int;
+  mutable undo_entries : int;
+  mutable validations : int;
+  mutable lock_waits : int;
+  mutable audit_reads_heap : int;
+  mutable audit_reads_stack : int;
+  mutable audit_reads_required : int;
+  mutable audit_reads_other : int;
+  mutable audit_writes_heap : int;
+  mutable audit_writes_stack : int;
+  mutable audit_writes_required : int;
+  mutable audit_writes_other : int;
+  mutable audit_static_violations : int;
+  mutable tx_allocs : int;
+  mutable tx_frees : int;
+}
+
+let create () =
+  {
+    commits = 0;
+    aborts = 0;
+    user_aborts = 0;
+    nested_commits = 0;
+    nested_aborts = 0;
+    reads = 0;
+    writes = 0;
+    reads_elided_stack = 0;
+    reads_elided_heap = 0;
+    reads_elided_private = 0;
+    reads_elided_static = 0;
+    writes_elided_stack = 0;
+    writes_elided_heap = 0;
+    writes_elided_private = 0;
+    writes_elided_static = 0;
+    waw_hits = 0;
+    undo_entries = 0;
+    validations = 0;
+    lock_waits = 0;
+    audit_reads_heap = 0;
+    audit_reads_stack = 0;
+    audit_reads_required = 0;
+    audit_reads_other = 0;
+    audit_writes_heap = 0;
+    audit_writes_stack = 0;
+    audit_writes_required = 0;
+    audit_writes_other = 0;
+    audit_static_violations = 0;
+    tx_allocs = 0;
+    tx_frees = 0;
+  }
+
+let reset t =
+  t.commits <- 0;
+  t.aborts <- 0;
+  t.user_aborts <- 0;
+  t.nested_commits <- 0;
+  t.nested_aborts <- 0;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.reads_elided_stack <- 0;
+  t.reads_elided_heap <- 0;
+  t.reads_elided_private <- 0;
+  t.reads_elided_static <- 0;
+  t.writes_elided_stack <- 0;
+  t.writes_elided_heap <- 0;
+  t.writes_elided_private <- 0;
+  t.writes_elided_static <- 0;
+  t.waw_hits <- 0;
+  t.undo_entries <- 0;
+  t.validations <- 0;
+  t.lock_waits <- 0;
+  t.audit_reads_heap <- 0;
+  t.audit_reads_stack <- 0;
+  t.audit_reads_required <- 0;
+  t.audit_reads_other <- 0;
+  t.audit_writes_heap <- 0;
+  t.audit_writes_stack <- 0;
+  t.audit_writes_required <- 0;
+  t.audit_writes_other <- 0;
+  t.audit_static_violations <- 0;
+  t.tx_allocs <- 0;
+  t.tx_frees <- 0
+
+let merge acc x =
+  acc.commits <- acc.commits + x.commits;
+  acc.aborts <- acc.aborts + x.aborts;
+  acc.user_aborts <- acc.user_aborts + x.user_aborts;
+  acc.nested_commits <- acc.nested_commits + x.nested_commits;
+  acc.nested_aborts <- acc.nested_aborts + x.nested_aborts;
+  acc.reads <- acc.reads + x.reads;
+  acc.writes <- acc.writes + x.writes;
+  acc.reads_elided_stack <- acc.reads_elided_stack + x.reads_elided_stack;
+  acc.reads_elided_heap <- acc.reads_elided_heap + x.reads_elided_heap;
+  acc.reads_elided_private <- acc.reads_elided_private + x.reads_elided_private;
+  acc.reads_elided_static <- acc.reads_elided_static + x.reads_elided_static;
+  acc.writes_elided_stack <- acc.writes_elided_stack + x.writes_elided_stack;
+  acc.writes_elided_heap <- acc.writes_elided_heap + x.writes_elided_heap;
+  acc.writes_elided_private <-
+    acc.writes_elided_private + x.writes_elided_private;
+  acc.writes_elided_static <- acc.writes_elided_static + x.writes_elided_static;
+  acc.waw_hits <- acc.waw_hits + x.waw_hits;
+  acc.undo_entries <- acc.undo_entries + x.undo_entries;
+  acc.validations <- acc.validations + x.validations;
+  acc.lock_waits <- acc.lock_waits + x.lock_waits;
+  acc.audit_reads_heap <- acc.audit_reads_heap + x.audit_reads_heap;
+  acc.audit_reads_stack <- acc.audit_reads_stack + x.audit_reads_stack;
+  acc.audit_reads_required <- acc.audit_reads_required + x.audit_reads_required;
+  acc.audit_reads_other <- acc.audit_reads_other + x.audit_reads_other;
+  acc.audit_writes_heap <- acc.audit_writes_heap + x.audit_writes_heap;
+  acc.audit_writes_stack <- acc.audit_writes_stack + x.audit_writes_stack;
+  acc.audit_writes_required <-
+    acc.audit_writes_required + x.audit_writes_required;
+  acc.audit_writes_other <- acc.audit_writes_other + x.audit_writes_other;
+  acc.audit_static_violations <-
+    acc.audit_static_violations + x.audit_static_violations;
+  acc.tx_allocs <- acc.tx_allocs + x.tx_allocs;
+  acc.tx_frees <- acc.tx_frees + x.tx_frees
+
+let sum xs =
+  let acc = create () in
+  List.iter (merge acc) xs;
+  acc
+
+let reads_elided t =
+  t.reads_elided_stack + t.reads_elided_heap + t.reads_elided_private
+  + t.reads_elided_static
+
+let writes_elided t =
+  t.writes_elided_stack + t.writes_elided_heap + t.writes_elided_private
+  + t.writes_elided_static
+
+let abort_ratio t =
+  if t.commits = 0 then 0. else float_of_int t.aborts /. float_of_int t.commits
+
+let pp fmt t =
+  Format.fprintf fmt
+    "commits=%d aborts=%d (ratio %.2f) reads=%d (elided %d) writes=%d \
+     (elided %d) waw=%d undo=%d"
+    t.commits t.aborts (abort_ratio t) t.reads (reads_elided t) t.writes
+    (writes_elided t) t.waw_hits t.undo_entries

@@ -1,0 +1,60 @@
+(** Per-thread STM event counters.
+
+    Everything the evaluation reports is derived from these: commit/abort
+    ratios (Table 1), elided-barrier fractions (Figure 9), and — in audit
+    mode — the Figure 8 classification of each instrumented access as
+    captured-heap, captured-stack, required (STAMP's manual
+    instrumentation would also barrier it) or other-not-required. *)
+
+type t = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable user_aborts : int;
+  mutable nested_commits : int;
+  mutable nested_aborts : int;
+  (* dynamic barrier counts *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable reads_elided_stack : int;
+  mutable reads_elided_heap : int;
+  mutable reads_elided_private : int;
+  mutable reads_elided_static : int;
+  mutable writes_elided_stack : int;
+  mutable writes_elided_heap : int;
+  mutable writes_elided_private : int;
+  mutable writes_elided_static : int;
+  mutable waw_hits : int;
+  mutable undo_entries : int;
+  mutable validations : int;
+  mutable lock_waits : int;
+  (* audit-mode classification (Figure 8) *)
+  mutable audit_reads_heap : int;
+  mutable audit_reads_stack : int;
+  mutable audit_reads_required : int;
+  mutable audit_reads_other : int;
+  mutable audit_writes_heap : int;
+  mutable audit_writes_stack : int;
+  mutable audit_writes_required : int;
+  mutable audit_writes_other : int;
+  mutable audit_static_violations : int;
+      (** Accesses at sites the compiler analysis marked captured that the
+          precise runtime check says are NOT captured — must stay 0, or
+          the analysis is unsound. *)
+  (* allocator *)
+  mutable tx_allocs : int;
+  mutable tx_frees : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val merge : t -> t -> unit
+(** [merge acc x] adds [x] into [acc]. *)
+
+val sum : t list -> t
+
+val reads_elided : t -> int
+val writes_elided : t -> int
+val abort_ratio : t -> float
+(** aborts / commits — the paper's Table 1 metric. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,784 @@
+module Memory = Captured_tmem.Memory
+module Tstack = Captured_tmem.Tstack
+module Alloc = Captured_tmem.Alloc
+module Alloc_log = Captured_core.Alloc_log
+module Private_log = Captured_core.Private_log
+module Site = Captured_core.Site
+module Platform = Captured_sim.Platform
+module Prng = Captured_util.Prng
+
+exception Retry_conflict
+exception User_abort
+
+(* Debug hook: when set, every lock-wait records the contended address. *)
+let debug_lock_trace : (int, int) Hashtbl.t option ref = ref None
+
+let note_lock_wait addr =
+  match !debug_lock_trace with
+  | None -> ()
+  | Some h ->
+      Hashtbl.replace h addr (1 + Option.value ~default:0 (Hashtbl.find_opt h addr))
+
+type thread = {
+  tid : int;
+  platform : Platform.t;
+  memory : Memory.t;
+  stack : Tstack.t;
+  arena : Alloc.t;
+  orecs : Orec.t;
+  config : Config.t;
+  stats : Stats.t;
+  private_log : Private_log.t;
+  prng : Prng.t;
+  (* O(1) "do I own this orec / have I read it" maps, epoch-invalidated per
+     transaction attempt. *)
+  owned_epoch : int array;
+  owned_prev : int array;
+  read_seen_epoch : int array;
+  read_seen_word : int array;
+  mutable epoch : int;
+  mutable active : tx option;
+}
+
+and tx = {
+  thread : thread;
+  (* read set: distinct orecs with the word observed first *)
+  mutable read_orecs : int array;
+  mutable read_words : int array;
+  mutable n_reads : int;
+  (* undo log *)
+  mutable undo_addrs : int array;
+  mutable undo_vals : int array;
+  mutable n_undo : int;
+  (* acquired orec indices *)
+  mutable acq_orecs : int array;
+  mutable n_acq : int;
+  waw : Waw.t;
+  top_capture_log : Alloc_log.t option; (* reused by the top-level scope *)
+  top_audit_log : Alloc_log.t option;
+  mutable scopes : scope list; (* innermost first; non-empty while live *)
+  mutable live : bool;
+  mutable attempts : int;
+  mutable ops_since_validate : int;
+}
+
+and scope = {
+  start_sp : Memory.addr;
+  undo_mark : int;
+  capture_log : Alloc_log.t option;
+  audit_log : Alloc_log.t option;
+  mutable allocs : (Memory.addr * int) list; (* newest first *)
+  mutable deferred_frees : Memory.addr list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Thread construction                                                 *)
+
+let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config ~seed =
+  let n = Orec.count orecs in
+  {
+    tid;
+    platform;
+    memory;
+    stack;
+    arena;
+    orecs;
+    config;
+    stats = Stats.create ();
+    private_log = Private_log.create ();
+    prng = Prng.create seed;
+    owned_epoch = Array.make n 0;
+    owned_prev = Array.make n 0;
+    read_seen_epoch = Array.make n 0;
+    read_seen_word = Array.make n 0;
+    epoch = 0;
+    active = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Growable int-pair logs                                              *)
+
+let push2 xs ys n x y =
+  let cap = Array.length !xs in
+  if n >= cap then begin
+    let xs' = Array.make (2 * cap) 0 and ys' = Array.make (2 * cap) 0 in
+    Array.blit !xs 0 xs' 0 cap;
+    Array.blit !ys 0 ys' 0 cap;
+    xs := xs';
+    ys := ys'
+  end;
+  !xs.(n) <- x;
+  !ys.(n) <- y
+
+let push_read tx oi word =
+  let xs = ref tx.read_orecs and ys = ref tx.read_words in
+  push2 xs ys tx.n_reads oi word;
+  tx.read_orecs <- !xs;
+  tx.read_words <- !ys;
+  tx.n_reads <- tx.n_reads + 1
+
+let push_undo tx addr value =
+  let xs = ref tx.undo_addrs and ys = ref tx.undo_vals in
+  push2 xs ys tx.n_undo addr value;
+  tx.undo_addrs <- !xs;
+  tx.undo_vals <- !ys;
+  tx.n_undo <- tx.n_undo + 1;
+  tx.thread.stats.undo_entries <- tx.thread.stats.undo_entries + 1
+
+let push_acq tx oi =
+  let cap = Array.length tx.acq_orecs in
+  if tx.n_acq >= cap then begin
+    let a = Array.make (2 * cap) 0 in
+    Array.blit tx.acq_orecs 0 a 0 cap;
+    tx.acq_orecs <- a
+  end;
+  tx.acq_orecs.(tx.n_acq) <- oi;
+  tx.n_acq <- tx.n_acq + 1
+
+(* ------------------------------------------------------------------ *)
+(* Transaction object (one per thread, reused across transactions)     *)
+
+let make_tx th =
+  let cfg = th.config in
+  let runtime_heap =
+    match cfg.analysis with
+    | Config.Runtime _ -> cfg.scope.Config.check_heap
+    | Config.Baseline | Config.Compiler -> false
+  in
+  let top_capture_log =
+    if runtime_heap then
+      match cfg.analysis with
+      | Config.Runtime backend ->
+          Some
+            (Alloc_log.create ~array_capacity:cfg.array_capacity
+               ~filter_buckets:cfg.filter_buckets backend)
+      | Config.Baseline | Config.Compiler -> None
+    else None
+  in
+  let top_audit_log =
+    if cfg.audit then Some (Alloc_log.create Alloc_log.Tree) else None
+  in
+  {
+    thread = th;
+    read_orecs = Array.make 64 0;
+    read_words = Array.make 64 0;
+    n_reads = 0;
+    undo_addrs = Array.make 64 0;
+    undo_vals = Array.make 64 0;
+    n_undo = 0;
+    acq_orecs = Array.make 16 0;
+    n_acq = 0;
+    waw = Waw.create ();
+    top_capture_log;
+    top_audit_log;
+    scopes = [];
+    live = false;
+    attempts = 0;
+    ops_since_validate = 0;
+  }
+
+let innermost tx =
+  match tx.scopes with
+  | s :: _ -> s
+  | [] -> invalid_arg "Txn: no active scope"
+
+let depth tx = List.length tx.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let read_entry_valid th oi word =
+  let cur = Orec.get th.orecs oi in
+  cur = word
+  || (Orec.is_locked cur
+     && Orec.owner_of cur = th.tid
+     && th.owned_epoch.(oi) = th.epoch
+     && th.owned_prev.(oi) = word)
+
+let validate tx =
+  let th = tx.thread in
+  th.stats.validations <- th.stats.validations + 1;
+  th.platform.consume (Costs.validate_per_read * tx.n_reads);
+  let rec go k =
+    if k >= tx.n_reads then true
+    else if read_entry_valid th tx.read_orecs.(k) tx.read_words.(k) then
+      go (k + 1)
+    else false
+  in
+  go 0
+
+let maybe_validate tx =
+  tx.ops_since_validate <- tx.ops_since_validate + 1;
+  if tx.ops_since_validate >= tx.thread.config.validate_every then begin
+    tx.ops_since_validate <- 0;
+    if not (validate tx) then raise Retry_conflict
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Capture analysis in barriers (paper, Figure 2)                      *)
+
+type elision =
+  | Keep of int (* failed-check cycles to charge on top of the barrier *)
+  | Elide_static
+  | Elide_stack of int
+  | Elide_heap of int
+  | Elide_private of int
+
+let private_check th addr size cost =
+  if
+    th.config.Config.use_private_log
+    && Private_log.size th.private_log > 0
+  then
+    let c = cost + Private_log.search_cost th.private_log in
+    if Private_log.contains th.private_log ~addr ~size then Elide_private c
+    else Keep c
+  else Keep cost
+
+let try_elide tx addr size ~site ~is_write =
+  let th = tx.thread in
+  let cfg = th.config in
+  match cfg.analysis with
+  | Config.Compiler ->
+      if Site.is_captured_static site then Elide_static
+      else private_check th addr size 0
+  | Config.Baseline -> private_check th addr size 0
+  | Config.Runtime _ ->
+      let sc = cfg.scope in
+      let applies =
+        (if is_write then sc.on_writes else sc.on_reads)
+        && not (cfg.static_filter && Site.is_shared_static site)
+      in
+      if not applies then private_check th addr size 0
+      else begin
+        let scope = innermost tx in
+        if
+          sc.check_stack
+          && Tstack.in_live_range th.stack ~from_sp:scope.start_sp addr size
+        then Elide_stack Costs.stack_check
+        else begin
+          let cost = if sc.check_stack then Costs.stack_check else 0 in
+          match scope.capture_log with
+          | Some log when sc.check_heap ->
+              let cost = cost + Alloc_log.search_cost log in
+              if Alloc_log.contains log ~lo:addr ~hi:(addr + size) then
+                Elide_heap cost
+              else private_check th addr size cost
+          | Some _ | None -> private_check th addr size cost
+        end
+      end
+
+(* Audit-mode classification for Figure 8: a precise tree + the stack check
+   decide captured-ness; [manual] sites are the paper's "required"
+   estimate. *)
+let audit_classify tx addr size ~site ~is_write =
+  let th = tx.thread in
+  let scope = innermost tx in
+  let st = th.stats in
+  let on_stack =
+    Tstack.in_live_range th.stack ~from_sp:scope.start_sp addr size
+  in
+  let on_heap =
+    (not on_stack)
+    &&
+    match scope.audit_log with
+    | Some log -> Alloc_log.contains log ~lo:addr ~hi:(addr + size)
+    | None -> false
+  in
+  let manual = (Site.meta site).Site.manual in
+  if Site.is_captured_static site && not (on_stack || on_heap) then
+    st.audit_static_violations <- st.audit_static_violations + 1;
+  if is_write then
+    if on_heap then st.audit_writes_heap <- st.audit_writes_heap + 1
+    else if on_stack then st.audit_writes_stack <- st.audit_writes_stack + 1
+    else if manual then st.audit_writes_required <- st.audit_writes_required + 1
+    else st.audit_writes_other <- st.audit_writes_other + 1
+  else if on_heap then st.audit_reads_heap <- st.audit_reads_heap + 1
+  else if on_stack then st.audit_reads_stack <- st.audit_reads_stack + 1
+  else if manual then st.audit_reads_required <- st.audit_reads_required + 1
+  else st.audit_reads_other <- st.audit_reads_other + 1
+
+(* ------------------------------------------------------------------ *)
+(* Read barrier                                                        *)
+
+let rec full_read_loop tx oi addr spins =
+  let th = tx.thread in
+  let w1 = Orec.get th.orecs oi in
+  if Orec.is_locked w1 then begin
+    th.stats.lock_waits <- th.stats.lock_waits + 1;
+    note_lock_wait addr;
+    if spins >= th.config.Config.spin_limit then raise Retry_conflict
+    else begin
+      th.platform.consume Costs.lock_spin;
+      th.platform.yield ();
+      full_read_loop tx oi addr (spins + 1)
+    end
+  end
+  else begin
+    let v = Memory.get th.memory addr in
+    let w2 = Orec.get th.orecs oi in
+    if w1 = w2 then begin
+      (* Dedup: log each orec once; observing a *different* version than
+         first logged is already a conflict. *)
+      if th.read_seen_epoch.(oi) = th.epoch then begin
+        if th.read_seen_word.(oi) <> w1 then raise Retry_conflict
+      end
+      else begin
+        th.read_seen_epoch.(oi) <- th.epoch;
+        th.read_seen_word.(oi) <- w1;
+        push_read tx oi w1
+      end;
+      v
+    end
+    else full_read_loop tx oi addr (spins + 1)
+  end
+
+(* Forward declaration dance: the pessimistic read acquires exactly like a
+   write, so [acquire_loop] is defined before both. *)
+let rec acquire_loop tx oi spins =
+  let th = tx.thread in
+  let w = Orec.get th.orecs oi in
+  if Orec.is_locked w then begin
+    th.stats.lock_waits <- th.stats.lock_waits + 1;
+    if spins >= th.config.Config.spin_limit then raise Retry_conflict
+    else begin
+      th.platform.consume Costs.lock_spin;
+      th.platform.yield ();
+      acquire_loop tx oi (spins + 1)
+    end
+  end
+  else if Orec.try_lock th.orecs oi ~owner:th.tid ~expected:w then begin
+    th.owned_epoch.(oi) <- th.epoch;
+    th.owned_prev.(oi) <- w;
+    push_acq tx oi
+  end
+  else acquire_loop tx oi (spins + 1)
+
+let full_read tx addr =
+  let th = tx.thread in
+  let oi = Orec.index_of th.orecs addr in
+  if th.owned_epoch.(oi) = th.epoch then begin
+    th.platform.consume Costs.read_owned;
+    Memory.get th.memory addr
+  end
+  else if th.config.Config.pessimistic_reads then begin
+    (* Two-phase locking: lock the record for reading; no read set, no
+       validation, no zombies. *)
+    th.platform.consume Costs.pessimistic_read;
+    acquire_loop tx oi 0;
+    Memory.get th.memory addr
+  end
+  else begin
+    th.platform.consume Costs.read_barrier;
+    maybe_validate tx;
+    full_read_loop tx oi addr 0
+  end
+
+let read ?(site = Site.anonymous_read) tx addr =
+  let th = tx.thread in
+  let st = th.stats in
+  st.reads <- st.reads + 1;
+  if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:false;
+  match try_elide tx addr 1 ~site ~is_write:false with
+  | Elide_static ->
+      st.reads_elided_static <- st.reads_elided_static + 1;
+      th.platform.consume Costs.direct_access;
+      Memory.get th.memory addr
+  | Elide_stack c ->
+      st.reads_elided_stack <- st.reads_elided_stack + 1;
+      th.platform.consume (c + Costs.direct_access);
+      Memory.get th.memory addr
+  | Elide_heap c ->
+      st.reads_elided_heap <- st.reads_elided_heap + 1;
+      th.platform.consume (c + Costs.direct_access);
+      Memory.get th.memory addr
+  | Elide_private c ->
+      st.reads_elided_private <- st.reads_elided_private + 1;
+      th.platform.consume (c + Costs.direct_access);
+      Memory.get th.memory addr
+  | Keep c ->
+      th.platform.consume c;
+      full_read tx addr
+
+(* ------------------------------------------------------------------ *)
+(* Write barrier                                                       *)
+
+let full_write tx addr v =
+  let th = tx.thread in
+  let oi = Orec.index_of th.orecs addr in
+  if th.owned_epoch.(oi) = th.epoch then th.platform.consume Costs.write_barrier_owned
+  else begin
+    th.platform.consume Costs.write_barrier_acquire;
+    maybe_validate tx;
+    acquire_loop tx oi 0
+  end;
+  (if th.config.Config.waw_filter then begin
+     if Waw.note tx.waw addr then begin
+       th.stats.waw_hits <- th.stats.waw_hits + 1;
+       th.platform.consume Costs.waw_hit
+     end
+     else begin
+       th.platform.consume Costs.undo_log_entry;
+       push_undo tx addr (Memory.get th.memory addr)
+     end
+   end
+   else begin
+     th.platform.consume Costs.undo_log_entry;
+     push_undo tx addr (Memory.get th.memory addr)
+   end);
+  Memory.set th.memory addr v
+
+let write ?(site = Site.anonymous_write) tx addr v =
+  let th = tx.thread in
+  let st = th.stats in
+  st.writes <- st.writes + 1;
+  if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:true;
+  match try_elide tx addr 1 ~site ~is_write:true with
+  | Elide_static ->
+      st.writes_elided_static <- st.writes_elided_static + 1;
+      th.platform.consume Costs.direct_access;
+      Memory.set th.memory addr v
+  | Elide_stack c ->
+      st.writes_elided_stack <- st.writes_elided_stack + 1;
+      th.platform.consume (c + Costs.direct_access);
+      Memory.set th.memory addr v
+  | Elide_heap c ->
+      st.writes_elided_heap <- st.writes_elided_heap + 1;
+      th.platform.consume (c + Costs.direct_access);
+      Memory.set th.memory addr v
+  | Elide_private c ->
+      st.writes_elided_private <- st.writes_elided_private + 1;
+      th.platform.consume (c + Costs.direct_access);
+      Memory.set th.memory addr v
+  | Keep c ->
+      th.platform.consume c;
+      full_write tx addr v
+
+(* ------------------------------------------------------------------ *)
+(* Transactional allocation                                            *)
+
+let log_alloc tx addr size =
+  let scope = innermost tx in
+  scope.allocs <- (addr, size) :: scope.allocs;
+  (match scope.capture_log with
+  | Some log ->
+      tx.thread.platform.consume (Alloc_log.add_cost log ~lo:addr ~hi:(addr + size));
+      Alloc_log.add log ~lo:addr ~hi:(addr + size)
+  | None -> ());
+  match scope.audit_log with
+  | Some log -> Alloc_log.add log ~lo:addr ~hi:(addr + size)
+  | None -> ()
+
+let alloc tx n =
+  let th = tx.thread in
+  th.platform.consume Costs.alloc;
+  th.stats.tx_allocs <- th.stats.tx_allocs + 1;
+  let addr = Alloc.alloc th.arena n in
+  let size = Alloc.block_size th.arena addr in
+  log_alloc tx addr size;
+  addr
+
+let unlog_alloc scope addr =
+  let rec remove acc = function
+    | [] -> None
+    | (a, sz) :: rest when a = addr ->
+        Some (sz, List.rev_append acc rest)
+    | entry :: rest -> remove (entry :: acc) rest
+  in
+  match remove [] scope.allocs with
+  | None -> None
+  | Some (sz, remaining) ->
+      scope.allocs <- remaining;
+      (match scope.capture_log with
+      | Some log -> Alloc_log.remove log ~lo:addr ~hi:(addr + sz)
+      | None -> ());
+      (match scope.audit_log with
+      | Some log -> Alloc_log.remove log ~lo:addr ~hi:(addr + sz)
+      | None -> ());
+      Some sz
+
+let free tx addr =
+  let th = tx.thread in
+  th.platform.consume Costs.free;
+  th.stats.tx_frees <- th.stats.tx_frees + 1;
+  let scope = innermost tx in
+  match unlog_alloc scope addr with
+  | Some _ ->
+      (* Allocated by this very scope: really free it now. *)
+      Alloc.free th.arena addr
+  | None ->
+      (* Not ours (or an outer scope's): the free takes effect only if the
+         whole transaction commits. *)
+      scope.deferred_frees <- addr :: scope.deferred_frees
+
+let alloca tx n =
+  let th = tx.thread in
+  th.platform.consume Costs.alloca;
+  Tstack.alloca th.stack n
+
+let stack_save tx = Tstack.save tx.thread.stack
+let stack_restore tx frame = Tstack.restore tx.thread.stack frame
+
+(* ------------------------------------------------------------------ *)
+(* Annotation API (paper, Figure 7)                                    *)
+
+let add_private_block th ~addr ~size =
+  Private_log.add_block th.private_log ~addr ~size
+
+let remove_private_block th ~addr ~size =
+  Private_log.remove_block th.private_log ~addr ~size
+
+(* ------------------------------------------------------------------ *)
+(* Begin / commit / abort                                              *)
+
+let push_scope tx ~top =
+  let th = tx.thread in
+  let cfg = th.config in
+  let capture_log =
+    if top then tx.top_capture_log
+    else
+      (* Nested scopes answer capture questions relative to themselves
+         (paper §2.2.1): fresh log. *)
+      match cfg.Config.analysis with
+      | Config.Runtime backend when cfg.Config.scope.Config.check_heap ->
+          Some
+            (Alloc_log.create ~array_capacity:cfg.Config.array_capacity
+               ~filter_buckets:cfg.Config.filter_buckets backend)
+      | Config.Runtime _ | Config.Baseline | Config.Compiler -> None
+  in
+  let audit_log =
+    if top then tx.top_audit_log
+    else if cfg.Config.audit then Some (Alloc_log.create Alloc_log.Tree)
+    else None
+  in
+  (* A nested scope must not trust the parent's write-after-write notes:
+     an address undo-logged by the outer scope still needs a fresh undo
+     entry inside the child, or partial abort cannot restore it (the
+     paper's Â§2.2.1 live-in observation, applied to the WAW filter). *)
+  if not top then Waw.clear tx.waw;
+  tx.scopes <-
+    {
+      start_sp = Tstack.save th.stack;
+      undo_mark = tx.n_undo;
+      capture_log;
+      audit_log;
+      allocs = [];
+      deferred_frees = [];
+    }
+    :: tx.scopes
+
+let begin_top tx =
+  let th = tx.thread in
+  (* Small random jitter decorrelates thread phases (memory and pipeline
+     variance on a real machine). *)
+  th.platform.consume (Costs.txn_begin + Prng.int th.prng 8);
+  th.epoch <- th.epoch + 1;
+  tx.n_reads <- 0;
+  tx.n_undo <- 0;
+  tx.n_acq <- 0;
+  tx.ops_since_validate <- 0;
+  Waw.clear tx.waw;
+  (match tx.top_capture_log with Some l -> Alloc_log.clear l | None -> ());
+  (match tx.top_audit_log with Some l -> Alloc_log.clear l | None -> ());
+  tx.scopes <- [];
+  tx.live <- true;
+  tx.attempts <- tx.attempts + 1;
+  push_scope tx ~top:true
+
+let rollback_undo tx ~down_to =
+  let th = tx.thread in
+  for k = tx.n_undo - 1 downto down_to do
+    Memory.set th.memory tx.undo_addrs.(k) tx.undo_vals.(k)
+  done;
+  th.platform.consume (Costs.abort_per_undo * (tx.n_undo - down_to));
+  tx.n_undo <- down_to
+
+let free_scope_allocs th scope =
+  (* [allocs] is newest-first, which is the right order for stack-like
+     reuse in the arena free lists. *)
+  List.iter (fun (addr, _) -> Alloc.free th.arena addr) scope.allocs;
+  scope.allocs <- []
+
+let release_all tx ~commit =
+  let th = tx.thread in
+  for k = 0 to tx.n_acq - 1 do
+    let oi = tx.acq_orecs.(k) in
+    let prev = th.owned_prev.(oi) in
+    Orec.unlock th.orecs oi (if commit then Orec.bumped prev else prev)
+  done;
+  tx.n_acq <- 0
+
+let commit_top tx =
+  let th = tx.thread in
+  th.platform.consume
+    (Costs.commit_base
+    + (Costs.commit_per_read * tx.n_reads)
+    + (Costs.commit_per_orec * tx.n_acq));
+  if not (validate tx) then raise Retry_conflict;
+  release_all tx ~commit:true;
+  let scope = innermost tx in
+  List.iter (fun addr -> Alloc.free th.arena addr) scope.deferred_frees;
+  tx.scopes <- [];
+  tx.live <- false;
+  tx.attempts <- 0;
+  th.stats.commits <- th.stats.commits + 1
+
+let abort_top tx ~user =
+  let th = tx.thread in
+  th.platform.consume Costs.abort_base;
+  rollback_undo tx ~down_to:0;
+  release_all tx ~commit:false;
+  (* Free speculative allocations scope by scope, innermost first. *)
+  List.iter (fun scope -> free_scope_allocs th scope) tx.scopes;
+  (* Restore the stack to the outermost scope's entry point. *)
+  (match List.rev tx.scopes with
+  | outermost :: _ -> Tstack.restore th.stack outermost.start_sp
+  | [] -> ());
+  tx.scopes <- [];
+  tx.live <- false;
+  if user then begin
+    th.stats.user_aborts <- th.stats.user_aborts + 1;
+    tx.attempts <- 0
+  end
+  else th.stats.aborts <- th.stats.aborts + 1
+
+(* Nested commit: fold the child scope into its parent. *)
+let commit_scope tx =
+  let th = tx.thread in
+  match tx.scopes with
+  | [] | [ _ ] -> invalid_arg "Txn.commit_scope: no nested scope"
+  | child :: (parent :: _ as rest) ->
+      List.iter
+        (fun (addr, size) ->
+          parent.allocs <- (addr, size) :: parent.allocs;
+          (match parent.capture_log with
+          | Some log -> Alloc_log.add log ~lo:addr ~hi:(addr + size)
+          | None -> ());
+          match parent.audit_log with
+          | Some log -> Alloc_log.add log ~lo:addr ~hi:(addr + size)
+          | None -> ())
+        (List.rev child.allocs);
+      parent.deferred_frees <-
+        child.deferred_frees @ parent.deferred_frees;
+      tx.scopes <- rest;
+      th.stats.nested_commits <- th.stats.nested_commits + 1
+
+(* Nested (partial) abort: roll the child scope back, keep the parent
+   running.  Acquired orecs are kept (safe, merely pessimistic); the WAW
+   filter must be reset because undo entries it vouches for are gone. *)
+let abort_scope tx =
+  let th = tx.thread in
+  match tx.scopes with
+  | [] | [ _ ] -> invalid_arg "Txn.abort_scope: no nested scope"
+  | child :: rest ->
+      th.platform.consume Costs.abort_base;
+      rollback_undo tx ~down_to:child.undo_mark;
+      free_scope_allocs th child;
+      Tstack.restore th.stack child.start_sp;
+      Waw.clear tx.waw;
+      tx.scopes <- rest;
+      th.stats.nested_aborts <- th.stats.nested_aborts + 1
+
+(* ------------------------------------------------------------------ *)
+(* The atomic runner                                                   *)
+
+let backoff th attempt =
+  let jitter = Prng.int th.prng 64 in
+  let cycles = Costs.backoff ~attempt ~jitter in
+  th.platform.consume cycles;
+  th.platform.yield ()
+
+let get_tx th =
+  match th.active with
+  | Some tx -> tx
+  | None ->
+      let tx = make_tx th in
+      th.active <- Some tx;
+      tx
+
+type 'a outcome = Committed of 'a | Conflict | Userabort | Failed of exn
+
+let atomic th f =
+  let tx = get_tx th in
+  if tx.live then begin
+    (* Nested transaction. *)
+    push_scope tx ~top:false;
+    match f tx with
+    | r ->
+        commit_scope tx;
+        r
+    | exception Retry_conflict ->
+        (* Conflicts abort the whole (flattened) transaction. *)
+        raise Retry_conflict
+    | exception User_abort ->
+        abort_scope tx;
+        raise User_abort
+    | exception e ->
+        abort_scope tx;
+        raise e
+  end
+  else begin
+    let rec attempt n =
+      begin_top tx;
+      let outcome =
+        match f tx with
+        | r -> ( try Committed (let () = commit_top tx in r) with
+                 | Retry_conflict -> Conflict)
+        | exception Retry_conflict -> Conflict
+        | exception User_abort -> Userabort
+        | exception e ->
+            (* A zombie transaction (invalid reads) can raise anything;
+               re-validate to tell a real error from conflict fallout. *)
+            if validate tx then Failed e else Conflict
+      in
+      match outcome with
+      | Committed r -> r
+      | Conflict ->
+          abort_top tx ~user:false;
+          backoff th n;
+          attempt (n + 1)
+      | Userabort ->
+          abort_top tx ~user:true;
+          raise User_abort
+      | Failed e ->
+          abort_top tx ~user:false;
+          raise e
+    in
+    attempt 1
+  end
+
+let abort _tx = raise User_abort
+let restart _tx = raise Retry_conflict
+
+let in_txn th =
+  match th.active with Some tx -> tx.live | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Non-transactional ("plain code") accesses                           *)
+
+let raw_read th addr =
+  th.platform.consume Costs.direct_access;
+  Memory.get th.memory addr
+
+let raw_write th addr v =
+  th.platform.consume Costs.direct_access;
+  Memory.set th.memory addr v
+
+let raw_alloc th n =
+  th.platform.consume Costs.alloc;
+  Alloc.alloc th.arena n
+
+let raw_free th addr =
+  th.platform.consume Costs.free;
+  Alloc.free th.arena addr
+
+let work th cycles = th.platform.consume cycles
+let yield_hint th = th.platform.yield ()
+let tx_work tx cycles = tx.thread.platform.consume cycles
+
+let thread_stats th = th.stats
+let thread_id th = th.tid
+let thread_config th = th.config
+let thread_memory th = th.memory
+let thread_arena th = th.arena
+let thread_stack th = th.stack
+let thread_prng th = th.prng

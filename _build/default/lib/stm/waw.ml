@@ -1,0 +1,40 @@
+type t = {
+  slots : int array;
+  epochs : int array;
+  shift : int;
+  mutable epoch : int;
+  mutable entries : int;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(buckets = 1024) () =
+  let b = round_pow2 (max 16 buckets) in
+  let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+  {
+    slots = Array.make b 0;
+    epochs = Array.make b 0;
+    shift = 62 - log2 b 0;
+    epoch = 1;
+    entries = 0;
+  }
+
+let slot_of t addr = ((addr * 0x2545F4914F6CDD1D) land max_int) lsr t.shift
+
+let note t addr =
+  let s = slot_of t addr in
+  if t.epochs.(s) = t.epoch && t.slots.(s) = addr then true
+  else begin
+    t.slots.(s) <- addr;
+    t.epochs.(s) <- t.epoch;
+    t.entries <- t.entries + 1;
+    false
+  end
+
+let clear t =
+  t.epoch <- t.epoch + 1;
+  t.entries <- 0
+
+let hits_possible t = t.entries > 0

@@ -1,0 +1,22 @@
+(** Write-after-write filter.
+
+    The baseline STM already performs "cheap write-after-write checks"
+    (paper, §4.2, the yada discussion): before undo-logging, the write
+    barrier probes this exact-address table; a hit means the address was
+    undo-logged earlier in the same transaction and needs no second entry.
+    The filter must never report a false hit (that would lose an undo
+    entry), so slots store exact addresses and collisions simply evict —
+    a miss only costs a redundant log entry. *)
+
+type t
+
+val create : ?buckets:int -> unit -> t
+
+(** [note t addr] records that [addr] is now undo-logged; returns [true]
+    if it already was (the caller skips logging). *)
+val note : t -> int -> bool
+
+val clear : t -> unit
+(** O(1), transaction end. *)
+
+val hits_possible : t -> bool

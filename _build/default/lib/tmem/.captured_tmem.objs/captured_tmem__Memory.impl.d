@@ -1,0 +1,1 @@
+lib/tmem/memory.ml: Array

@@ -1,0 +1,1 @@
+lib/tmem/tstack.ml: Memory

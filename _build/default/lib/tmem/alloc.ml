@@ -1,0 +1,102 @@
+(* Size classes: exact sizes 1..64, then one class per power of two up to the
+   region size.  Class index <-> smallest payload it serves. *)
+
+type t = {
+  memory : Memory.t;
+  base : Memory.addr;
+  limit : Memory.addr;
+  mutable wilderness : Memory.addr; (* next never-used word *)
+  free_lists : Memory.addr array; (* head payload address per class, 0 = empty *)
+  mutable live_blocks : int;
+  mutable live_words : int;
+}
+
+exception Out_of_memory
+
+let exact_classes = 64
+let num_classes = exact_classes + 48
+
+let class_of_size n =
+  if n <= exact_classes then n - 1
+  else
+    (* One class per power of two above 64. *)
+    let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+    let l = log2 (n - 1) 0 + 1 in
+    exact_classes + (l - 7)
+
+(* The size actually carved for a request, so that every block in a class has
+   the same capacity and can be reused for any request mapping there. *)
+let carve_size n = if n <= exact_classes then n else 1 lsl (class_of_size n - exact_classes + 7)
+
+let create memory ~base ~words =
+  if base <= 0 || words < 4 then invalid_arg "Alloc.create";
+  {
+    memory;
+    base;
+    limit = base + words;
+    wilderness = base;
+    free_lists = Array.make num_classes 0;
+    live_blocks = 0;
+    live_words = 0;
+  }
+
+let header_of t addr = Memory.get t.memory (addr - 1)
+let set_header t addr size allocated =
+  Memory.set t.memory (addr - 1) ((size lsl 1) lor (if allocated then 1 else 0))
+
+let payload_size header = header lsr 1
+let is_allocated header = header land 1 = 1
+
+let owns t addr = addr >= t.base && addr < t.limit
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Alloc.alloc: non-positive size";
+  let size = carve_size n in
+  let cls = class_of_size n in
+  let addr =
+    let head = t.free_lists.(cls) in
+    if head <> 0 then begin
+      (* Pop: first payload word links to the next free block. *)
+      t.free_lists.(cls) <- Memory.get t.memory head;
+      head
+    end
+    else begin
+      let need = size + 1 in
+      if t.wilderness + need > t.limit then raise Out_of_memory;
+      let header_addr = t.wilderness in
+      t.wilderness <- t.wilderness + need;
+      header_addr + 1
+    end
+  in
+  set_header t addr size true;
+  (* Fresh memory must read as zero, like calloc: reused blocks carry the
+     free-list link and stale data. *)
+  for i = addr to addr + size - 1 do
+    Memory.set t.memory i 0
+  done;
+  t.live_blocks <- t.live_blocks + 1;
+  t.live_words <- t.live_words + size;
+  addr
+
+(* Note: no [owns] check — a block may be freed into a different arena than
+   the one that carved it ("freeing thread keeps it", Hoard-style), which
+   lets cross-thread frees proceed without synchronisation. *)
+let check_live t addr =
+  if addr <= 1 then invalid_arg "Alloc: bad address";
+  let header = header_of t addr in
+  if not (is_allocated header) then invalid_arg "Alloc: block not allocated";
+  payload_size header
+
+let free t addr =
+  let size = check_live t addr in
+  set_header t addr size false;
+  let cls = class_of_size size in
+  Memory.set t.memory addr t.free_lists.(cls);
+  t.free_lists.(cls) <- addr;
+  t.live_blocks <- t.live_blocks - 1;
+  t.live_words <- t.live_words - size
+
+let block_size t addr = check_live t addr
+let live_blocks t = t.live_blocks
+let live_words t = t.live_words
+let mem t = t.memory

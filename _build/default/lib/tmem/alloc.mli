@@ -1,0 +1,41 @@
+(** Segregated-free-list arena allocator over a region of flat memory.
+
+    Each logical thread owns one arena (no synchronisation on the hot
+    path), mirroring McRT-Malloc's per-thread structure.  Blocks carry a
+    one-word header holding the payload size and an allocated bit, so
+    [block_size] and double-free detection work.  Transactional semantics
+    (speculative allocation, deferred free, allocation logging) live in the
+    STM layer, which calls down into this module.
+
+    No coalescing is performed; the STAMP-style workloads recycle a small
+    set of block sizes, which segregated lists serve without fragmentation
+    growth. *)
+
+type t
+
+exception Out_of_memory
+
+(** [create mem ~base ~words] makes an arena over [\[base, base+words)]. *)
+val create : Memory.t -> base:Memory.addr -> words:int -> t
+
+(** [alloc t n] returns the address of a fresh [n]-word block
+    ([n] >= 1).  Raises [Out_of_memory] when the arena is exhausted. *)
+val alloc : t -> int -> Memory.addr
+
+(** [free t addr] returns [addr]'s block to this arena's size-class list.
+    The block may have been carved by a *different* arena (cross-thread
+    free, "freeing thread keeps it"); it is recycled here.  Raises
+    [Invalid_argument] on addresses that are not live allocated blocks. *)
+val free : t -> Memory.addr -> unit
+
+(** [block_size t addr] is the payload size of the live block at
+    [addr]. *)
+val block_size : t -> Memory.addr -> int
+
+val live_blocks : t -> int
+val live_words : t -> int
+
+(** [owns t addr] — does [addr] fall inside this arena's region? *)
+val owns : t -> Memory.addr -> bool
+
+val mem : t -> Memory.t

@@ -1,0 +1,27 @@
+type addr = int
+
+type t = { cells : int array }
+
+let null = 0
+
+let create ~words =
+  if words < 2 then invalid_arg "Memory.create: too small";
+  { cells = Array.make words 0 }
+
+let size t = Array.length t.cells
+
+let get t addr =
+  if addr <= 0 then invalid_arg "Memory.get: null/negative address";
+  t.cells.(addr)
+
+let set t addr v =
+  if addr <= 0 then invalid_arg "Memory.set: null/negative address";
+  t.cells.(addr) <- v
+
+let blit_to_array t src dst dst_pos len =
+  if src <= 0 then invalid_arg "Memory.blit_to_array";
+  Array.blit t.cells src dst dst_pos len
+
+let blit_of_array t src src_pos dst len =
+  if dst <= 0 then invalid_arg "Memory.blit_of_array";
+  Array.blit src src_pos t.cells dst len

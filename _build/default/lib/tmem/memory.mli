@@ -1,0 +1,36 @@
+(** Flat word-addressed transactional memory.
+
+    One big [int array] plays the role of the process address space:
+    workload "pointers" are indices into it.  Capture analysis is about
+    address ranges, so a simulated address space exposes exactly the
+    structure the paper's runtime checks need (contiguous stacks, arbitrary
+    heap blocks) while staying observable and deterministic.
+
+    Cells are read and written with plain (non-atomic) array accesses:
+    under the OCaml memory model racy int accesses are defined (no
+    tearing), and the STM's ownership records — which are [Atomic.t] —
+    provide all required synchronisation, exactly as lock words do for a
+    C runtime. *)
+
+type t
+
+type addr = int
+(** Word address; [null] = 0 is never a valid data address. *)
+
+val null : addr
+
+(** [create ~words] allocates a memory of [words] cells, zero-filled. *)
+val create : words:int -> t
+
+val size : t -> int
+
+val get : t -> addr -> int
+(** Raises [Invalid_argument] outside [1, size). *)
+
+val set : t -> addr -> int -> unit
+
+val blit_to_array : t -> addr -> int array -> int -> int -> unit
+(** [blit_to_array t src dst dst_pos len] copies words out of memory (used
+    by workloads privatising data). *)
+
+val blit_of_array : t -> int array -> int -> addr -> int -> unit

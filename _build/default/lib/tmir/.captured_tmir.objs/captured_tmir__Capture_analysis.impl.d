@@ -1,0 +1,1 @@
+lib/tmir/capture_analysis.ml: Captured_core Format Hashtbl Ir List Map Set String

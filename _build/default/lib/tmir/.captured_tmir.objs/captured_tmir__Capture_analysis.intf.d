@@ -1,0 +1,1 @@
+lib/tmir/capture_analysis.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/tmir/interp.ml: Array Captured_core Captured_stm Captured_tmem Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/tmir/interp.mli: Captured_stm Captured_tmem Ir

@@ -1,0 +1,1 @@
+lib/tmir/ir.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/tmir/ir.mli:

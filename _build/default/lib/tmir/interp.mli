@@ -1,0 +1,28 @@
+(** IR interpreter over the STM.
+
+    Runs a program's functions against a {!Captured_stm.Txn.thread}: loads
+    and stores inside [Atomic] blocks become STM barriers (with their site
+    labels, so elision configurations apply), allocation becomes
+    transactional allocation, [Abort] is a user abort of the innermost
+    scope.  This is the executable semantics the capture analysis is
+    validated against: a site the analysis marks captured must only ever
+    touch captured memory when interpreted. *)
+
+exception Runtime_error of string
+
+type genv
+(** Program + resolved global addresses (shared across threads). *)
+
+(** [load p ~arena ~memory] allocates and initialises the program's
+    globals. *)
+val load :
+  Ir.program ->
+  arena:Captured_tmem.Alloc.t ->
+  memory:Captured_tmem.Memory.t ->
+  genv
+
+val global_addr : genv -> string -> Captured_tmem.Memory.addr
+
+(** [call genv thread fname args] executes [fname]; returns its value (0
+    if the function does not return one). *)
+val call : genv -> Captured_stm.Txn.thread -> string -> int list -> int

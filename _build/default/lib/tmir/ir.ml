@@ -1,0 +1,159 @@
+type var = string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type expr =
+  | Const of int
+  | Var of var
+  | Global of string
+  | Binop of binop * expr * expr
+  | Not of expr
+
+type stmt =
+  | Let of var * expr
+  | Load of { dst : var; addr : expr; site : string; manual : bool }
+  | Store of { addr : expr; value : expr; site : string; manual : bool }
+  | Alloca of { dst : var; words : int; label : string }
+  | Malloc of { dst : var; words : expr; label : string }
+  | Free of expr
+  | If of expr * block * block
+  | While of expr * block
+  | Call of { dst : var option; func : string; args : expr list }
+  | Atomic of block
+  | Return of expr
+  | Abort
+
+and block = stmt list
+
+type func = { name : string; params : var list; body : block }
+type global = { gname : string; gwords : int; ginit : int array option }
+type program = { globals : global list; funcs : func list }
+
+let find_func p name = List.find_opt (fun f -> f.name = name) p.funcs
+
+let rec fold_block f acc block = List.fold_left (fold_stmt f) acc block
+
+and fold_stmt f acc stmt =
+  let acc = f acc stmt in
+  match stmt with
+  | If (_, b1, b2) -> fold_block f (fold_block f acc b1) b2
+  | While (_, b) -> fold_block f acc b
+  | Atomic b -> fold_block f acc b
+  | Let _ | Load _ | Store _ | Alloca _ | Malloc _ | Free _ | Call _
+  | Return _ | Abort ->
+      acc
+
+let fold_program f acc p =
+  List.fold_left (fun acc fn -> fold_block f acc fn.body) acc p.funcs
+
+let sites p =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  let note site manual =
+    match Hashtbl.find_opt tbl site with
+    | None ->
+        Hashtbl.add tbl site manual;
+        order := (site, manual) :: !order
+    | Some m ->
+        if m <> manual then
+          invalid_arg ("Ir.sites: inconsistent manual flag for " ^ site)
+  in
+  fold_program
+    (fun () stmt ->
+      match stmt with
+      | Load { site; manual; _ } | Store { site; manual; _ } ->
+          note site manual
+      | Let _ | Alloca _ | Malloc _ | Free _ | If _ | While _ | Call _
+      | Atomic _ | Return _ | Abort ->
+          ())
+    () p;
+  List.rev !order
+
+let atomic_sites p =
+  let acc = ref [] in
+  let rec walk_block in_atomic block = List.iter (walk in_atomic) block
+  and walk in_atomic stmt =
+    match stmt with
+    | Load { site; _ } | Store { site; _ } ->
+        if in_atomic && not (List.mem site !acc) then acc := site :: !acc
+    | If (_, b1, b2) ->
+        walk_block in_atomic b1;
+        walk_block in_atomic b2
+    | While (_, b) -> walk_block in_atomic b
+    | Atomic b -> walk_block true b
+    | Let _ | Alloca _ | Malloc _ | Free _ | Call _ | Return _ | Abort -> ()
+  in
+  List.iter (fun f -> walk_block false f.body) p.funcs;
+  List.rev !acc
+
+let validate p =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check_names seen = function
+    | [] -> Ok ()
+    | f :: rest ->
+        if List.mem f.name seen then err "duplicate function %s" f.name
+        else check_names (f.name :: seen) rest
+  in
+  let rec check_globals seen = function
+    | [] -> Ok ()
+    | g :: rest ->
+        if List.mem g.gname seen then err "duplicate global %s" g.gname
+        else if g.gwords <= 0 then err "global %s has no words" g.gname
+        else check_globals (g.gname :: seen) rest
+  in
+  let rec no_mid_return = function
+    | [] | [ _ ] -> true
+    | Return _ :: _ -> false
+    | stmt :: rest ->
+        (match stmt with
+        | If (_, b1, b2) -> no_mid_return b1 && no_mid_return b2
+        | While (_, b) | Atomic b -> no_mid_return b
+        | Let _ | Load _ | Store _ | Alloca _ | Malloc _ | Free _ | Call _
+        | Return _ | Abort ->
+            true)
+        && no_mid_return rest
+  in
+  match check_names [] p.funcs with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_globals [] p.globals with
+      | Error _ as e -> e
+      | Ok () -> (
+          match sites p with
+          | (_ : (string * bool) list) ->
+              if List.for_all (fun f -> no_mid_return f.body) p.funcs then
+                Ok ()
+              else err "return not in tail position"
+          | exception Invalid_argument m -> Error m))
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( =: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( &&: ) a b = Binop (And, a, b)
+let ( ||: ) a b = Binop (Or, a, b)
+let i n = Const n
+let v name = Var name
+
+let load ?(manual = true) ~site dst addr = Load { dst; addr; site; manual }
+let store ?(manual = true) ~site addr value =
+  Store { addr; value; site; manual }

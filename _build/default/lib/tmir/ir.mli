@@ -1,0 +1,100 @@
+(** Transactional intermediate representation.
+
+    The stand-in for the C programs the Intel STM compiler instruments: a
+    small imperative language with explicit loads/stores on the flat
+    transactional memory, stack ([alloca]) and heap ([malloc]/[free])
+    allocation, and [atomic] blocks.  Every load/store carries a *site*
+    label — one emitted barrier — and a [manual] flag marking the accesses
+    STAMP's hand instrumentation would also have barriered (the paper's
+    "required" category).
+
+    Programs serve two purposes: the interpreter executes them against the
+    STM (tests, examples), and the compiler capture analysis
+    ({!Capture_analysis}) computes per-site verdicts that are transported
+    onto the natively-compiled workloads via {!Captured_core.Site}. *)
+
+type var = string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type expr =
+  | Const of int
+  | Var of var
+  | Global of string  (** address of the named global block *)
+  | Binop of binop * expr * expr
+  | Not of expr
+
+type stmt =
+  | Let of var * expr
+  | Load of { dst : var; addr : expr; site : string; manual : bool }
+  | Store of { addr : expr; value : expr; site : string; manual : bool }
+  | Alloca of { dst : var; words : int; label : string }
+  | Malloc of { dst : var; words : expr; label : string }
+  | Free of expr
+  | If of expr * block * block
+  | While of expr * block
+  | Call of { dst : var option; func : string; args : expr list }
+  | Atomic of block
+  | Return of expr
+  | Abort  (** user abort of the innermost atomic block *)
+
+and block = stmt list
+
+type func = { name : string; params : var list; body : block }
+
+type global = { gname : string; gwords : int; ginit : int array option }
+
+type program = { globals : global list; funcs : func list }
+
+val find_func : program -> string -> func option
+
+val sites : program -> (string * bool) list
+(** All (site, manual) labels, in syntactic order, duplicates removed.
+    Raises [Invalid_argument] if one site label is declared with two
+    different [manual] flags. *)
+
+val atomic_sites : program -> string list
+(** Sites syntactically inside an [Atomic] (what a naive compiler
+    instruments when ignoring calls); callee sites reached only through
+    calls are not included. *)
+
+val validate : program -> (unit, string) result
+(** Static sanity: function names unique, site labels consistent, [Return]
+    only as the last statement of a function body or branch, globals
+    unique. *)
+
+(** {2 Construction DSL} *)
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val i : int -> expr
+val v : string -> expr
+
+val load : ?manual:bool -> site:string -> string -> expr -> stmt
+(** [load ~site dst addr]. *)
+
+val store : ?manual:bool -> site:string -> expr -> expr -> stmt
+(** [store ~site addr value]. *)

@@ -1,0 +1,1 @@
+lib/tstruct/access.mli: Captured_core Captured_stm Captured_tmem

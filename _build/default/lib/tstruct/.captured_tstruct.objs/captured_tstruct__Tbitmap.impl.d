@@ -1,0 +1,1 @@
+lib/tstruct/tbitmap.ml: Access Captured_core

@@ -1,0 +1,1 @@
+lib/tstruct/tbitmap.mli: Access

@@ -1,0 +1,1 @@
+lib/tstruct/thashtable.ml: Access Captured_core Option Tlist

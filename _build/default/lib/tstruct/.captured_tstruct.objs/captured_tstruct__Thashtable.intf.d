@@ -1,0 +1,1 @@
+lib/tstruct/thashtable.mli: Access

@@ -1,0 +1,1 @@
+lib/tstruct/theap.ml: Access Captured_core

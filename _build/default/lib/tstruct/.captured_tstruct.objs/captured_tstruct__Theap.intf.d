@@ -1,0 +1,1 @@
+lib/tstruct/theap.mli: Access

@@ -1,0 +1,1 @@
+lib/tstruct/tlist.ml: Access Captured_core Option Printf

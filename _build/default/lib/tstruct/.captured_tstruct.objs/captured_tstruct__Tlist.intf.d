@@ -1,0 +1,1 @@
+lib/tstruct/tlist.mli: Access

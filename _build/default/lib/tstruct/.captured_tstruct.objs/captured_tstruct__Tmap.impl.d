@@ -1,0 +1,1 @@
+lib/tstruct/tmap.ml: Access Captured_core Option

@@ -1,0 +1,1 @@
+lib/tstruct/tmap.mli: Access

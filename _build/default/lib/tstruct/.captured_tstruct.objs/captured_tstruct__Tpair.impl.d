@@ -1,0 +1,1 @@
+lib/tstruct/tpair.ml: Access Captured_core

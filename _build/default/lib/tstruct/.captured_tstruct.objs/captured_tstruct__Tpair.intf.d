@@ -1,0 +1,1 @@
+lib/tstruct/tpair.mli: Access

@@ -1,0 +1,1 @@
+lib/tstruct/tqueue.ml: Access Captured_core

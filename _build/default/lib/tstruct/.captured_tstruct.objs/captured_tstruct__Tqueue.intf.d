@@ -1,0 +1,1 @@
+lib/tstruct/tqueue.mli: Access

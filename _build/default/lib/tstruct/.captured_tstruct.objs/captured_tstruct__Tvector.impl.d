@@ -1,0 +1,1 @@
+lib/tstruct/tvector.ml: Access Captured_core

@@ -1,0 +1,1 @@
+lib/tstruct/tvector.mli: Access

@@ -1,0 +1,17 @@
+(** Memory accessor: the data structures run either inside a transaction
+    (every access a potential barrier, with its site label) or in plain
+    init code (raw accesses), through the same functions. *)
+
+type t = {
+  read : site:Captured_core.Site.id -> int -> int;
+  write : site:Captured_core.Site.id -> int -> int -> unit;
+  alloc : int -> int;
+  free : int -> unit;
+}
+
+val of_tx : Captured_stm.Txn.tx -> t
+val raw : Captured_stm.Txn.thread -> t
+
+val of_arena : Captured_tmem.Alloc.t -> t
+(** Init-time accessor over an arena (e.g. the global arena), no thread
+    involved. *)

@@ -1,0 +1,65 @@
+module Site = Captured_core.Site
+
+type handle = int
+
+(* Layout: [0]=nbuckets, [1..nbuckets] = Tlist handles. *)
+let site_nbuckets_r = Site.declare ~write:false "hashtable.nbuckets_r"
+let site_bucket_r = Site.declare ~write:false "hashtable.bucket_r"
+let site_init_nbuckets =
+  Site.declare ~manual:false ~write:true "hashtable.init.nbuckets"
+let site_init_bucket =
+  Site.declare ~manual:false ~write:true "hashtable.init.bucket"
+
+let site_names =
+  [
+    "hashtable.nbuckets_r"; "hashtable.bucket_r"; "hashtable.init.nbuckets";
+    "hashtable.init.bucket";
+  ]
+
+let hash key nbuckets = ((key * 0x9E3779B97F4A7C1) land max_int lsr 32) mod nbuckets
+
+let create (acc : Access.t) ?(buckets = 64) () =
+  let n = max 1 buckets in
+  let h = acc.alloc (1 + n) in
+  acc.write ~site:site_init_nbuckets h n;
+  for k = 1 to n do
+    acc.write ~site:site_init_bucket (h + k) (Tlist.create acc)
+  done;
+  h
+
+let buckets (acc : Access.t) h = acc.read ~site:site_nbuckets_r h
+
+let bucket_of (acc : Access.t) h key =
+  let n = buckets acc h in
+  acc.read ~site:site_bucket_r (h + 1 + hash key n)
+
+let destroy (acc : Access.t) h =
+  let n = buckets acc h in
+  for k = 1 to n do
+    Tlist.destroy acc (acc.read ~site:site_bucket_r (h + k))
+  done;
+  acc.free h
+
+let size (acc : Access.t) h =
+  let n = buckets acc h in
+  let total = ref 0 in
+  for k = 1 to n do
+    total := !total + Tlist.size acc (acc.read ~site:site_bucket_r (h + k))
+  done;
+  !total
+
+let insert (acc : Access.t) h ~key ~value =
+  Tlist.insert acc (bucket_of acc h key) ~key ~value
+
+let find (acc : Access.t) h key = Tlist.find acc (bucket_of acc h key) key
+let contains (acc : Access.t) h key = Option.is_some (find acc h key)
+let remove (acc : Access.t) h key = Tlist.remove acc (bucket_of acc h key) key
+
+let fold (acc : Access.t) h ~init ~f =
+  let n = buckets acc h in
+  let result = ref init in
+  for k = 1 to n do
+    let lst = acc.read ~site:site_bucket_r (h + k) in
+    result := Tlist.fold acc lst ~init:!result ~f
+  done;
+  !result

@@ -1,0 +1,22 @@
+(** Chained hash table over transactional memory (STAMP [hashtable.c]).
+
+    Fixed bucket count (STAMP's resizing is disabled in its TM version
+    too); chains are {!Tlist}s keyed by the full key, so all list sites
+    apply. *)
+
+type handle = int
+
+val create : Access.t -> ?buckets:int -> unit -> handle
+val destroy : Access.t -> handle -> unit
+val size : Access.t -> handle -> int
+val buckets : Access.t -> handle -> int
+
+val insert : Access.t -> handle -> key:int -> value:int -> bool
+(** False if the key is already present. *)
+
+val find : Access.t -> handle -> int -> int option
+val contains : Access.t -> handle -> int -> bool
+val remove : Access.t -> handle -> int -> bool
+
+val fold : Access.t -> handle -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+val site_names : string list

@@ -1,0 +1,38 @@
+(** Ordered map over transactional memory.
+
+    STAMP's MAP is a red-black tree; this implementation is a *treap*
+    (BST with deterministic per-key hash priorities, giving expected
+    O(log n) paths).  The substitution keeps what the capture analysis
+    sees — traversal reads along a logarithmic path, rebalancing writes to
+    existing shared nodes, fresh-node initialisation writes — while being
+    much less error-prone in a word-addressed memory.  Documented in
+    DESIGN.md. *)
+
+type handle = int
+
+val node_words : int
+val create : Access.t -> handle
+val destroy : Access.t -> handle -> unit
+val size : Access.t -> handle -> int
+
+(** [insert acc map ~key ~value] — false (no change) if [key] present. *)
+val insert : Access.t -> handle -> key:int -> value:int -> bool
+
+(** [update acc map ~key ~value] — inserts or overwrites; true if fresh. *)
+val update : Access.t -> handle -> key:int -> value:int -> bool
+
+val find : Access.t -> handle -> int -> int option
+val contains : Access.t -> handle -> int -> bool
+
+(** [remove acc map key] — false if absent; frees the node. *)
+val remove : Access.t -> handle -> int -> bool
+
+(** [find_le acc map key] — greatest (key', value) with key' <= key. *)
+val find_le : Access.t -> handle -> int -> (int * int) option
+
+val min_binding : Access.t -> handle -> (int * int) option
+
+(** In-order fold (read-only traversal). *)
+val fold : Access.t -> handle -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+val site_names : string list

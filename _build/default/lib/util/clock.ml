@@ -1,0 +1,6 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)

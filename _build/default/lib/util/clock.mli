@@ -1,0 +1,7 @@
+(** Wall-clock timing for the native (non-simulated) experiments. *)
+
+val now : unit -> float
+(** Seconds since the epoch, microsecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)

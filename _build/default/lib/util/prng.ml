@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.mul seed 0xD1342543DE82EF95L }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias on pathological [n]. *)
+  let mask_bits = bits t in
+  if n land (n - 1) = 0 then mask_bits land (n - 1)
+  else
+    let rec draw v =
+      let r = v mod n in
+      if v - r + (n - 1) < 0 then draw (bits t) else r
+    in
+    draw mask_bits
+
+let in_range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t ~percent = int t 100 < percent
+
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+              *. 0x1.0p-53
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,43 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; mn = infinity; mx = neg_infinity }
+
+(* Welford's online algorithm. *)
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let mean t = t.mean
+let min t = t.mn
+let max t = t.mx
+
+let stddev t =
+  if t.n < 2 then 0. else Float.sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let rel_stddev_percent t =
+  if Float.abs t.mean < 1e-12 then 0. else 100. *. stddev t /. Float.abs t.mean
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      if n mod 2 = 1 then arr.(n / 2)
+      else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.

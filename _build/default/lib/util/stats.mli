@@ -1,0 +1,22 @@
+(** Running statistics over float samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    samples. *)
+
+val rel_stddev_percent : t -> float
+(** 100 * stddev / mean — the paper's Table 2 metric.  0 when the mean is
+    0. *)
+
+val of_list : float list -> t
+val median : float list -> float
+(** Median of a non-empty list. *)

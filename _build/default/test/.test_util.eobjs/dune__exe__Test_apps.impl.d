@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App Captured_apps Captured_core Captured_stm Captured_tmir Lazy List Printf Registry

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alloc_log Captured_core Captured_util Gen Hashtbl List Printf Private_log QCheck QCheck_alcotest Range_array Range_filter Range_tree Site

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Captured_apps Captured_sim Captured_stm Captured_tmem Captured_tstruct Captured_util Config Costs Engine Hashtbl List Orec Stats Txn Waw

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Captured_core Captured_stm Captured_tmem Captured_util Config Engine List Printf QCheck QCheck_alcotest Stats Txn

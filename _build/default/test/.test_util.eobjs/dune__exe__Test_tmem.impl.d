@@ -1,0 +1,1 @@
+test/test_tmem.ml: Alcotest Alloc Array Captured_tmem Captured_util Gen List Memory QCheck QCheck_alcotest Tstack

@@ -1,0 +1,1 @@
+test/test_tmir.ml: Alcotest Array Capture_analysis Captured_core Captured_stm Captured_tmem Captured_tmir Captured_util Interp Ir List Printf QCheck QCheck_alcotest

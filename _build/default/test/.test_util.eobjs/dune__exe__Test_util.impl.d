@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Captured_util Fixed Float Fun List Prng QCheck QCheck_alcotest Stats

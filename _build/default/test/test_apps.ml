@@ -1,0 +1,131 @@
+open Captured_apps
+module Config = Captured_stm.Config
+module Stats = Captured_stm.Stats
+module Engine = Captured_stm.Engine
+module Alloc_log = Captured_core.Alloc_log
+
+let check = Alcotest.(check bool)
+
+let apps () = Registry.all
+
+let configs =
+  [
+    Config.baseline;
+    Config.runtime Alloc_log.Tree;
+    Config.runtime Alloc_log.Array;
+    Config.runtime Alloc_log.Filter;
+    Config.compiler;
+    Config.audit;
+  ]
+
+(* Every app, under every configuration, at 1 and 4 simulated threads,
+   must run to completion and satisfy its own verifier. *)
+let test_app_config app cfg nthreads () =
+  match
+    App.run_checked app ~nthreads ~scale:App.Test ~mode:(`Sim 7) cfg
+  with
+  | Ok r ->
+      check "committed something" true (r.Engine.stats.Stats.commits > 0)
+  | Error m -> Alcotest.failf "verify failed: %s" m
+
+(* The compiler verdicts must never contradict the precise runtime
+   check: run each app in audit mode with its model's verdicts loaded. *)
+let test_app_compiler_sound app () =
+  Captured_core.Site.reset_verdicts ();
+  let analysis =
+    Captured_tmir.Capture_analysis.analyze (Lazy.force app.App.model)
+  in
+  Captured_tmir.Capture_analysis.apply analysis;
+  let p = app.App.prepare ~nthreads:2 ~scale:App.Test Config.audit in
+  let r = Engine.run_sim ~seed:11 p.App.world p.App.body in
+  Captured_core.Site.reset_verdicts ();
+  Alcotest.(check int)
+    "no static-capture violations" 0
+    r.Engine.stats.Stats.audit_static_violations
+
+(* Determinism: same seed, same simulated run. *)
+let test_app_deterministic app () =
+  let run () =
+    let p = app.App.prepare ~nthreads:4 ~scale:App.Test Config.baseline in
+    let r = Engine.run_sim ~seed:3 p.App.world p.App.body in
+    (r.Engine.makespan, r.Engine.stats.Stats.commits,
+     r.Engine.stats.Stats.aborts)
+  in
+  check "deterministic" true (run () = run ())
+
+(* Elision sanity per app: the runtime tree config should elide at least
+   as many barriers as the compiler config, and apps with allocation
+   inside transactions should elide a nonzero amount. *)
+let test_app_elision_profile app () =
+  let total_elided cfg =
+    Captured_core.Site.reset_verdicts ();
+    (match cfg.Config.analysis with
+    | Config.Compiler ->
+        Captured_tmir.Capture_analysis.apply
+          (Captured_tmir.Capture_analysis.analyze (Lazy.force app.App.model))
+    | _ -> ());
+    let p = app.App.prepare ~nthreads:1 ~scale:App.Test cfg in
+    let r = Engine.run_sim ~seed:5 p.App.world p.App.body in
+    Captured_core.Site.reset_verdicts ();
+    Stats.reads_elided r.Engine.stats + Stats.writes_elided r.Engine.stats
+  in
+  let tree = total_elided (Config.runtime Alloc_log.Tree) in
+  let compiler = total_elided Config.compiler in
+  check "tree >= compiler" true (tree >= compiler);
+  if
+    List.mem app.App.name
+      [
+        "vacation-high"; "vacation-low"; "genome"; "intruder"; "yada"; "bayes";
+      ]
+  then begin
+    check "allocation-heavy app elides (tree)" true (tree > 0);
+    check "allocation-heavy app elides (compiler)" true (compiler > 0)
+  end
+
+(* Bench-scale smoke: the parameters the harness really uses must verify
+   too (Test scale alone could hide size-dependent bugs). *)
+let test_app_bench_scale app () =
+  match App.run_checked app ~nthreads:4 ~scale:App.Bench ~mode:(`Sim 2)
+          Config.baseline with
+  | Ok r -> check "ran" true (r.Engine.stats.Stats.commits > 0)
+  | Error m -> Alcotest.failf "bench-scale verify failed: %s" m
+
+(* Hybrid config: verifies and still elides at least as much as nothing. *)
+let test_app_hybrid app () =
+  match
+    App.run_checked app ~nthreads:4 ~scale:App.Test ~mode:(`Sim 7)
+      (Config.runtime_hybrid Alloc_log.Tree)
+  with
+  | Ok r ->
+      check "ran" true (r.Engine.stats.Stats.commits > 0);
+      (* The hybrid must not lose captured-write elision on
+         allocation-heavy apps. *)
+      if List.mem app.App.name [ "vacation-high"; "yada"; "intruder" ] then
+        check "still elides" true (Stats.writes_elided r.Engine.stats > 0)
+  | Error m -> Alcotest.failf "hybrid verify failed: %s" m
+
+let suite_for app =
+  let cases =
+    List.concat_map
+      (fun cfg ->
+        List.map
+          (fun n ->
+            Alcotest.test_case
+              (Printf.sprintf "%s n=%d" (Config.name cfg) n)
+              `Quick
+              (test_app_config app cfg n))
+          [ 1; 4 ])
+      configs
+    @ [
+        Alcotest.test_case "compiler sound" `Quick
+          (test_app_compiler_sound app);
+        Alcotest.test_case "deterministic" `Quick (test_app_deterministic app);
+        Alcotest.test_case "elision profile" `Quick
+          (test_app_elision_profile app);
+        Alcotest.test_case "bench scale" `Quick (test_app_bench_scale app);
+        Alcotest.test_case "hybrid" `Quick (test_app_hybrid app);
+      ]
+  in
+  (app.App.name, cases)
+
+let () = Alcotest.run "apps" (List.map suite_for (apps ()))

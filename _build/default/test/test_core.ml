@@ -1,0 +1,369 @@
+open Captured_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Range_tree *)
+
+let test_tree_basic () =
+  let t = Range_tree.create () in
+  Range_tree.insert t ~lo:100 ~hi:110;
+  Range_tree.insert t ~lo:200 ~hi:220;
+  check "hit" true (Range_tree.contains t ~lo:105 ~hi:106);
+  check "whole block" true (Range_tree.contains t ~lo:100 ~hi:110);
+  check "miss below" false (Range_tree.contains t ~lo:90 ~hi:91);
+  check "miss between" false (Range_tree.contains t ~lo:150 ~hi:151);
+  check "straddle" false (Range_tree.contains t ~lo:105 ~hi:115);
+  check_int "size" 2 (Range_tree.size t)
+
+let test_tree_paper_figure5 () =
+  (* The paper's example: ranges (1000,1100), (1150,1200), (1980,2000). *)
+  let t = Range_tree.create () in
+  Range_tree.insert t ~lo:1000 ~hi:1100;
+  Range_tree.insert t ~lo:1150 ~hi:1200;
+  Range_tree.insert t ~lo:1980 ~hi:2000;
+  check "in first" true (Range_tree.contains t ~lo:1050 ~hi:1051);
+  check "in second" true (Range_tree.contains t ~lo:1150 ~hi:1200);
+  check "in third" true (Range_tree.contains t ~lo:1999 ~hi:2000);
+  check "gap" false (Range_tree.contains t ~lo:1120 ~hi:1121);
+  check "above" false (Range_tree.contains t ~lo:2500 ~hi:2501)
+
+let test_tree_remove () =
+  let t = Range_tree.create () in
+  Range_tree.insert t ~lo:10 ~hi:20;
+  Range_tree.insert t ~lo:30 ~hi:40;
+  check "removed" true (Range_tree.remove t ~lo:10);
+  check "gone" false (Range_tree.contains t ~lo:15 ~hi:16);
+  check "other kept" true (Range_tree.contains t ~lo:35 ~hi:36);
+  check "re-remove fails" false (Range_tree.remove t ~lo:10);
+  check_int "size" 1 (Range_tree.size t)
+
+let test_tree_overlap_rejected () =
+  let t = Range_tree.create () in
+  Range_tree.insert t ~lo:10 ~hi:20;
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Range_tree.insert: overlapping range") (fun () ->
+      Range_tree.insert t ~lo:15 ~hi:25);
+  Alcotest.check_raises "contained"
+    (Invalid_argument "Range_tree.insert: overlapping range") (fun () ->
+      Range_tree.insert t ~lo:5 ~hi:12)
+
+let test_tree_clear () =
+  let t = Range_tree.create () in
+  for i = 0 to 9 do
+    Range_tree.insert t ~lo:(i * 100) ~hi:((i * 100) + 10)
+  done;
+  Range_tree.clear t;
+  check_int "empty" 0 (Range_tree.size t);
+  check "no hit" false (Range_tree.contains t ~lo:0 ~hi:1)
+
+let test_tree_balanced_depth () =
+  let t = Range_tree.create () in
+  for i = 1 to 1024 do
+    Range_tree.insert t ~lo:(i * 10) ~hi:((i * 10) + 5)
+  done;
+  check "depth logarithmic" true (Range_tree.depth t <= 15)
+
+let test_tree_iter_sorted () =
+  let t = Range_tree.create () in
+  List.iter
+    (fun (lo, hi) -> Range_tree.insert t ~lo ~hi)
+    [ (50, 60); (10, 20); (30, 40) ];
+  let acc = ref [] in
+  Range_tree.iter t (fun ~lo ~hi -> acc := (lo, hi) :: !acc);
+  Alcotest.(check (list (pair int int)))
+    "sorted" [ (10, 20); (30, 40); (50, 60) ] (List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Range_array *)
+
+let test_array_basic () =
+  let a = Range_array.create () in
+  check "kept" true (Range_array.insert a ~lo:10 ~hi:20);
+  check "hit" true (Range_array.contains a ~lo:12 ~hi:13);
+  check "miss" false (Range_array.contains a ~lo:25 ~hi:26)
+
+let test_array_capacity_drop () =
+  let a = Range_array.create ~capacity:2 () in
+  check "1" true (Range_array.insert a ~lo:10 ~hi:20);
+  check "2" true (Range_array.insert a ~lo:30 ~hi:40);
+  check "3 dropped" false (Range_array.insert a ~lo:50 ~hi:60);
+  check_int "dropped count" 1 (Range_array.dropped a);
+  (* Conservative: the dropped range answers false. *)
+  check "dropped not found" false (Range_array.contains a ~lo:55 ~hi:56);
+  check "kept found" true (Range_array.contains a ~lo:30 ~hi:31)
+
+let test_array_remove_frees_slot () =
+  let a = Range_array.create ~capacity:2 () in
+  ignore (Range_array.insert a ~lo:10 ~hi:20 : bool);
+  ignore (Range_array.insert a ~lo:30 ~hi:40 : bool);
+  check "removed" true (Range_array.remove a ~lo:10);
+  check "slot reusable" true (Range_array.insert a ~lo:50 ~hi:60);
+  check "new found" true (Range_array.contains a ~lo:50 ~hi:60)
+
+let test_array_default_capacity_is_cacheline () =
+  check_int "4 ranges" 4 (Range_array.capacity (Range_array.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* Range_filter *)
+
+let test_filter_basic () =
+  let f = Range_filter.create () in
+  Range_filter.insert f ~lo:100 ~hi:120;
+  check "hit word" true (Range_filter.contains f ~lo:110 ~hi:111);
+  check "hit range" true (Range_filter.contains f ~lo:100 ~hi:120);
+  check "miss" false (Range_filter.contains f ~lo:200 ~hi:201)
+
+let test_filter_remove () =
+  let f = Range_filter.create () in
+  Range_filter.insert f ~lo:100 ~hi:120;
+  Range_filter.remove f ~lo:100 ~hi:120;
+  check "gone" false (Range_filter.contains f ~lo:110 ~hi:111)
+
+let test_filter_clear_o1 () =
+  let f = Range_filter.create () in
+  Range_filter.insert f ~lo:100 ~hi:120;
+  Range_filter.clear f;
+  check "cleared" false (Range_filter.contains f ~lo:100 ~hi:101);
+  (* Reusable after clear. *)
+  Range_filter.insert f ~lo:100 ~hi:101;
+  check "reinserted" true (Range_filter.contains f ~lo:100 ~hi:101)
+
+let test_filter_collision_conservative () =
+  (* Tiny table forces collisions; answers must stay conservative: every
+     [true] really corresponds to a live logged word. *)
+  let f = Range_filter.create ~buckets:16 () in
+  let live = Hashtbl.create 64 in
+  let g = Captured_util.Prng.create 99 in
+  for _ = 1 to 50 do
+    let lo = 1 + Captured_util.Prng.int g 1000 in
+    let hi = lo + 1 + Captured_util.Prng.int g 8 in
+    Range_filter.insert f ~lo ~hi;
+    for a = lo to hi - 1 do
+      Hashtbl.replace live a ()
+    done
+  done;
+  for addr = 1 to 1100 do
+    if Range_filter.contains f ~lo:addr ~hi:(addr + 1) then
+      check "no false positive" true (Hashtbl.mem live addr)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cross-backend property: conservative w.r.t. a reference model        *)
+
+let ops_gen =
+  (* A script of add/remove over a small universe of disjoint blocks. *)
+  QCheck.(
+    list_of_size (Gen.int_range 1 40)
+      (pair bool (int_range 0 19) (* add?, block index *)))
+
+let block_of i =
+  let lo = 1 + (i * 50) in
+  (lo, lo + 10 + (i mod 7))
+
+let prop_conservative backend =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s conservative vs reference"
+         (Alloc_log.backend_name backend))
+    ~count:300 ops_gen
+    (fun script ->
+      let log = Alloc_log.create ~array_capacity:4 ~filter_buckets:64 backend in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          if add then begin
+            if not (Hashtbl.mem model i) then begin
+              Alloc_log.add log ~lo ~hi;
+              Hashtbl.replace model i ()
+            end
+          end
+          else if Hashtbl.mem model i then begin
+            Alloc_log.remove log ~lo ~hi;
+            Hashtbl.remove model i
+          end)
+        script;
+      (* Check all probe points: claimed-captured implies model-captured. *)
+      let ok = ref true in
+      for i = 0 to 19 do
+        let lo, hi = block_of i in
+        for a = lo - 2 to hi + 1 do
+          if Alloc_log.contains log ~lo:a ~hi:(a + 1) then
+            if not (Hashtbl.mem model i && a >= lo && a < hi) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_tree_exact =
+  QCheck.Test.make ~name:"tree backend is exact" ~count:300 ops_gen
+    (fun script ->
+      let log = Alloc_log.create Alloc_log.Tree in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          if add then begin
+            if not (Hashtbl.mem model i) then begin
+              Alloc_log.add log ~lo ~hi;
+              Hashtbl.replace model i ()
+            end
+          end
+          else if Hashtbl.mem model i then begin
+            Alloc_log.remove log ~lo ~hi;
+            Hashtbl.remove model i
+          end)
+        script;
+      let ok = ref true in
+      for i = 0 to 19 do
+        let lo, hi = block_of i in
+        for a = lo - 2 to hi + 1 do
+          let claimed = Alloc_log.contains log ~lo:a ~hi:(a + 1) in
+          let truth = Hashtbl.mem model i && a >= lo && a < hi in
+          if claimed <> truth then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Alloc_log cost hooks (simulator model inputs) *)
+
+let test_alloc_log_costs () =
+  let tree = Alloc_log.create Alloc_log.Tree in
+  let c0 = Alloc_log.search_cost tree in
+  for k = 1 to 64 do
+    Alloc_log.add tree ~lo:(k * 100) ~hi:((k * 100) + 8)
+  done;
+  check "tree probe grows with depth" true (Alloc_log.search_cost tree > c0);
+  let arr = Alloc_log.create ~array_capacity:4 Alloc_log.Array in
+  let a0 = Alloc_log.search_cost arr in
+  Alloc_log.add arr ~lo:10 ~hi:20;
+  Alloc_log.add arr ~lo:30 ~hi:40;
+  check "array probe grows with occupancy" true (Alloc_log.search_cost arr > a0);
+  let filt = Alloc_log.create Alloc_log.Filter in
+  let f0 = Alloc_log.search_cost filt in
+  Alloc_log.add filt ~lo:10 ~hi:20;
+  check_int "filter probe constant" f0 (Alloc_log.search_cost filt);
+  check "filter add scales with block size" true
+    (Alloc_log.add_cost filt ~lo:0 ~hi:64 > Alloc_log.add_cost filt ~lo:0 ~hi:4)
+
+let test_alloc_log_clear_resets_size () =
+  List.iter
+    (fun backend ->
+      let log = Alloc_log.create backend in
+      Alloc_log.add log ~lo:10 ~hi:20;
+      Alloc_log.add log ~lo:30 ~hi:40;
+      check_int "size" 2 (Alloc_log.size log);
+      Alloc_log.clear log;
+      check_int "cleared" 0 (Alloc_log.size log);
+      check "no stale hit" false (Alloc_log.contains log ~lo:12 ~hi:13))
+    Alloc_log.all_backends
+
+(* ------------------------------------------------------------------ *)
+(* Private_log *)
+
+let test_private_log () =
+  let p = Private_log.create () in
+  Private_log.add_block p ~addr:100 ~size:50;
+  check "annotated" true (Private_log.contains p ~addr:120 ~size:4);
+  Private_log.remove_block p ~addr:100 ~size:50;
+  check "deannotated" false (Private_log.contains p ~addr:120 ~size:4)
+
+let test_private_log_persists () =
+  (* Unlike the allocation log, there is no per-transaction clear — just
+     check multiple adds stay. *)
+  let p = Private_log.create () in
+  Private_log.add_block p ~addr:100 ~size:10;
+  Private_log.add_block p ~addr:300 ~size:10;
+  check_int "two blocks" 2 (Private_log.size p)
+
+(* ------------------------------------------------------------------ *)
+(* Site *)
+
+let test_site_declare_meta () =
+  let s = Site.declare ~manual:false ~write:true "test.site.alpha" in
+  let m = Site.meta s in
+  check "name" true (m.Site.name = "test.site.alpha");
+  check "write" true m.Site.write;
+  check "manual" false m.Site.manual
+
+let test_site_duplicate_rejected () =
+  ignore (Site.declare ~write:false "test.site.dup");
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Site.declare: duplicate site test.site.dup") (fun () ->
+      ignore (Site.declare ~write:false "test.site.dup"))
+
+let test_site_verdicts () =
+  let s = Site.declare ~manual:false ~write:false "test.site.verdict" in
+  check "initially shared" false (Site.is_captured_static s);
+  Site.set_captured s;
+  check "captured" true (Site.is_captured_static s);
+  Site.reset_verdicts ();
+  check "reset" false (Site.is_captured_static s)
+
+let test_site_by_name () =
+  let s = Site.declare ~write:false "test.site.byname" in
+  Site.set_captured_by_name "test.site.byname";
+  check "set by name" true (Site.is_captured_static s);
+  Site.set_captured_by_name "test.site.nonexistent";
+  Site.reset_verdicts ()
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "range_tree",
+        [
+          Alcotest.test_case "basic" `Quick test_tree_basic;
+          Alcotest.test_case "paper fig5" `Quick test_tree_paper_figure5;
+          Alcotest.test_case "remove" `Quick test_tree_remove;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_tree_overlap_rejected;
+          Alcotest.test_case "clear" `Quick test_tree_clear;
+          Alcotest.test_case "balanced depth" `Quick test_tree_balanced_depth;
+          Alcotest.test_case "iter sorted" `Quick test_tree_iter_sorted;
+        ] );
+      ( "range_array",
+        [
+          Alcotest.test_case "basic" `Quick test_array_basic;
+          Alcotest.test_case "capacity drop" `Quick test_array_capacity_drop;
+          Alcotest.test_case "remove frees slot" `Quick
+            test_array_remove_frees_slot;
+          Alcotest.test_case "default capacity" `Quick
+            test_array_default_capacity_is_cacheline;
+        ] );
+      ( "range_filter",
+        [
+          Alcotest.test_case "basic" `Quick test_filter_basic;
+          Alcotest.test_case "remove" `Quick test_filter_remove;
+          Alcotest.test_case "clear O(1)" `Quick test_filter_clear_o1;
+          Alcotest.test_case "collision conservative" `Quick
+            test_filter_collision_conservative;
+        ] );
+      qsuite "alloc_log-props"
+        [
+          prop_conservative Alloc_log.Tree;
+          prop_conservative Alloc_log.Array;
+          prop_conservative Alloc_log.Filter;
+          prop_tree_exact;
+        ];
+      ( "alloc_log-costs",
+        [
+          Alcotest.test_case "cost hooks" `Quick test_alloc_log_costs;
+          Alcotest.test_case "clear" `Quick test_alloc_log_clear_resets_size;
+        ] );
+      ( "private_log",
+        [
+          Alcotest.test_case "annotate" `Quick test_private_log;
+          Alcotest.test_case "persists" `Quick test_private_log_persists;
+        ] );
+      ( "site",
+        [
+          Alcotest.test_case "declare/meta" `Quick test_site_declare_meta;
+          Alcotest.test_case "duplicate" `Quick test_site_duplicate_rejected;
+          Alcotest.test_case "verdicts" `Quick test_site_verdicts;
+          Alcotest.test_case "by name" `Quick test_site_by_name;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+open Captured_stm
+module Sched = Captured_sim.Sched
+module Memory = Captured_tmem.Memory
+module Alloc = Captured_tmem.Alloc
+module Sync = Captured_apps.Sync
+module Access = Captured_tstruct.Access
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Orec encoding *)
+
+let test_orec_encoding () =
+  check "version word unlocked" false (Orec.is_locked 42);
+  let w = Orec.locked_word ~owner:7 in
+  check "locked" true (Orec.is_locked w);
+  check_int "owner" 7 (Orec.owner_of w);
+  (* Word 42 encodes version 21; the bumped word encodes version 22. *)
+  check_int "bump" 44 (Orec.bumped 42);
+  check_int "version of bumped" 22 (Orec.version_of (Orec.bumped 42))
+
+let test_orec_lock_cycle () =
+  let t = Orec.create ~bits:6 ~line_words_log2:2 in
+  let i = Orec.index_of t 1234 in
+  let before = Orec.get t i in
+  check "initially unlocked" false (Orec.is_locked before);
+  check "cas wins" true (Orec.try_lock t i ~owner:3 ~expected:before);
+  check "now locked" true (Orec.is_locked (Orec.get t i));
+  check "second cas fails" false (Orec.try_lock t i ~owner:4 ~expected:before);
+  Orec.unlock t i (Orec.bumped before);
+  check "released with new version" true
+    ((not (Orec.is_locked (Orec.get t i)))
+    && Orec.version_of (Orec.get t i) = Orec.version_of before + 1)
+
+let test_orec_line_granularity () =
+  let t = Orec.create ~bits:10 ~line_words_log2:2 in
+  (* Addresses within one 4-word line map to the same record. *)
+  check_int "same line" (Orec.index_of t 100) (Orec.index_of t 103);
+  check "across lines usually differ" true
+    (Orec.index_of t 100 <> Orec.index_of t 104
+    || Orec.index_of t 100 <> Orec.index_of t 108)
+
+let test_orec_hash_no_power_of_two_aliasing () =
+  (* The bring-up bug: strides of 2^18 (arena spacing) must not alias. *)
+  let t = Orec.create ~bits:14 ~line_words_log2:2 in
+  let base = 8 in
+  let collisions = ref 0 in
+  for k = 1 to 16 do
+    if Orec.index_of t (base + (k * (1 lsl 18))) = Orec.index_of t base then
+      incr collisions
+  done;
+  check "no systematic aliasing at power-of-two strides" true (!collisions <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* WAW filter *)
+
+let test_waw_basic () =
+  let w = Waw.create () in
+  check "first note" false (Waw.note w 100);
+  check "second note hits" true (Waw.note w 100);
+  check "other address" false (Waw.note w 101);
+  Waw.clear w;
+  check "cleared" false (Waw.note w 100)
+
+let test_waw_no_false_hits () =
+  (* Exactness matters: a false hit would lose an undo entry. *)
+  let w = Waw.create ~buckets:16 () in
+  let noted = Hashtbl.create 64 in
+  let g = Captured_util.Prng.create 5 in
+  for _ = 1 to 500 do
+    let a = 1 + Captured_util.Prng.int g 1000 in
+    let hit = Waw.note w a in
+    if hit then check "hit only if really noted and retained" true (Hashtbl.mem noted a);
+    Hashtbl.replace noted a ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_memory_layout_disjoint () =
+  let w = Engine.create ~nthreads:4 Config.baseline in
+  (* Allocations from different arenas and stacks never overlap. *)
+  let blocks =
+    List.concat_map
+      (fun tid ->
+        let arena = Engine.arena_of w tid in
+        List.init 5 (fun k -> (Alloc.alloc arena (8 + k), 8 + k)))
+      [ 0; 1; 2; 3 ]
+  in
+  let global = Alloc.alloc (Engine.global_arena w) 32 in
+  let all = (global, 32) :: blocks in
+  let overlap (a, sa) (b, sb) = a < b + sb && b < a + sa in
+  List.iteri
+    (fun i x ->
+      List.iteri (fun j y -> if i <> j then check "disjoint" false (overlap x y)) all)
+    all
+
+let test_engine_thread_seeds_differ () =
+  let w = Engine.create ~nthreads:2 Config.baseline in
+  let draws = Array.make 2 0 in
+  let _ =
+    Engine.run_sim ~seed:5 w (fun th ->
+        draws.(Txn.thread_id th) <-
+          Captured_util.Prng.bits (Txn.thread_prng th))
+  in
+  check "per-thread streams differ" true (draws.(0) <> draws.(1))
+
+let test_engine_seed_changes_run () =
+  let run seed =
+    let w = Engine.create ~nthreads:4 Config.baseline in
+    let cell = Alloc.alloc (Engine.global_arena w) 1 in
+    let r =
+      Engine.run_sim ~seed w (fun th ->
+          for _ = 1 to 50 do
+            Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+          done)
+    in
+    r.Engine.makespan
+  in
+  check "different seeds, different schedules" true (run 1 <> run 2)
+
+let test_engine_per_thread_stats () =
+  let w = Engine.create ~nthreads:3 Config.baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let r =
+    Engine.run_sim w (fun th ->
+        for _ = 1 to 10 + (10 * Txn.thread_id th) do
+          Txn.atomic th (fun tx -> Txn.write tx cell 1)
+        done)
+  in
+  check_int "t0 commits" 10 r.Engine.per_thread.(0).Stats.commits;
+  check_int "t1 commits" 20 r.Engine.per_thread.(1).Stats.commits;
+  check_int "t2 commits" 30 r.Engine.per_thread.(2).Stats.commits;
+  check_int "merged" 60 r.Engine.stats.Stats.commits
+
+(* ------------------------------------------------------------------ *)
+(* Sync barrier *)
+
+let test_barrier_rounds () =
+  let w = Engine.create ~nthreads:4 Config.baseline in
+  let arena = Engine.global_arena w in
+  let barrier = Sync.create (Access.of_arena arena) ~nthreads:4 in
+  let log = Alloc.alloc arena 64 in
+  let mem = Engine.memory w in
+  let pos = Alloc.alloc arena 1 in
+  let _ =
+    Engine.run_sim w (fun th ->
+        for round = 1 to 4 do
+          (* Record (round) under a txn, then barrier. *)
+          Txn.atomic th (fun tx ->
+              let k = Txn.read tx pos in
+              Txn.write tx pos (k + 1);
+              Txn.write tx (log + k) round);
+          Sync.wait barrier th ()
+        done)
+  in
+  (* All entries of round r must precede all of round r+1. *)
+  let rounds = List.init 16 (fun k -> Memory.get mem (log + k)) in
+  check "rounds strictly phased" true (List.sort compare rounds = rounds)
+
+let test_barrier_serial_once_per_round () =
+  let w = Engine.create ~nthreads:8 Config.baseline in
+  let barrier = Sync.create (Access.of_arena (Engine.global_arena w)) ~nthreads:8 in
+  let serial_runs = ref 0 in
+  let _ =
+    Engine.run_sim w (fun th ->
+        for _ = 1 to 3 do
+          Sync.wait barrier th ~serial:(fun () -> incr serial_runs) ()
+        done)
+  in
+  check_int "exactly once per round" 3 !serial_runs
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_merge_and_reset () =
+  let a = Stats.create () and b = Stats.create () in
+  a.Stats.commits <- 3;
+  a.Stats.reads <- 10;
+  b.Stats.commits <- 4;
+  b.Stats.writes_elided_heap <- 2;
+  let s = Stats.sum [ a; b ] in
+  check_int "commits" 7 s.Stats.commits;
+  check_int "reads" 10 s.Stats.reads;
+  check_int "writes elided" 2 (Stats.writes_elided s);
+  Stats.reset s;
+  check_int "reset" 0 s.Stats.commits
+
+let test_abort_ratio () =
+  let s = Stats.create () in
+  s.Stats.commits <- 4;
+  s.Stats.aborts <- 2;
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.abort_ratio s);
+  let empty = Stats.create () in
+  Alcotest.(check (float 1e-9)) "no commits" 0. (Stats.abort_ratio empty)
+
+(* ------------------------------------------------------------------ *)
+(* Costs *)
+
+let test_costs_relative_magnitudes () =
+  (* The cost model must respect the paper's orderings. *)
+  check "barrier >> direct" true (Costs.read_barrier >= 10 * Costs.direct_access);
+  check "write > read" true (Costs.write_barrier_acquire > Costs.read_barrier);
+  check "stack check cheap" true (Costs.stack_check < Costs.read_barrier / 4);
+  check "owned faster than fresh" true (Costs.read_owned < Costs.read_barrier);
+  check "backoff grows" true
+    (Costs.backoff ~attempt:5 ~jitter:0 > Costs.backoff ~attempt:1 ~jitter:0);
+  check "backoff capped" true
+    (Costs.backoff ~attempt:60 ~jitter:0 = Costs.backoff ~attempt:11 ~jitter:0)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "orec",
+        [
+          Alcotest.test_case "encoding" `Quick test_orec_encoding;
+          Alcotest.test_case "lock cycle" `Quick test_orec_lock_cycle;
+          Alcotest.test_case "line granularity" `Quick
+            test_orec_line_granularity;
+          Alcotest.test_case "no pow2 aliasing" `Quick
+            test_orec_hash_no_power_of_two_aliasing;
+        ] );
+      ( "waw",
+        [
+          Alcotest.test_case "basic" `Quick test_waw_basic;
+          Alcotest.test_case "no false hits" `Quick test_waw_no_false_hits;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "disjoint layout" `Quick
+            test_engine_memory_layout_disjoint;
+          Alcotest.test_case "thread seeds" `Quick
+            test_engine_thread_seeds_differ;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_engine_seed_changes_run;
+          Alcotest.test_case "per-thread stats" `Quick
+            test_engine_per_thread_stats;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "rounds" `Quick test_barrier_rounds;
+          Alcotest.test_case "serial once" `Quick
+            test_barrier_serial_once_per_round;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "merge/reset" `Quick test_stats_merge_and_reset;
+          Alcotest.test_case "abort ratio" `Quick test_abort_ratio;
+        ] );
+      ( "costs",
+        [ Alcotest.test_case "magnitudes" `Quick test_costs_relative_magnitudes ] );
+    ]

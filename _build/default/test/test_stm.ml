@@ -1,0 +1,724 @@
+open Captured_stm
+module Memory = Captured_tmem.Memory
+module Alloc = Captured_tmem.Alloc
+module Alloc_log = Captured_core.Alloc_log
+module Site = Captured_core.Site
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_configs =
+  [
+    Config.baseline;
+    Config.runtime Alloc_log.Tree;
+    Config.runtime Alloc_log.Array;
+    Config.runtime Alloc_log.Filter;
+    Config.compiler;
+    Config.audit;
+    Config.pessimistic Config.baseline;
+    Config.pessimistic (Config.runtime Alloc_log.Tree);
+  ]
+
+let mk_world ?(nthreads = 1) config = Engine.create ~nthreads config
+
+(* ------------------------------------------------------------------ *)
+(* Single-thread basics, across every configuration                    *)
+
+let test_commit_visible cfg =
+  let w = mk_world cfg in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx -> Txn.write tx cell 7);
+  check_int (Config.name cfg) 7 (Txn.atomic th (fun tx -> Txn.read tx cell))
+
+let test_abort_rolls_back cfg =
+  let w = mk_world cfg in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 10;
+  let th = Engine.setup_thread w in
+  (try
+     Txn.atomic th (fun tx ->
+         Txn.write tx cell 99;
+         Txn.abort tx)
+   with Txn.User_abort -> ());
+  check_int (Config.name cfg) 10 (Memory.get (Engine.memory w) cell)
+
+let test_exception_rolls_back cfg =
+  let w = mk_world cfg in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 5;
+  let th = Engine.setup_thread w in
+  (try
+     Txn.atomic th (fun tx ->
+         Txn.write tx cell 50;
+         failwith "boom")
+   with Failure _ -> ());
+  check_int (Config.name cfg) 5 (Memory.get (Engine.memory w) cell)
+
+let test_alloc_commit_keeps cfg =
+  let w = mk_world cfg in
+  let th = Engine.setup_thread w in
+  let arena = Engine.arena_of w 0 in
+  let addr =
+    Txn.atomic th (fun tx ->
+        let a = Txn.alloc tx 8 in
+        Txn.write tx a 123;
+        a)
+  in
+  check_int "kept live" 1 (Alloc.live_blocks arena);
+  check_int "value" 123 (Memory.get (Engine.memory w) addr)
+
+let test_alloc_abort_frees cfg =
+  let w = mk_world cfg in
+  let th = Engine.setup_thread w in
+  let arena = Engine.arena_of w 0 in
+  (try
+     Txn.atomic th (fun tx ->
+         let a = Txn.alloc tx 8 in
+         Txn.write tx a 1;
+         Txn.abort tx)
+   with Txn.User_abort -> ());
+  check_int (Config.name cfg) 0 (Alloc.live_blocks arena)
+
+let test_free_deferred_on_abort cfg =
+  (* Freeing a pre-existing block inside an aborting transaction must not
+     actually free it. *)
+  let w = mk_world cfg in
+  let th = Engine.setup_thread w in
+  let addr = Txn.atomic th (fun tx -> Txn.alloc tx 4) in
+  (try
+     Txn.atomic th (fun tx ->
+         Txn.free tx addr;
+         Txn.abort tx)
+   with Txn.User_abort -> ());
+  (* The block survived: freeing it now must work exactly once. *)
+  Txn.atomic th (fun tx -> Txn.free tx addr);
+  check_int "back to zero" 0 (Alloc.live_blocks (Engine.arena_of w 0))
+
+let test_alloc_then_free_same_txn cfg =
+  let w = mk_world cfg in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloc tx 8 in
+      Txn.write tx a 1;
+      Txn.free tx a);
+  check_int (Config.name cfg) 0 (Alloc.live_blocks (Engine.arena_of w 0))
+
+let test_alloca_restored_on_abort cfg =
+  let w = mk_world cfg in
+  let th = Engine.setup_thread w in
+  let stack = Captured_tmem.Tstack.sp (Txn.thread_stack th) in
+  (try
+     Txn.atomic th (fun tx ->
+         let a = Txn.alloca tx 16 in
+         Txn.write tx a 5;
+         Txn.abort tx)
+   with Txn.User_abort -> ());
+  check_int "sp restored" stack (Captured_tmem.Tstack.sp (Txn.thread_stack th))
+
+let test_read_your_writes cfg =
+  let w = mk_world cfg in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  let v =
+    Txn.atomic th (fun tx ->
+        Txn.write tx cell 41;
+        Txn.read tx cell + 1)
+  in
+  check_int (Config.name cfg) 42 v
+
+let test_waw_single_undo cfg =
+  let w = mk_world cfg in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 3;
+  let th = Engine.setup_thread w in
+  (try
+     Txn.atomic th (fun tx ->
+         for i = 1 to 10 do
+           Txn.write tx cell i
+         done;
+         Txn.abort tx)
+   with Txn.User_abort -> ());
+  check_int "rolled back through waw" 3 (Memory.get (Engine.memory w) cell);
+  if cfg.Config.waw_filter && cfg.Config.analysis = Config.Baseline then
+    check "waw hits counted" true ((Txn.thread_stats th).Stats.waw_hits >= 9)
+
+(* ------------------------------------------------------------------ *)
+(* Elision counters                                                    *)
+
+let test_runtime_elides_heap () =
+  let w = mk_world (Config.runtime Alloc_log.Tree) in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloc tx 8 in
+      for i = 0 to 7 do
+        Txn.write tx (a + i) i
+      done;
+      for i = 0 to 7 do
+        ignore (Txn.read tx (a + i) : int)
+      done);
+  let st = Txn.thread_stats th in
+  check_int "writes elided" 8 st.Stats.writes_elided_heap;
+  check_int "reads elided" 8 st.Stats.reads_elided_heap
+
+let test_runtime_elides_stack () =
+  let w = mk_world (Config.runtime Alloc_log.Tree) in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloca tx 4 in
+      Txn.write tx a 1;
+      ignore (Txn.read tx a : int));
+  let st = Txn.thread_stats th in
+  check_int "write stack" 1 st.Stats.writes_elided_stack;
+  check_int "read stack" 1 st.Stats.reads_elided_stack
+
+let test_runtime_scope_write_only () =
+  let w =
+    mk_world (Config.runtime ~scope:Config.write_only_scope Alloc_log.Tree)
+  in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloc tx 4 in
+      Txn.write tx a 1;
+      ignore (Txn.read tx a : int));
+  let st = Txn.thread_stats th in
+  check_int "write elided" 1 st.Stats.writes_elided_heap;
+  check_int "read not elided" 0 (Stats.reads_elided st)
+
+let test_baseline_never_elides () =
+  let w = mk_world Config.baseline in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloc tx 4 in
+      Txn.write tx a 1;
+      ignore (Txn.read tx a : int));
+  let st = Txn.thread_stats th in
+  check_int "no elision" 0 (Stats.reads_elided st + Stats.writes_elided st)
+
+let test_shared_not_elided () =
+  let w = mk_world (Config.runtime Alloc_log.Tree) in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx -> Txn.write tx cell 1);
+  let st = Txn.thread_stats th in
+  check_int "shared write not elided" 0 (Stats.writes_elided st)
+
+let test_compiler_elides_by_site () =
+  Site.reset_verdicts ();
+  let s_cap = Site.declare ~manual:false ~write:true "stm.test.captured_write" in
+  let s_shared = Site.declare ~manual:true ~write:true "stm.test.shared_write" in
+  Site.set_captured s_cap;
+  let w = mk_world Config.compiler in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloc tx 4 in
+      Txn.write ~site:s_cap tx a 1;
+      Txn.write ~site:s_shared tx cell 2);
+  let st = Txn.thread_stats th in
+  check_int "static elided" 1 st.Stats.writes_elided_static;
+  check_int "shared kept" 1 (st.Stats.writes - Stats.writes_elided st);
+  Site.reset_verdicts ()
+
+let test_pessimistic_no_read_set () =
+  (* Read-locking means no optimistic read entries and no zombies: a read
+     immediately owns the record, so a subsequent read is an owned hit. *)
+  let w = mk_world (Config.pessimistic Config.baseline) in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 17;
+  let th = Engine.setup_thread w in
+  let v =
+    Txn.atomic th (fun tx -> Txn.read tx cell + Txn.read tx cell)
+  in
+  check_int "read twice" 34 v;
+  (* Readers exclude writers: a reader holding the lock forces a
+     concurrent writer to retry; conservation must still hold. *)
+  let w2 = mk_world ~nthreads:4 (Config.pessimistic Config.baseline) in
+  let acct = Alloc.alloc (Engine.global_arena w2) 2 in
+  Memory.set (Engine.memory w2) acct 100;
+  Memory.set (Engine.memory w2) (acct + 1) 100;
+  let _ =
+    Engine.run_sim w2 (fun th ->
+        for _ = 1 to 50 do
+          Txn.atomic th (fun tx ->
+              let a = Txn.read tx acct in
+              if a > 0 then begin
+                Txn.write tx acct (a - 1);
+                Txn.write tx (acct + 1) (Txn.read tx (acct + 1) + 1)
+              end)
+        done)
+  in
+  check_int "conserved under 2PL" 200
+    (Memory.get (Engine.memory w2) acct + Memory.get (Engine.memory w2) (acct + 1))
+
+let test_hybrid_skips_checks_on_shared_sites () =
+  Site.reset_verdicts ();
+  let s_shared =
+    Site.declare ~manual:true ~write:true "stm.test.hybrid_shared"
+  in
+  Site.set_shared s_shared;
+  let w = mk_world (Config.runtime_hybrid Alloc_log.Tree) in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      (* A captured write still elides... *)
+      let a = Txn.alloc tx 4 in
+      Txn.write tx a 1;
+      (* ...while the statically-shared site takes the full barrier
+         without even running the checks (observable as a plain write
+         that is not elided). *)
+      Txn.write ~site:s_shared tx cell 2);
+  let st = Txn.thread_stats th in
+  check_int "captured still elided" 1 st.Stats.writes_elided_heap;
+  check_int "shared site kept" 1 (st.Stats.writes - Stats.writes_elided st);
+  check_int "value committed" 2 (Memory.get (Engine.memory w) cell);
+  Site.reset_verdicts ()
+
+let test_private_annotation_elides () =
+  let w = mk_world Config.baseline in
+  let block = Alloc.alloc (Engine.global_arena w) 16 in
+  let th = Engine.setup_thread w in
+  Txn.add_private_block th ~addr:block ~size:16;
+  Txn.atomic th (fun tx ->
+      Txn.write tx block 1;
+      ignore (Txn.read tx block : int));
+  let st = Txn.thread_stats th in
+  check_int "private write" 1 st.Stats.writes_elided_private;
+  check_int "private read" 1 st.Stats.reads_elided_private;
+  Txn.remove_private_block th ~addr:block ~size:16;
+  Txn.atomic th (fun tx -> Txn.write tx block 2);
+  check_int "after removal" 1 st.Stats.writes_elided_private
+
+let test_audit_classification () =
+  Site.reset_verdicts ();
+  let s_req = Site.declare ~manual:true ~write:false "stm.test.audit_required" in
+  let s_other =
+    Site.declare ~manual:false ~write:false "stm.test.audit_other"
+  in
+  let w = mk_world Config.audit in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let h = Txn.alloc tx 4 in
+      let s = Txn.alloca tx 2 in
+      ignore (Txn.read tx h : int);
+      ignore (Txn.read tx s : int);
+      ignore (Txn.read ~site:s_req tx cell : int);
+      ignore (Txn.read ~site:s_other tx cell : int));
+  let st = Txn.thread_stats th in
+  check_int "heap" 1 st.Stats.audit_reads_heap;
+  check_int "stack" 1 st.Stats.audit_reads_stack;
+  check_int "required" 1 st.Stats.audit_reads_required;
+  check_int "other" 1 st.Stats.audit_reads_other
+
+(* ------------------------------------------------------------------ *)
+(* Nesting                                                             *)
+
+let test_nested_commit () =
+  let w = mk_world Config.baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx cell 1;
+      Txn.atomic th (fun tx' -> Txn.write tx' cell 2));
+  check_int "inner commit" 2 (Memory.get (Engine.memory w) cell)
+
+let test_nested_partial_abort () =
+  let w = mk_world Config.baseline in
+  let a = Alloc.alloc (Engine.global_arena w) 1 in
+  let b = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx a 1;
+      (try
+         Txn.atomic th (fun tx' ->
+             Txn.write tx' b 99;
+             Txn.abort tx')
+       with Txn.User_abort -> ());
+      Txn.write tx b 2);
+  let m = Engine.memory w in
+  check_int "outer survived" 1 (Memory.get m a);
+  check_int "inner rolled back, then outer wrote" 2 (Memory.get m b)
+
+let test_nested_abort_frees_child_allocs () =
+  let w = mk_world Config.baseline in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let _outer = Txn.alloc tx 4 in
+      try
+        Txn.atomic th (fun tx' ->
+            let _inner = Txn.alloc tx' 4 in
+            Txn.abort tx')
+      with Txn.User_abort -> ());
+  check_int "only outer kept" 1 (Alloc.live_blocks (Engine.arena_of w 0))
+
+let test_nested_capture_relative_to_innermost () =
+  (* Memory captured by the OUTER transaction is not captured for the
+     nested child (paper §2.2.1): the child's write must be undo-logged so
+     partial abort restores it. *)
+  let w = mk_world (Config.runtime Alloc_log.Tree) in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.alloc tx 4 in
+      Txn.write tx a 10;
+      (* elided: captured by outer *)
+      (try
+         Txn.atomic th (fun tx' ->
+             Txn.write tx' a 99;
+             (* must NOT be elided *)
+             Txn.abort tx')
+       with Txn.User_abort -> ());
+      check_int "partial abort restored outer-local value" 10
+        (Txn.read tx a));
+  let st = Txn.thread_stats th in
+  check_int "exactly one elided write (the outer one)" 1
+    st.Stats.writes_elided_heap
+
+let test_nested_child_alloc_captured_in_child () =
+  let w = mk_world (Config.runtime Alloc_log.Tree) in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      ignore tx;
+      Txn.atomic th (fun tx' ->
+          let a = Txn.alloc tx' 4 in
+          Txn.write tx' a 1));
+  let st = Txn.thread_stats th in
+  check_int "child's own alloc elided" 1 st.Stats.writes_elided_heap
+
+let test_nested_waw_partial_abort () =
+  (* Regression: the outer scope undo-logs [cell]; the WAW filter must
+     not let the nested scope skip its own undo entry, or partial abort
+     cannot restore the outer scope's value. *)
+  let w = mk_world Config.baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 5;
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx cell 10;
+      (try
+         Txn.atomic th (fun tx' ->
+             Txn.write tx' cell 99;
+             Txn.abort tx')
+       with Txn.User_abort -> ());
+      check_int "partial abort restored the outer value" 10
+        (Txn.read tx cell));
+  check_int "final" 10 (Memory.get (Engine.memory w) cell)
+
+let test_nested_commit_merges_capture () =
+  (* After the child commits, its allocations belong to the parent and are
+     captured for the parent's subsequent accesses. *)
+  let w = mk_world (Config.runtime Alloc_log.Tree) in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      let a = Txn.atomic th (fun tx' -> Txn.alloc tx' 4) in
+      Txn.write tx a 5);
+  let st = Txn.thread_stats th in
+  check_int "merged capture" 1 st.Stats.writes_elided_heap
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency (simulated)                                             *)
+
+let test_sim_counter_atomicity cfg =
+  let w = mk_world ~nthreads:8 cfg in
+  let counter = Alloc.alloc (Engine.global_arena w) 1 in
+  let incs = 50 in
+  let result =
+    Engine.run_sim w (fun th ->
+        for _ = 1 to incs do
+          Txn.atomic th (fun tx -> Txn.write tx counter (Txn.read tx counter + 1))
+        done)
+  in
+  check_int (Config.name cfg) (8 * incs) (Memory.get (Engine.memory w) counter);
+  check_int "commits" (8 * incs) result.Engine.stats.Stats.commits
+
+let test_sim_bank_conservation cfg =
+  let naccounts = 32 and nthreads = 8 and transfers = 120 in
+  let w = mk_world ~nthreads cfg in
+  let accounts = Alloc.alloc (Engine.global_arena w) naccounts in
+  let m = Engine.memory w in
+  for i = 0 to naccounts - 1 do
+    Memory.set m (accounts + i) 100
+  done;
+  let _ =
+    Engine.run_sim w (fun th ->
+        let g = Txn.thread_prng th in
+        for _ = 1 to transfers do
+          let src = Captured_util.Prng.int g naccounts in
+          let dst = Captured_util.Prng.int g naccounts in
+          Txn.atomic th (fun tx ->
+              let s = Txn.read tx (accounts + src) in
+              if s > 0 then begin
+                Txn.write tx (accounts + src) (s - 1);
+                Txn.write tx (accounts + dst) (Txn.read tx (accounts + dst) + 1)
+              end)
+        done)
+  in
+  let total = ref 0 in
+  for i = 0 to naccounts - 1 do
+    total := !total + Memory.get m (accounts + i)
+  done;
+  check_int (Config.name cfg) (100 * naccounts) !total
+
+let test_sim_deterministic () =
+  let run () =
+    let w = mk_world ~nthreads:4 Config.baseline in
+    let cell = Alloc.alloc (Engine.global_arena w) 1 in
+    let r =
+      Engine.run_sim ~seed:7 w (fun th ->
+          for _ = 1 to 100 do
+            Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+          done)
+    in
+    (r.Engine.makespan, r.Engine.stats.Stats.aborts)
+  in
+  check "bit-identical reruns" true (run () = run ())
+
+let test_sim_conflicting_allocs_capture () =
+  (* Threads allocating and initialising private nodes then publishing one
+     shared pointer: elision-heavy and conflict-light. *)
+  let w = mk_world ~nthreads:4 (Config.runtime Alloc_log.Tree) in
+  let head = Alloc.alloc (Engine.global_arena w) 1 in
+  let r =
+    Engine.run_sim w (fun th ->
+        for _ = 1 to 40 do
+          Txn.atomic th (fun tx ->
+              let node = Txn.alloc tx 2 in
+              Txn.write tx node (Txn.thread_id th);
+              Txn.write tx (node + 1) (Txn.read tx head);
+              Txn.write tx head node)
+        done)
+  in
+  (* Walk the list non-transactionally: 160 nodes. *)
+  let m = Engine.memory w in
+  let rec len p acc = if p = 0 then acc else len (Memory.get m (p + 1)) (acc + 1) in
+  check_int "list complete" 160 (len (Memory.get m head) 0);
+  (* Retried attempts also elide, so the count is at least two per
+     committed transaction. *)
+  check "two elided writes per commit" true
+    (r.Engine.stats.Stats.writes_elided_heap >= 2 * 160)
+
+let test_native_single_thread () =
+  let w = mk_world Config.baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let r =
+    Engine.run_native w (fun th ->
+        for _ = 1 to 1000 do
+          Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+        done)
+  in
+  check_int "native result" 1000 (Memory.get (Engine.memory w) cell);
+  check "wall measured" true (r.Engine.wall >= 0.)
+
+let test_native_two_domains () =
+  let w = mk_world ~nthreads:2 Config.baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let _ =
+    Engine.run_native w (fun th ->
+        for _ = 1 to 500 do
+          Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+        done)
+  in
+  check_int "domain atomicity" 1000 (Memory.get (Engine.memory w) cell)
+
+(* Property: random mixed transactional workload conserves a global
+   invariant under every config. *)
+let prop_sim_invariant cfg =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "sim invariant (%s)" (Config.name cfg))
+    ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let nthreads = 4 and cells = 8 in
+      let w = mk_world ~nthreads cfg in
+      let base = Alloc.alloc (Engine.global_arena w) cells in
+      let m = Engine.memory w in
+      for i = 0 to cells - 1 do
+        Memory.set m (base + i) 50
+      done;
+      let _ =
+        Engine.run_sim ~seed w (fun th ->
+            let g = Txn.thread_prng th in
+            for _ = 1 to 30 do
+              let i = Captured_util.Prng.int g cells in
+              let j = Captured_util.Prng.int g cells in
+              Txn.atomic th (fun tx ->
+                  (* Move a unit i->j through a captured scratch buffer. *)
+                  let scratch = Txn.alloc tx 1 in
+                  let v = Txn.read tx (base + i) in
+                  if v > 0 then begin
+                    Txn.write tx scratch 1;
+                    Txn.write tx (base + i) (v - Txn.read tx scratch);
+                    Txn.write tx (base + j)
+                      (Txn.read tx (base + j) + Txn.read tx scratch)
+                  end;
+                  Txn.free tx scratch)
+            done)
+      in
+      let total = ref 0 in
+      for i = 0 to cells - 1 do
+        total := !total + Memory.get m (base + i)
+      done;
+      !total = 50 * cells)
+
+(* Torture: random mixes of transfers, captured scratch allocations,
+   allocas, nested transactions and user aborts, at 4 simulated threads.
+   Invariants: the money supply is conserved, and no transactional
+   allocation leaks (every scratch block is freed on every control path,
+   including aborts). *)
+let prop_stm_torture cfg =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "torture (%s)" (Config.name cfg))
+    ~count:15
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let nthreads = 4 and cells = 6 in
+      let w = mk_world ~nthreads cfg in
+      let base = Alloc.alloc (Engine.global_arena w) cells in
+      let m = Engine.memory w in
+      for i = 0 to cells - 1 do
+        Memory.set m (base + i) 100
+      done;
+      let _ =
+        Engine.run_sim ~seed w (fun th ->
+            let g = Txn.thread_prng th in
+            let module P = Captured_util.Prng in
+            for _ = 1 to 25 do
+              let src = base + P.int g cells and dst = base + P.int g cells in
+              match P.int g 4 with
+              | 0 ->
+                  (* Plain transfer through a captured scratch cell. *)
+                  Txn.atomic th (fun tx ->
+                      let s = Txn.alloc tx 2 in
+                      let v = Txn.read tx src in
+                      if v > 0 then begin
+                        Txn.write tx s 1;
+                        Txn.write tx src (v - Txn.read tx s);
+                        Txn.write tx dst (Txn.read tx dst + Txn.read tx s)
+                      end;
+                      Txn.free tx s)
+              | 1 ->
+                  (* Transfer with the credit in a nested transaction that
+                     sometimes user-aborts; the debit must be undone by
+                     hand (application-level compensation). *)
+                  Txn.atomic th (fun tx ->
+                      let v = Txn.read tx src in
+                      if v > 0 then begin
+                        Txn.write tx src (v - 1);
+                        let credited =
+                          try
+                            Txn.atomic th (fun tx' ->
+                                Txn.write tx' dst (Txn.read tx' dst + 1);
+                                if P.chance g ~percent:30 then Txn.abort tx';
+                                true)
+                          with Txn.User_abort -> false
+                        in
+                        if not credited then Txn.write tx src (Txn.read tx src + 1)
+                      end)
+              | 2 ->
+                  (* Whole-transaction user abort after scratch writes:
+                     allocations and stack must roll back. *)
+                  (try
+                     Txn.atomic th (fun tx ->
+                         let a = Txn.alloca tx 3 in
+                         Txn.write tx a 7;
+                         let s = Txn.alloc tx 4 in
+                         Txn.write tx s 9;
+                         Txn.write tx src (Txn.read tx src + 1000);
+                         Txn.abort tx)
+                   with Txn.User_abort -> ())
+              | _ ->
+                  (* Stack-heavy reader. *)
+                  Txn.atomic th (fun tx ->
+                      let a = Txn.alloca tx 2 in
+                      Txn.write tx a (Txn.read tx src);
+                      Txn.write tx (a + 1) (Txn.read tx dst);
+                      ignore (Txn.read tx a + Txn.read tx (a + 1) : int))
+            done)
+      in
+      let total = ref 0 in
+      for i = 0 to cells - 1 do
+        total := !total + Memory.get m (base + i)
+      done;
+      let leaks =
+        List.init nthreads (fun tid -> Alloc.live_blocks (Engine.arena_of w tid))
+      in
+      !total = 100 * cells && List.for_all (( = ) 0) leaks)
+
+let config_cases name f =
+  List.map
+    (fun cfg ->
+      Alcotest.test_case
+        (Printf.sprintf "%s [%s]" name (Config.name cfg))
+        `Quick
+        (fun () -> f cfg))
+    all_configs
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "stm"
+    [
+      ( "basics",
+        config_cases "commit visible" test_commit_visible
+        @ config_cases "abort rolls back" test_abort_rolls_back
+        @ config_cases "exception rolls back" test_exception_rolls_back
+        @ config_cases "read your writes" test_read_your_writes
+        @ config_cases "waw single undo" test_waw_single_undo );
+      ( "allocation",
+        config_cases "alloc commit keeps" test_alloc_commit_keeps
+        @ config_cases "alloc abort frees" test_alloc_abort_frees
+        @ config_cases "free deferred on abort" test_free_deferred_on_abort
+        @ config_cases "alloc+free same txn" test_alloc_then_free_same_txn
+        @ config_cases "alloca restored" test_alloca_restored_on_abort );
+      ( "elision",
+        [
+          Alcotest.test_case "runtime elides heap" `Quick
+            test_runtime_elides_heap;
+          Alcotest.test_case "runtime elides stack" `Quick
+            test_runtime_elides_stack;
+          Alcotest.test_case "write-only scope" `Quick
+            test_runtime_scope_write_only;
+          Alcotest.test_case "baseline never elides" `Quick
+            test_baseline_never_elides;
+          Alcotest.test_case "shared not elided" `Quick test_shared_not_elided;
+          Alcotest.test_case "compiler elides by site" `Quick
+            test_compiler_elides_by_site;
+          Alcotest.test_case "pessimistic reads" `Quick
+            test_pessimistic_no_read_set;
+          Alcotest.test_case "hybrid skips checks" `Quick
+            test_hybrid_skips_checks_on_shared_sites;
+          Alcotest.test_case "private annotation" `Quick
+            test_private_annotation_elides;
+          Alcotest.test_case "audit classification" `Quick
+            test_audit_classification;
+        ] );
+      ( "nesting",
+        [
+          Alcotest.test_case "nested commit" `Quick test_nested_commit;
+          Alcotest.test_case "partial abort" `Quick test_nested_partial_abort;
+          Alcotest.test_case "child allocs freed" `Quick
+            test_nested_abort_frees_child_allocs;
+          Alcotest.test_case "capture relative to innermost" `Quick
+            test_nested_capture_relative_to_innermost;
+          Alcotest.test_case "child alloc captured in child" `Quick
+            test_nested_child_alloc_captured_in_child;
+          Alcotest.test_case "commit merges capture" `Quick
+            test_nested_commit_merges_capture;
+          Alcotest.test_case "nested WAW partial abort" `Quick
+            test_nested_waw_partial_abort;
+        ] );
+      ( "concurrency",
+        config_cases "sim counter atomicity" test_sim_counter_atomicity
+        @ config_cases "sim bank conservation" test_sim_bank_conservation
+        @ [
+            Alcotest.test_case "sim deterministic" `Quick test_sim_deterministic;
+            Alcotest.test_case "captured list build" `Quick
+              test_sim_conflicting_allocs_capture;
+            Alcotest.test_case "native single thread" `Quick
+              test_native_single_thread;
+            Alcotest.test_case "native two domains" `Quick
+              test_native_two_domains;
+          ] );
+      qsuite "invariants" (List.map prop_sim_invariant all_configs);
+      qsuite "torture" (List.map prop_stm_torture all_configs);
+    ]

@@ -1,0 +1,223 @@
+open Captured_tmem
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_get_set () =
+  let m = Memory.create ~words:128 in
+  Memory.set m 5 42;
+  check_int "get" 42 (Memory.get m 5);
+  check_int "zero init" 0 (Memory.get m 6)
+
+let test_memory_null_rejected () =
+  let m = Memory.create ~words:128 in
+  Alcotest.check_raises "get null" (Invalid_argument "Memory.get: null/negative address")
+    (fun () -> ignore (Memory.get m 0));
+  Alcotest.check_raises "set null" (Invalid_argument "Memory.set: null/negative address")
+    (fun () -> Memory.set m 0 1)
+
+let test_memory_blit () =
+  let m = Memory.create ~words:64 in
+  let src = [| 1; 2; 3; 4 |] in
+  Memory.blit_of_array m src 0 10 4;
+  let dst = Array.make 4 0 in
+  Memory.blit_to_array m 10 dst 0 4;
+  Alcotest.(check (array int)) "roundtrip" src dst
+
+(* ------------------------------------------------------------------ *)
+(* Tstack *)
+
+let test_stack_grows_down () =
+  let m = Memory.create ~words:256 in
+  let s = Tstack.create m ~base:10 ~words:100 in
+  check_int "empty sp" 110 (Tstack.sp s);
+  let a = Tstack.alloca s 4 in
+  check_int "first block" 106 a;
+  let b = Tstack.alloca s 6 in
+  check "below" true (b < a)
+
+let test_stack_save_restore () =
+  let m = Memory.create ~words:256 in
+  let s = Tstack.create m ~base:10 ~words:100 in
+  let _ = Tstack.alloca s 10 in
+  let f = Tstack.save s in
+  let _ = Tstack.alloca s 20 in
+  Tstack.restore s f;
+  check_int "restored" f (Tstack.sp s)
+
+let test_stack_overflow () =
+  let m = Memory.create ~words:256 in
+  let s = Tstack.create m ~base:10 ~words:16 in
+  Alcotest.check_raises "overflow" Tstack.Overflow (fun () ->
+      ignore (Tstack.alloca s 17))
+
+let test_stack_live_range () =
+  let m = Memory.create ~words:256 in
+  let s = Tstack.create m ~base:10 ~words:100 in
+  let _ = Tstack.alloca s 10 in
+  let mark = Tstack.save s in
+  let a = Tstack.alloca s 4 in
+  check "new block captured" true (Tstack.in_live_range s ~from_sp:mark a 4);
+  check "old frame not captured" false
+    (Tstack.in_live_range s ~from_sp:mark (mark + 2) 1);
+  check "straddling not captured" false
+    (Tstack.in_live_range s ~from_sp:mark a (mark - a + 1))
+
+let test_stack_bad_restore () =
+  let m = Memory.create ~words:256 in
+  let s = Tstack.create m ~base:10 ~words:100 in
+  let f = Tstack.save s in
+  let _ = Tstack.alloca s 4 in
+  Tstack.restore s f;
+  Alcotest.check_raises "restore below sp"
+    (Invalid_argument "Tstack.restore: bad frame") (fun () ->
+      Tstack.restore s (f - 50))
+
+(* ------------------------------------------------------------------ *)
+(* Alloc *)
+
+let mk_arena () =
+  let m = Memory.create ~words:(1 lsl 16) in
+  Alloc.create m ~base:1 ~words:((1 lsl 16) - 1)
+
+let test_alloc_basic () =
+  let a = mk_arena () in
+  let p = Alloc.alloc a 8 in
+  check_int "size" 8 (Alloc.block_size a p);
+  check_int "live" 1 (Alloc.live_blocks a);
+  Alloc.free a p;
+  check_int "after free" 0 (Alloc.live_blocks a)
+
+let test_alloc_zeroed () =
+  let a = mk_arena () in
+  let m = Alloc.mem a in
+  let p = Alloc.alloc a 4 in
+  for i = 0 to 3 do
+    Memory.set m (p + i) 99
+  done;
+  Alloc.free a p;
+  let q = Alloc.alloc a 4 in
+  check_int "reused" p q;
+  for i = 0 to 3 do
+    check_int "zeroed" 0 (Memory.get m (q + i))
+  done
+
+let test_alloc_reuse_same_class () =
+  let a = mk_arena () in
+  let p = Alloc.alloc a 16 in
+  Alloc.free a p;
+  let q = Alloc.alloc a 16 in
+  check_int "same block reused" p q
+
+let test_alloc_distinct_blocks () =
+  let a = mk_arena () in
+  let p = Alloc.alloc a 4 and q = Alloc.alloc a 4 in
+  check "disjoint" true (abs (p - q) >= 4)
+
+let test_alloc_double_free () =
+  let a = mk_arena () in
+  let p = Alloc.alloc a 4 in
+  Alloc.free a p;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Alloc: block not allocated") (fun () -> Alloc.free a p)
+
+let test_alloc_oom () =
+  let m = Memory.create ~words:64 in
+  let a = Alloc.create m ~base:1 ~words:32 in
+  Alcotest.check_raises "oom" Alloc.Out_of_memory (fun () ->
+      for _ = 1 to 100 do
+        ignore (Alloc.alloc a 8)
+      done)
+
+let test_alloc_large_class () =
+  let a = mk_arena () in
+  let p = Alloc.alloc a 100 in
+  (* Rounded to the next power of two. *)
+  check_int "carved" 128 (Alloc.block_size a p);
+  Alloc.free a p;
+  let q = Alloc.alloc a 120 in
+  check_int "reused across sizes in class" p q
+
+let test_alloc_foreign_free () =
+  (* Freeing into a different arena (Hoard-style "freeing thread keeps it")
+     must recycle the block there. *)
+  let m = Memory.create ~words:(1 lsl 16) in
+  let a = Alloc.create m ~base:1 ~words:1000 in
+  let b = Alloc.create m ~base:2000 ~words:1000 in
+  let p = Alloc.alloc a 8 in
+  Alloc.free b p;
+  let q = Alloc.alloc b 8 in
+  check_int "recycled in b" p q
+
+(* Property: allocations never overlap while live. *)
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live blocks never overlap" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 40))
+    (fun sizes ->
+      let a = mk_arena () in
+      let g = Captured_util.Prng.create 11 in
+      let live = ref [] in
+      let overlap (p1, s1) (p2, s2) = p1 < p2 + s2 && p2 < p1 + s1 in
+      List.for_all
+        (fun n ->
+          (* Randomly free one live block before allocating. *)
+          (match !live with
+          | (p, _) :: rest when Captured_util.Prng.bool g ->
+              Alloc.free a p;
+              live := rest
+          | _ -> ());
+          let p = Alloc.alloc a n in
+          let sz = Alloc.block_size a p in
+          let fresh = (p, sz) in
+          let ok = List.for_all (fun b -> not (overlap fresh b)) !live in
+          live := fresh :: !live;
+          ok)
+        sizes)
+
+let prop_free_then_alloc_live_count =
+  QCheck.Test.make ~name:"live counters track alloc/free" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 1 20))
+    (fun sizes ->
+      let a = mk_arena () in
+      let ps = List.map (Alloc.alloc a) sizes in
+      let n = List.length sizes in
+      let ok1 = Alloc.live_blocks a = n in
+      List.iter (Alloc.free a) ps;
+      ok1 && Alloc.live_blocks a = 0 && Alloc.live_words a = 0)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "tmem"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "get/set" `Quick test_memory_get_set;
+          Alcotest.test_case "null rejected" `Quick test_memory_null_rejected;
+          Alcotest.test_case "blit" `Quick test_memory_blit;
+        ] );
+      ( "tstack",
+        [
+          Alcotest.test_case "grows down" `Quick test_stack_grows_down;
+          Alcotest.test_case "save/restore" `Quick test_stack_save_restore;
+          Alcotest.test_case "overflow" `Quick test_stack_overflow;
+          Alcotest.test_case "live range" `Quick test_stack_live_range;
+          Alcotest.test_case "bad restore" `Quick test_stack_bad_restore;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick test_alloc_basic;
+          Alcotest.test_case "zeroed" `Quick test_alloc_zeroed;
+          Alcotest.test_case "reuse same class" `Quick
+            test_alloc_reuse_same_class;
+          Alcotest.test_case "distinct blocks" `Quick test_alloc_distinct_blocks;
+          Alcotest.test_case "double free" `Quick test_alloc_double_free;
+          Alcotest.test_case "oom" `Quick test_alloc_oom;
+          Alcotest.test_case "large class" `Quick test_alloc_large_class;
+          Alcotest.test_case "foreign free" `Quick test_alloc_foreign_free;
+        ] );
+      qsuite "alloc-props" [ prop_no_overlap; prop_free_then_alloc_live_count ];
+    ]

@@ -1,0 +1,548 @@
+open Captured_tstruct
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Txn = Captured_stm.Txn
+module Alloc = Captured_tmem.Alloc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_acc f =
+  let w = Engine.create ~nthreads:1 Config.baseline in
+  let th = Engine.setup_thread w in
+  f (Access.raw th) th w
+
+(* ------------------------------------------------------------------ *)
+(* Tlist *)
+
+let test_list_insert_find () =
+  with_acc (fun acc _ _ ->
+      let l = Tlist.create acc in
+      check "ins 5" true (Tlist.insert acc l ~key:5 ~value:50);
+      check "ins 3" true (Tlist.insert acc l ~key:3 ~value:30);
+      check "ins 8" true (Tlist.insert acc l ~key:8 ~value:80);
+      check "dup" false (Tlist.insert acc l ~key:5 ~value:99);
+      check_int "size" 3 (Tlist.size acc l);
+      Alcotest.(check (option int)) "find 3" (Some 30) (Tlist.find acc l 3);
+      Alcotest.(check (option int)) "find 9" None (Tlist.find acc l 9))
+
+let test_list_sorted_order () =
+  with_acc (fun acc _ _ ->
+      let l = Tlist.create acc in
+      List.iter
+        (fun k -> ignore (Tlist.insert acc l ~key:k ~value:(k * 10) : bool))
+        [ 4; 1; 3; 2; 5 ];
+      let keys = Tlist.fold acc l ~init:[] ~f:(fun a k _ -> k :: a) in
+      Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev keys))
+
+let test_list_remove () =
+  with_acc (fun acc _ w ->
+      let l = Tlist.create acc in
+      let arena = Engine.arena_of w 0 in
+      ignore (Tlist.insert acc l ~key:1 ~value:1 : bool);
+      ignore (Tlist.insert acc l ~key:2 ~value:2 : bool);
+      let live = Alloc.live_blocks arena in
+      check "remove head" true (Tlist.remove acc l 1);
+      check "gone" false (Tlist.contains acc l 1);
+      check "remove absent" false (Tlist.remove acc l 7);
+      check_int "node freed" (live - 1) (Alloc.live_blocks arena);
+      check_int "size" 1 (Tlist.size acc l))
+
+let test_list_iterator () =
+  with_acc (fun acc th _ ->
+      let l = Tlist.create acc in
+      List.iter
+        (fun k -> ignore (Tlist.insert acc l ~key:k ~value:(-k) : bool))
+        [ 2; 1; 3 ];
+      (* Figure 1(a): iterator on the (transaction) stack. *)
+      let collected =
+        Txn.atomic th (fun tx ->
+            let acc = Access.of_tx tx in
+            let it = Txn.alloca tx Tlist.iter_words in
+            Tlist.iter_reset acc ~iter:it l;
+            let rec go out =
+              if Tlist.iter_has_next acc ~iter:it then
+                let k, v = Tlist.iter_next acc ~iter:it in
+                go ((k, v) :: out)
+              else List.rev out
+            in
+            go [])
+      in
+      Alcotest.(check (list (pair int int)))
+        "in order" [ (1, -1); (2, -2); (3, -3) ] collected)
+
+let test_list_destroy_frees_all () =
+  with_acc (fun acc _ w ->
+      let arena = Engine.arena_of w 0 in
+      let before = Alloc.live_blocks arena in
+      let l = Tlist.create acc in
+      for k = 1 to 10 do
+        ignore (Tlist.insert acc l ~key:k ~value:k : bool)
+      done;
+      Tlist.destroy acc l;
+      check_int "all freed" before (Alloc.live_blocks arena))
+
+let prop_list_vs_model =
+  QCheck.Test.make ~name:"list matches reference map" ~count:200
+    QCheck.(list (pair (int_range 0 30) bool))
+    (fun script ->
+      with_acc (fun acc _ _ ->
+          let l = Tlist.create acc in
+          let model = Hashtbl.create 16 in
+          List.iter
+            (fun (k, add) ->
+              if add then begin
+                let expected = not (Hashtbl.mem model k) in
+                let got = Tlist.insert acc l ~key:k ~value:(k * 7) in
+                if got then Hashtbl.replace model k (k * 7);
+                assert (got = expected)
+              end
+              else begin
+                let expected = Hashtbl.mem model k in
+                let got = Tlist.remove acc l k in
+                Hashtbl.remove model k;
+                assert (got = expected)
+              end)
+            script;
+          Tlist.size acc l = Hashtbl.length model
+          && List.for_all
+               (fun k -> Tlist.find acc l k = Hashtbl.find_opt model k)
+               (List.init 31 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Tqueue *)
+
+let test_queue_fifo () =
+  with_acc (fun acc _ _ ->
+      let q = Tqueue.create acc ~capacity:4 () in
+      check "empty" true (Tqueue.is_empty acc q);
+      List.iter (Tqueue.push acc q) [ 1; 2; 3 ];
+      check_int "len" 3 (Tqueue.length acc q);
+      Alcotest.(check (option int)) "pop1" (Some 1) (Tqueue.pop acc q);
+      Alcotest.(check (option int)) "pop2" (Some 2) (Tqueue.pop acc q);
+      Tqueue.push acc q 4;
+      Alcotest.(check (option int)) "pop3" (Some 3) (Tqueue.pop acc q);
+      Alcotest.(check (option int)) "pop4" (Some 4) (Tqueue.pop acc q);
+      Alcotest.(check (option int)) "pop empty" None (Tqueue.pop acc q))
+
+let test_queue_grows () =
+  with_acc (fun acc _ _ ->
+      let q = Tqueue.create acc ~capacity:2 () in
+      for k = 1 to 50 do
+        Tqueue.push acc q k
+      done;
+      check_int "len" 50 (Tqueue.length acc q);
+      let rec drain k =
+        match Tqueue.pop acc q with
+        | Some v ->
+            check_int "order preserved" k v;
+            drain (k + 1)
+        | None -> k - 1
+      in
+      check_int "drained all" 50 (drain 1))
+
+let prop_queue_vs_model =
+  QCheck.Test.make ~name:"queue matches reference" ~count:200
+    QCheck.(list (option (int_range 0 100)))
+    (fun script ->
+      with_acc (fun acc _ _ ->
+          let q = Tqueue.create acc ~capacity:2 () in
+          let model = Queue.create () in
+          List.for_all
+            (fun op ->
+              match op with
+              | Some v ->
+                  Tqueue.push acc q v;
+                  Queue.push v model;
+                  true
+              | None -> (
+                  match (Tqueue.pop acc q, Queue.take_opt model) with
+                  | Some a, Some b -> a = b
+                  | None, None -> true
+                  | _ -> false))
+            script
+          && Tqueue.length acc q = Queue.length model))
+
+(* ------------------------------------------------------------------ *)
+(* Theap *)
+
+let int_cmp : Theap.cmp = fun _ a b -> compare a b
+
+let test_heap_max_order () =
+  with_acc (fun acc _ _ ->
+      let h = Theap.create acc ~capacity:2 () in
+      List.iter (Theap.insert acc int_cmp h) [ 5; 1; 9; 3; 7; 2; 8 ];
+      check_int "size" 7 (Theap.size acc h);
+      let rec drain out =
+        match Theap.pop acc int_cmp h with
+        | Some v -> drain (v :: out)
+        | None -> out
+      in
+      Alcotest.(check (list int))
+        "ascending after reverse" [ 1; 2; 3; 5; 7; 8; 9 ] (drain []))
+
+let test_heap_peek () =
+  with_acc (fun acc _ _ ->
+      let h = Theap.create acc () in
+      Alcotest.(check (option int)) "empty" None (Theap.peek acc h);
+      Theap.insert acc int_cmp h 4;
+      Theap.insert acc int_cmp h 6;
+      Alcotest.(check (option int)) "max" (Some 6) (Theap.peek acc h))
+
+let test_heap_indirect_cmp () =
+  (* yada-style: entries are addresses, ordered by a dereferenced field. *)
+  with_acc (fun acc _ _ ->
+      let mk v =
+        let p = acc.Access.alloc 1 in
+        acc.Access.write ~site:Captured_core.Site.anonymous_write p v;
+        p
+      in
+      let cmp : Theap.cmp =
+       fun acc a b ->
+        compare
+          (acc.Access.read ~site:Captured_core.Site.anonymous_read a)
+          (acc.Access.read ~site:Captured_core.Site.anonymous_read b)
+      in
+      let h = Theap.create acc () in
+      let p3 = mk 3 and p9 = mk 9 and p5 = mk 5 in
+      List.iter (Theap.insert acc cmp h) [ p3; p9; p5 ];
+      Alcotest.(check (option int)) "max by deref" (Some p9)
+        (Theap.pop acc cmp h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap sorts any input" ~count:200
+    QCheck.(list small_nat)
+    (fun xs ->
+      with_acc (fun acc _ _ ->
+          let h = Theap.create acc ~capacity:2 () in
+          List.iter (Theap.insert acc int_cmp h) xs;
+          let rec drain out =
+            match Theap.pop acc int_cmp h with
+            | Some v -> drain (v :: out)
+            | None -> out
+          in
+          drain [] = List.sort compare xs))
+
+(* ------------------------------------------------------------------ *)
+(* Tvector *)
+
+let test_vector_basic () =
+  with_acc (fun acc _ _ ->
+      let v = Tvector.create acc ~capacity:1 () in
+      for k = 0 to 20 do
+        Tvector.push_back acc v (k * k)
+      done;
+      check_int "size" 21 (Tvector.size acc v);
+      check_int "at 7" 49 (Tvector.at acc v 7);
+      Tvector.set acc v 7 0;
+      check_int "set" 0 (Tvector.at acc v 7);
+      Tvector.clear acc v;
+      check_int "cleared" 0 (Tvector.size acc v))
+
+let test_vector_bounds () =
+  with_acc (fun acc _ _ ->
+      let v = Tvector.create acc () in
+      Tvector.push_back acc v 1;
+      Alcotest.check_raises "oob" (Invalid_argument "Tvector.at") (fun () ->
+          ignore (Tvector.at acc v 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Tbitmap *)
+
+let test_bitmap_basic () =
+  with_acc (fun acc _ _ ->
+      let b = Tbitmap.create acc ~nbits:200 in
+      check "set 0" true (Tbitmap.set acc b 0);
+      check "set 150" true (Tbitmap.set acc b 150);
+      check "set again" false (Tbitmap.set acc b 150);
+      check "test" true (Tbitmap.test acc b 150);
+      check "not set" false (Tbitmap.test acc b 151);
+      check_int "count" 2 (Tbitmap.count acc b);
+      Tbitmap.clear acc b 150;
+      check "cleared" false (Tbitmap.test acc b 150);
+      Alcotest.(check (option int)) "find clear" (Some 1)
+        (Tbitmap.find_clear acc b ~start:1))
+
+let test_bitmap_word_boundaries () =
+  with_acc (fun acc _ _ ->
+      let b = Tbitmap.create acc ~nbits:130 in
+      (* Bits at 61,62,63 straddle the 62-bit word boundary. *)
+      List.iter (fun i -> ignore (Tbitmap.set acc b i : bool)) [ 61; 62; 63 ];
+      check "61" true (Tbitmap.test acc b 61);
+      check "62" true (Tbitmap.test acc b 62);
+      check "63" true (Tbitmap.test acc b 63);
+      check "60" false (Tbitmap.test acc b 60);
+      check_int "count" 3 (Tbitmap.count acc b))
+
+(* ------------------------------------------------------------------ *)
+(* Tpair *)
+
+let test_pair () =
+  with_acc (fun acc _ _ ->
+      let p = Tpair.create acc ~first:1 ~second:2 in
+      check_int "first" 1 (Tpair.first acc p);
+      check_int "second" 2 (Tpair.second acc p);
+      Tpair.set_first acc p 10;
+      check_int "set" 10 (Tpair.first acc p);
+      Tpair.destroy acc p)
+
+(* ------------------------------------------------------------------ *)
+(* Tmap *)
+
+let test_map_insert_find_remove () =
+  with_acc (fun acc _ _ ->
+      let m = Tmap.create acc in
+      check "ins" true (Tmap.insert acc m ~key:10 ~value:100);
+      check "dup" false (Tmap.insert acc m ~key:10 ~value:999);
+      Alcotest.(check (option int)) "find" (Some 100) (Tmap.find acc m 10);
+      check "remove" true (Tmap.remove acc m 10);
+      check "absent" false (Tmap.remove acc m 10);
+      Alcotest.(check (option int)) "gone" None (Tmap.find acc m 10))
+
+let test_map_update () =
+  with_acc (fun acc _ _ ->
+      let m = Tmap.create acc in
+      check "fresh" true (Tmap.update acc m ~key:1 ~value:10);
+      check "overwrite" false (Tmap.update acc m ~key:1 ~value:20);
+      Alcotest.(check (option int)) "new value" (Some 20) (Tmap.find acc m 1);
+      check_int "size stays 1" 1 (Tmap.size acc m))
+
+let test_map_inorder () =
+  with_acc (fun acc _ _ ->
+      let m = Tmap.create acc in
+      List.iter
+        (fun k -> ignore (Tmap.insert acc m ~key:k ~value:k : bool))
+        [ 5; 2; 8; 1; 9; 3 ];
+      let keys = Tmap.fold acc m ~init:[] ~f:(fun a k _ -> k :: a) in
+      Alcotest.(check (list int))
+        "sorted" [ 1; 2; 3; 5; 8; 9 ] (List.rev keys))
+
+let test_map_find_le () =
+  with_acc (fun acc _ _ ->
+      let m = Tmap.create acc in
+      List.iter
+        (fun k -> ignore (Tmap.insert acc m ~key:k ~value:(k * 2) : bool))
+        [ 10; 20; 30 ];
+      Alcotest.(check (option (pair int int))) "exact" (Some (20, 40))
+        (Tmap.find_le acc m 20);
+      Alcotest.(check (option (pair int int))) "below" (Some (20, 40))
+        (Tmap.find_le acc m 25);
+      Alcotest.(check (option (pair int int))) "under min" None
+        (Tmap.find_le acc m 5))
+
+let test_map_min_binding () =
+  with_acc (fun acc _ _ ->
+      let m = Tmap.create acc in
+      Alcotest.(check (option (pair int int))) "empty" None
+        (Tmap.min_binding acc m);
+      List.iter
+        (fun k -> ignore (Tmap.insert acc m ~key:k ~value:k : bool))
+        [ 7; 3; 9 ];
+      Alcotest.(check (option (pair int int))) "min" (Some (3, 3))
+        (Tmap.min_binding acc m))
+
+let test_map_remove_frees () =
+  with_acc (fun acc _ w ->
+      let arena = Engine.arena_of w 0 in
+      let before = Alloc.live_blocks arena in
+      let m = Tmap.create acc in
+      for k = 1 to 20 do
+        ignore (Tmap.insert acc m ~key:k ~value:k : bool)
+      done;
+      for k = 1 to 20 do
+        ignore (Tmap.remove acc m k : bool)
+      done;
+      Tmap.destroy acc m;
+      check_int "no leak" before (Alloc.live_blocks arena))
+
+let prop_map_vs_model =
+  QCheck.Test.make ~name:"treap matches reference map" ~count:300
+    QCheck.(list (pair (int_range 0 60) (int_range 0 2)))
+    (fun script ->
+      with_acc (fun acc _ _ ->
+          let m = Tmap.create acc in
+          let model = Hashtbl.create 16 in
+          List.iter
+            (fun (k, op) ->
+              match op with
+              | 0 ->
+                  let fresh = Tmap.insert acc m ~key:k ~value:k in
+                  if fresh then Hashtbl.replace model k k
+              | 1 ->
+                  ignore (Tmap.update acc m ~key:k ~value:(k + 1000) : bool);
+                  Hashtbl.replace model k (k + 1000)
+              | _ ->
+                  ignore (Tmap.remove acc m k : bool);
+                  Hashtbl.remove model k)
+            script;
+          Tmap.size acc m = Hashtbl.length model
+          && List.for_all
+               (fun k -> Tmap.find acc m k = Hashtbl.find_opt model k)
+               (List.init 61 Fun.id)))
+
+let prop_map_inorder_sorted =
+  QCheck.Test.make ~name:"treap stays ordered" ~count:200
+    QCheck.(list (int_range 0 1000))
+    (fun keys ->
+      with_acc (fun acc _ _ ->
+          let m = Tmap.create acc in
+          List.iter
+            (fun k -> ignore (Tmap.insert acc m ~key:k ~value:k : bool))
+            keys;
+          let out = List.rev (Tmap.fold acc m ~init:[] ~f:(fun a k _ -> k :: a)) in
+          out = List.sort_uniq compare keys))
+
+(* ------------------------------------------------------------------ *)
+(* Thashtable *)
+
+let test_hashtable_basic () =
+  with_acc (fun acc _ _ ->
+      let h = Thashtable.create acc ~buckets:8 () in
+      check "ins" true (Thashtable.insert acc h ~key:42 ~value:1);
+      check "dup" false (Thashtable.insert acc h ~key:42 ~value:2);
+      Alcotest.(check (option int)) "find" (Some 1) (Thashtable.find acc h 42);
+      check "remove" true (Thashtable.remove acc h 42);
+      check_int "size" 0 (Thashtable.size acc h))
+
+let prop_hashtable_vs_model =
+  QCheck.Test.make ~name:"hashtable matches reference" ~count:200
+    QCheck.(list (pair (int_range 0 200) bool))
+    (fun script ->
+      with_acc (fun acc _ _ ->
+          let h = Thashtable.create acc ~buckets:4 () in
+          let model = Hashtbl.create 16 in
+          List.iter
+            (fun (k, add) ->
+              if add then begin
+                if Thashtable.insert acc h ~key:k ~value:(k * 3) then
+                  Hashtbl.replace model k (k * 3)
+              end
+              else begin
+                ignore (Thashtable.remove acc h k : bool);
+                Hashtbl.remove model k
+              end)
+            script;
+          Thashtable.size acc h = Hashtbl.length model
+          && Hashtbl.fold
+               (fun k v ok -> ok && Thashtable.find acc h k = Some v)
+               model true))
+
+(* ------------------------------------------------------------------ *)
+(* Transactional use: data structures under concurrent transactions     *)
+
+let test_concurrent_map_inserts () =
+  let w = Engine.create ~nthreads:8 Config.baseline in
+  let setup = Access.of_arena (Engine.global_arena w) in
+  let m = Tmap.create setup in
+  let per_thread = 25 in
+  let _ =
+    Engine.run_sim w (fun th ->
+        let tid = Txn.thread_id th in
+        for k = 0 to per_thread - 1 do
+          Txn.atomic th (fun tx ->
+              let acc = Access.of_tx tx in
+              ignore
+                (Tmap.insert acc m ~key:((tid * 1000) + k) ~value:tid : bool))
+        done)
+  in
+  let reader = Engine.setup_thread w in
+  let acc = Access.raw reader in
+  check_int "all inserted" (8 * per_thread) (Tmap.size acc m);
+  let keys = Tmap.fold acc m ~init:[] ~f:(fun a k _ -> k :: a) in
+  check "sorted" true (List.rev keys = List.sort compare keys)
+
+let test_concurrent_queue () =
+  let w =
+    Engine.create ~nthreads:8
+      (Config.runtime Captured_core.Alloc_log.Tree)
+  in
+  let setup = Access.of_arena (Engine.global_arena w) in
+  let q = Tqueue.create setup ~capacity:4 () in
+  let popped = Array.make 8 0 in
+  let _ =
+    Engine.run_sim w (fun th ->
+        let tid = Txn.thread_id th in
+        if tid < 4 then
+          (* Producers. *)
+          for k = 1 to 30 do
+            Txn.atomic th (fun tx ->
+                Tqueue.push (Access.of_tx tx) q ((tid * 100) + k))
+          done
+        else
+          (* Consumers. *)
+          let got = ref 0 in
+          let spins = ref 0 in
+          while !got < 30 && !spins < 100000 do
+            incr spins;
+            match Txn.atomic th (fun tx -> Tqueue.pop (Access.of_tx tx) q) with
+            | Some _ -> incr got
+            | None -> Txn.work th 50
+          done;
+          popped.(tid) <- !got)
+  in
+  check_int "consumers drained everything" 120
+    (popped.(4) + popped.(5) + popped.(6) + popped.(7))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "tstruct"
+    [
+      ( "tlist",
+        [
+          Alcotest.test_case "insert/find" `Quick test_list_insert_find;
+          Alcotest.test_case "sorted" `Quick test_list_sorted_order;
+          Alcotest.test_case "remove" `Quick test_list_remove;
+          Alcotest.test_case "iterator" `Quick test_list_iterator;
+          Alcotest.test_case "destroy" `Quick test_list_destroy_frees_all;
+        ] );
+      ( "tqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "grows" `Quick test_queue_grows;
+        ] );
+      ( "theap",
+        [
+          Alcotest.test_case "max order" `Quick test_heap_max_order;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "indirect cmp" `Quick test_heap_indirect_cmp;
+        ] );
+      ( "tvector",
+        [
+          Alcotest.test_case "basic" `Quick test_vector_basic;
+          Alcotest.test_case "bounds" `Quick test_vector_bounds;
+        ] );
+      ( "tbitmap",
+        [
+          Alcotest.test_case "basic" `Quick test_bitmap_basic;
+          Alcotest.test_case "word boundaries" `Quick
+            test_bitmap_word_boundaries;
+        ] );
+      ("tpair", [ Alcotest.test_case "basic" `Quick test_pair ]);
+      ( "tmap",
+        [
+          Alcotest.test_case "insert/find/remove" `Quick
+            test_map_insert_find_remove;
+          Alcotest.test_case "update" `Quick test_map_update;
+          Alcotest.test_case "inorder" `Quick test_map_inorder;
+          Alcotest.test_case "find_le" `Quick test_map_find_le;
+          Alcotest.test_case "min_binding" `Quick test_map_min_binding;
+          Alcotest.test_case "remove frees" `Quick test_map_remove_frees;
+        ] );
+      ( "thashtable",
+        [ Alcotest.test_case "basic" `Quick test_hashtable_basic ] );
+      qsuite "props"
+        [
+          prop_list_vs_model;
+          prop_queue_vs_model;
+          prop_heap_sorts;
+          prop_map_vs_model;
+          prop_map_inorder_sorted;
+          prop_hashtable_vs_model;
+        ];
+      ( "concurrent",
+        [
+          Alcotest.test_case "map inserts" `Quick test_concurrent_map_inserts;
+          Alcotest.test_case "queue prod/cons" `Quick test_concurrent_queue;
+        ] );
+    ]

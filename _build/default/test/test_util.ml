@@ -1,0 +1,174 @@
+open Captured_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Prng.bits a) (Prng.bits b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.bits a = Prng.bits b then incr same
+  done;
+  check "different streams" true (!same < 5)
+
+let test_prng_int_range () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_in_range () =
+  let g = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.in_range g (-5) 5 in
+    check "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let a = Prng.split g and b = Prng.split g in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.bits a = Prng.bits b then incr same
+  done;
+  check "split streams differ" true (!same < 5)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 6 in
+  let arr = Array.init 100 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_prng_int_covers () =
+  let g = Prng.create 8 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Prng.int g 4) <- true
+  done;
+  check "covers all values" true (Array.for_all Fun.id seen)
+
+let test_prng_float_unit () =
+  let g = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    check "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fixed *)
+
+let feq msg a b = Alcotest.(check (float 1e-4)) msg a b
+
+let test_fixed_roundtrip () =
+  feq "3.25" 3.25 (Fixed.to_float (Fixed.of_float 3.25));
+  feq "-7.5" (-7.5) (Fixed.to_float (Fixed.of_float (-7.5)));
+  check_int "int roundtrip" 42 (Fixed.to_int (Fixed.of_int 42))
+
+let test_fixed_arith () =
+  let x = Fixed.of_float 2.5 and y = Fixed.of_float 1.25 in
+  feq "add" 3.75 (Fixed.to_float (Fixed.add x y));
+  feq "sub" 1.25 (Fixed.to_float (Fixed.sub x y));
+  feq "mul" 3.125 (Fixed.to_float (Fixed.mul x y));
+  feq "div" 2.0 (Fixed.to_float (Fixed.div x y))
+
+let test_fixed_mul_negative () =
+  let x = Fixed.of_float (-2.5) and y = Fixed.of_float 4.0 in
+  feq "neg mul" (-10.0) (Fixed.to_float (Fixed.mul x y))
+
+let test_fixed_sqrt () =
+  feq "sqrt 4" 2.0 (Fixed.to_float (Fixed.sqrt (Fixed.of_int 4)));
+  feq "sqrt 2" (Float.sqrt 2.) (Fixed.to_float (Fixed.sqrt (Fixed.of_int 2)));
+  check_int "sqrt 0" 0 (Fixed.sqrt 0)
+
+let test_fixed_log () =
+  feq "log e" 1.0 (Fixed.to_float (Fixed.log (Fixed.of_float (Float.exp 1.))))
+
+let prop_fixed_mul_matches_float =
+  QCheck.Test.make ~name:"fixed mul ~ float mul" ~count:500
+    QCheck.(pair (float_bound_exclusive 1000.) (float_bound_exclusive 1000.))
+    (fun (a, b) ->
+      let r = Fixed.to_float (Fixed.mul (Fixed.of_float a) (Fixed.of_float b)) in
+      Float.abs (r -. (a *. b)) < 0.01 +. (Float.abs (a *. b) *. 1e-4))
+
+let prop_fixed_sqrt_squares =
+  QCheck.Test.make ~name:"sqrt(x)^2 ~ x" ~count:500
+    QCheck.(float_bound_exclusive 10000.)
+    (fun x ->
+      let s = Fixed.sqrt (Fixed.of_float x) in
+      Float.abs (Fixed.to_float (Fixed.mul s s) -. x) < 0.05 +. (x *. 1e-3))
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let s = Stats.of_list [ 1.; 2.; 3.; 4. ] in
+  feq "mean" 2.5 (Stats.mean s);
+  check_int "count" 4 (Stats.count s);
+  feq "min" 1. (Stats.min s);
+  feq "max" 4. (Stats.max s)
+
+let test_stats_stddev () =
+  let s = Stats.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  feq "stddev" 2.13808993 (Stats.stddev s)
+
+let test_stats_rel_stddev () =
+  let s = Stats.of_list [ 10.; 10.; 10. ] in
+  feq "zero spread" 0. (Stats.rel_stddev_percent s)
+
+let test_stats_median () =
+  feq "odd" 3. (Stats.median [ 5.; 3.; 1. ]);
+  feq "even" 2.5 (Stats.median [ 1.; 2.; 3.; 4. ])
+
+let test_stats_singleton () =
+  let s = Stats.of_list [ 42. ] in
+  feq "mean" 42. (Stats.mean s);
+  feq "stddev" 0. (Stats.stddev s)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "in_range" `Quick test_prng_in_range;
+          Alcotest.test_case "split independent" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_prng_shuffle_permutation;
+          Alcotest.test_case "int covers" `Quick test_prng_int_covers;
+          Alcotest.test_case "float unit" `Quick test_prng_float_unit;
+        ] );
+      ( "fixed",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "arith" `Quick test_fixed_arith;
+          Alcotest.test_case "mul negative" `Quick test_fixed_mul_negative;
+          Alcotest.test_case "sqrt" `Quick test_fixed_sqrt;
+          Alcotest.test_case "log" `Quick test_fixed_log;
+        ] );
+      qsuite "fixed-props" [ prop_fixed_mul_matches_float; prop_fixed_sqrt_squares ];
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "rel stddev" `Quick test_stats_rel_stddev;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "singleton" `Quick test_stats_singleton;
+        ] );
+    ]
