@@ -3,8 +3,9 @@
    barrier-cost claims and an ablation section for the design choices
    DESIGN.md calls out.
 
-   Usage: main.exe [--quick] [--only fig8,table1,...]
-   Sections: fig8 fig9 table1 table2 fig10 fig11a fig11b micro ablation *)
+   Usage: main.exe [--quick] [--only fig8,table1,...] [--app NAME,...]
+   Sections: fig8 fig9 table1 table2 fig10 fig11a fig11b micro ablation
+   fastpath *)
 
 open Captured_apps
 module Config = Captured_stm.Config
@@ -20,6 +21,7 @@ module Ustats = Captured_util.Stats
 
 let quick = ref false
 let only : string list ref = ref []
+let only_apps : string list ref = ref []
 
 let () =
   let rec parse = function
@@ -30,6 +32,9 @@ let () =
     | "--only" :: spec :: rest ->
         only := String.split_on_char ',' spec;
         parse rest
+    | "--app" :: spec :: rest ->
+        only_apps := String.split_on_char ',' spec;
+        parse rest
     | arg :: rest ->
         Printf.eprintf "warning: ignoring argument %s\n%!" arg;
         parse rest
@@ -39,7 +44,20 @@ let () =
 let wants section = !only = [] || List.mem section !only
 let scale () = if !quick then App.Test else App.Bench
 let sim_threads = 16
-let apps = Registry.all
+
+let apps =
+  List.iter
+    (fun name ->
+      if not (List.exists (fun app -> app.App.name = name) Registry.all)
+      then begin
+        Printf.eprintf "error: unknown app %s (try: %s)\n%!" name
+          (String.concat " " (Registry.names ()));
+        exit 2
+      end)
+    !only_apps;
+  List.filter
+    (fun app -> !only_apps = [] || List.mem app.App.name !only_apps)
+    Registry.all
 
 let headline fmt =
   Printf.ksprintf
@@ -485,6 +503,70 @@ let ablation () =
     (("baseline", Config.baseline) :: scope_configs)
 
 (* ------------------------------------------------------------------ *)
+(* Fast path A/B: hierarchical capture-check on vs off, per backend      *)
+
+let fastpath_backends =
+  [ Alloc_log.Tree; Alloc_log.Array; Alloc_log.Filter ]
+
+let fastpath_json ~app ~backend ~fp (r : Engine.result) =
+  let s = r.Engine.stats in
+  Printf.printf
+    "{\"section\":\"fastpath\",\"app\":\"%s\",\"backend\":\"%s\",\"fastpath\":%b,\
+     \"makespan\":%d,\"capture_check_cycles\":%d,\"summary_rejects\":%d,\
+     \"mru_hits\":%d,\"backend_probes\":%d,\"promotions\":%d,\
+     \"overflows\":%d,\"commits\":%d,\"aborts\":%d,\"reads_elided_heap\":%d,\
+     \"writes_elided_heap\":%d}\n"
+    app
+    (Alloc_log.backend_name backend)
+    fp r.Engine.makespan s.Stats.capture_check_cycles
+    s.Stats.capture_summary_rejects s.Stats.capture_mru_hits
+    s.Stats.capture_backend_probes s.Stats.capture_promotions
+    s.Stats.capture_log_overflows s.Stats.commits s.Stats.aborts
+    s.Stats.reads_elided_heap s.Stats.writes_elided_heap
+
+let fastpath () =
+  headline
+    "Fast path A/B: hierarchical capture check (summary + MRU + promotion) \
+     on vs off, 1 thread, simulator (JSON lines)";
+  List.iter
+    (fun app ->
+      List.iter
+        (fun backend ->
+          let run fp =
+            let cfg =
+              Config.with_fastpath ~on:fp (Config.runtime backend)
+            in
+            run_sim app cfg ~nthreads:1 ~seed:1
+          in
+          let off = run false in
+          let on = run true in
+          (* Semantics preservation under identical seeds: the fast path
+             may change costs and elision counts, never outcomes.  (App
+             invariants were verified inside run_sim for both.) *)
+          assert (off.Engine.stats.Stats.commits = on.Engine.stats.Stats.commits);
+          assert (
+            off.Engine.stats.Stats.user_aborts
+            = on.Engine.stats.Stats.user_aborts);
+          fastpath_json ~app:app.App.name ~backend ~fp:false off;
+          fastpath_json ~app:app.App.name ~backend ~fp:true on;
+          let cc (r : Engine.result) =
+            float_of_int (max 1 r.Engine.stats.Stats.capture_check_cycles)
+          in
+          Printf.printf
+            "# %-14s %-9s capture-check cycles %9d -> %9d (%+5.1f%%)  \
+             makespan %+5.1f%%\n"
+            app.App.name
+            (Alloc_log.backend_name backend)
+            off.Engine.stats.Stats.capture_check_cycles
+            on.Engine.stats.Stats.capture_check_cycles
+            (-.improvement ~base:(cc off) (cc on))
+            (-.improvement
+                ~base:(float_of_int (max 1 off.Engine.makespan))
+                (float_of_int on.Engine.makespan)))
+        fastpath_backends)
+    apps
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -500,4 +582,5 @@ let () =
   if wants "fig11b" then fig11b ();
   if wants "micro" then micro ();
   if wants "ablation" then ablation ();
+  if wants "fastpath" then fastpath ();
   Printf.printf "\ndone.\n"

@@ -38,6 +38,34 @@ let scale_of_name = function
   | "large" -> Ok App.Large
   | other -> Error (Printf.sprintf "unknown scale %s" other)
 
+let print_json ~app ~config ~threads (r : Engine.result) ~native =
+  let s = r.Engine.stats in
+  Printf.printf
+    "{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,\"mode\":\"%s\",\
+     \"commits\":%d,\"aborts\":%d,\"user_aborts\":%d,\"reads\":%d,\
+     \"writes\":%d,\"reads_elided_stack\":%d,\"reads_elided_heap\":%d,\
+     \"reads_elided_private\":%d,\"reads_elided_static\":%d,\
+     \"writes_elided_stack\":%d,\"writes_elided_heap\":%d,\
+     \"writes_elided_private\":%d,\"writes_elided_static\":%d,\
+     \"waw_hits\":%d,\"undo_entries\":%d,\"lock_waits\":%d,\
+     \"tx_allocs\":%d,\"tx_frees\":%d,\"summary_rejects\":%d,\
+     \"mru_hits\":%d,\"backend_probes\":%d,\"promotions\":%d,\
+     \"overflows\":%d,\"capture_check_cycles\":%d,\"makespan\":%d,\
+     \"wall_ms\":%.3f}\n"
+    app config threads
+    (if native then "native" else "sim")
+    s.Stats.commits s.Stats.aborts s.Stats.user_aborts s.Stats.reads
+    s.Stats.writes s.Stats.reads_elided_stack s.Stats.reads_elided_heap
+    s.Stats.reads_elided_private s.Stats.reads_elided_static
+    s.Stats.writes_elided_stack s.Stats.writes_elided_heap
+    s.Stats.writes_elided_private s.Stats.writes_elided_static
+    s.Stats.waw_hits s.Stats.undo_entries s.Stats.lock_waits s.Stats.tx_allocs
+    s.Stats.tx_frees s.Stats.capture_summary_rejects s.Stats.capture_mru_hits
+    s.Stats.capture_backend_probes s.Stats.capture_promotions
+    s.Stats.capture_log_overflows s.Stats.capture_check_cycles
+    r.Engine.makespan
+    (1000. *. r.Engine.wall)
+
 let print_result (r : Engine.result) ~native =
   let s = r.Engine.stats in
   Printf.printf "commits:            %d\n" s.Stats.commits;
@@ -58,16 +86,24 @@ let print_result (r : Engine.result) ~native =
   Printf.printf "undo log entries:   %d\n" s.Stats.undo_entries;
   Printf.printf "lock waits:         %d\n" s.Stats.lock_waits;
   Printf.printf "tx allocs / frees:  %d / %d\n" s.Stats.tx_allocs s.Stats.tx_frees;
+  Printf.printf "capture fast path:  summary-reject %d / mru-hit %d / \
+                 backend-probe %d\n"
+    s.Stats.capture_summary_rejects s.Stats.capture_mru_hits
+    s.Stats.capture_backend_probes;
+  Printf.printf "  promotions:       %d\n" s.Stats.capture_promotions;
+  Printf.printf "  array overflows:  %d\n" s.Stats.capture_log_overflows;
+  Printf.printf "  check cycles:     %d\n" s.Stats.capture_check_cycles;
   if native then Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall)
   else Printf.printf "virtual makespan:   %d cycles\n" r.Engine.makespan
 
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic =
+    pessimistic fastpath json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
     let* config = config_of_name ~scope config_name in
     let config = if pessimistic then Config.pessimistic config else config in
+    let config = if fastpath then Config.with_fastpath config else config in
     let* scale = scale_of_name scale_name in
     match Registry.find app_name with
     | None ->
@@ -75,15 +111,21 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
           (Printf.sprintf "unknown app %s (try: %s)" app_name
              (String.concat " " (Registry.names ())))
     | Some app ->
-        Printf.printf "%s [%s, %d threads, %s, %s]\n\n" app.App.name
-          (Config.name config) threads scale_name
-          (if native then "native domains" else "simulator");
+        if not json then
+          Printf.printf "%s [%s, %d threads, %s, %s]\n\n" app.App.name
+            (Config.name config) threads scale_name
+            (if native then "native domains" else "simulator");
         let mode = if native then `Native else `Sim seed in
         let* result =
           App.run_checked app ~nthreads:threads ~scale ~mode config
         in
-        print_result result ~native;
-        Printf.printf "\nverification: OK\n";
+        if json then
+          print_json ~app:app.App.name ~config:(Config.name config) ~threads
+            result ~native
+        else begin
+          print_result result ~native;
+          Printf.printf "\nverification: OK\n"
+        end;
         Ok ()
   in
   match outcome with
@@ -138,9 +180,20 @@ let pessimistic_arg =
   Arg.(value & flag
        & info [ "pessimistic" ] ~doc:"Lock records for reads (2PL).")
 
+let fastpath_arg =
+  Arg.(value & flag
+       & info [ "fastpath" ]
+           ~doc:"Hierarchical capture-check fast path (bounds summary, MRU \
+                 block cache, adaptive array-to-tree promotion).")
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit one JSON object instead of the text report.")
+
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
-             $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg))
+             $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
+             $ fastpath_arg $ json_arg))
 
 let cmds =
   [

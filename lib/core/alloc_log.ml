@@ -12,39 +12,130 @@ type repr =
   | Rarray of Range_array.t
   | Rfilter of Range_filter.t
 
-type t = { repr : repr; mutable blocks : int }
+type t = {
+  declared : backend;
+  array_capacity : int option;
+  mutable repr : repr; (* mutated only by Array -> Tree promotion *)
+  mutable blocks : int;
+  cache : Capture_cache.t option;
+  promote : bool;
+  mutable promotions : int;
+}
 
-let create ?array_capacity ?filter_buckets backend =
+let create ?array_capacity ?filter_buckets ?(fastpath = false) backend =
   let repr =
     match backend with
     | Tree -> Rtree (Range_tree.create ())
     | Array -> Rarray (Range_array.create ?capacity:array_capacity ())
     | Filter -> Rfilter (Range_filter.create ?buckets:filter_buckets ())
   in
-  { repr; blocks = 0 }
+  {
+    declared = backend;
+    array_capacity;
+    repr;
+    blocks = 0;
+    cache = (if fastpath then Some (Capture_cache.create ()) else None);
+    promote = fastpath;
+    promotions = 0;
+  }
 
-let backend t =
-  match t.repr with Rtree _ -> Tree | Rarray _ -> Array | Rfilter _ -> Filter
+let backend t = t.declared
+let fastpath t = Option.is_some t.cache
+let promotions t = t.promotions
+let promoted t = t.promotions > 0
+
+type added = Kept | Promoted | Dropped
 
 let add t ~lo ~hi =
-  (match t.repr with
-  | Rtree r -> Range_tree.insert r ~lo ~hi
-  | Rarray r -> ignore (Range_array.insert r ~lo ~hi : bool)
-  | Rfilter r -> Range_filter.insert r ~lo ~hi);
-  t.blocks <- t.blocks + 1
+  let status =
+    match t.repr with
+    | Rtree r ->
+        Range_tree.insert r ~lo ~hi;
+        Kept
+    | Rarray r ->
+        if Range_array.insert r ~lo ~hi then Kept
+        else if not t.promote then Dropped
+        else begin
+          (* Saturated: promote in place to the precise tree instead of
+             silently going conservative, carrying every tracked range
+             over (the failed insert bumped [dropped]; harmless, the
+             array is discarded). *)
+          let tree = Range_tree.create () in
+          Range_array.iter r (fun ~lo ~hi -> Range_tree.insert tree ~lo ~hi);
+          Range_tree.insert tree ~lo ~hi;
+          t.repr <- Rtree tree;
+          t.promotions <- t.promotions + 1;
+          Promoted
+        end
+    | Rfilter r ->
+        Range_filter.insert r ~lo ~hi;
+        Kept
+  in
+  (match status with
+  | Kept | Promoted ->
+      t.blocks <- t.blocks + 1;
+      (match t.cache with
+      | Some c -> Capture_cache.note_add c ~lo ~hi
+      | None -> ())
+  | Dropped -> ());
+  status
 
 let remove t ~lo ~hi =
-  (match t.repr with
-  | Rtree r -> ignore (Range_tree.remove r ~lo : bool)
-  | Rarray r -> ignore (Range_array.remove r ~lo : bool)
-  | Rfilter r -> Range_filter.remove r ~lo ~hi);
-  if t.blocks > 0 then t.blocks <- t.blocks - 1
+  let removed =
+    match t.repr with
+    | Rtree r -> Range_tree.remove r ~lo
+    | Rarray r -> Range_array.remove r ~lo
+    | Rfilter r ->
+        (* The filter cannot tell a tracked block from an untracked one;
+           trust the caller.  A phantom remove can only under-count, which
+           costs elision opportunities, never correctness. *)
+        Range_filter.remove r ~lo ~hi;
+        true
+  in
+  if removed then begin
+    if t.blocks > 0 then t.blocks <- t.blocks - 1;
+    match t.cache with
+    | Some c -> Capture_cache.note_remove c ~lo ~hi
+    | None -> ()
+  end;
+  removed
 
-let contains t ~lo ~hi =
+let backend_contains t ~lo ~hi =
   match t.repr with
   | Rtree r -> Range_tree.contains r ~lo ~hi
   | Rarray r -> Range_array.contains r ~lo ~hi
   | Rfilter r -> Range_filter.contains r ~lo ~hi
+
+let backend_find t ~lo ~hi =
+  match t.repr with
+  | Rtree r -> Range_tree.find r ~lo ~hi
+  | Rarray r -> Range_array.find r ~lo ~hi
+  | Rfilter _ -> None (* no block structure; the probe range itself is MRU *)
+
+type probe = Summary_reject | Mru_hit | Backend_hit | Backend_miss
+
+let probe t ~lo ~hi =
+  match t.cache with
+  | None -> if backend_contains t ~lo ~hi then Backend_hit else Backend_miss
+  | Some c -> (
+      match Capture_cache.check c ~lo ~hi with
+      | Capture_cache.Reject -> Summary_reject
+      | Capture_cache.Hit -> Mru_hit
+      | Capture_cache.Unknown ->
+          if backend_contains t ~lo ~hi then begin
+            (* Cache the whole containing block when the backend knows it,
+               so neighbouring words of the same block repeat-hit too. *)
+            (match backend_find t ~lo ~hi with
+            | Some (blo, bhi) -> Capture_cache.note_hit c ~lo:blo ~hi:bhi
+            | None -> Capture_cache.note_hit c ~lo ~hi);
+            Backend_hit
+          end
+          else Backend_miss)
+
+let contains t ~lo ~hi =
+  match probe t ~lo ~hi with
+  | Mru_hit | Backend_hit -> true
+  | Summary_reject | Backend_miss -> false
 
 let size t = t.blocks
 
@@ -65,7 +156,13 @@ let add_cost t ~lo ~hi =
 
 let clear t =
   (match t.repr with
-  | Rtree r -> Range_tree.clear r
+  | Rtree r ->
+      (* A promoted log reverts to its declared cache-line array: the next
+         transaction starts on the cheap backend again. *)
+      if t.declared = Array then
+        t.repr <- Rarray (Range_array.create ?capacity:t.array_capacity ())
+      else Range_tree.clear r
   | Rarray r -> Range_array.clear r
   | Rfilter r -> Range_filter.clear r);
-  t.blocks <- 0
+  t.blocks <- 0;
+  match t.cache with Some c -> Capture_cache.clear c | None -> ()

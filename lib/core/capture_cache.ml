@@ -1,0 +1,46 @@
+(* The empty envelope is (max_int, min_int): every probe fails the bounds
+   test, so an empty log rejects in the same two compares as an
+   out-of-envelope probe — no separate emptiness check needed. *)
+
+type t = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable mru_lo : int;
+  mutable mru_hi : int; (* mru_hi <= mru_lo encodes "no MRU entry" *)
+}
+
+let create () = { lo = max_int; hi = min_int; mru_lo = 0; mru_hi = 0 }
+
+type verdict = Reject | Hit | Unknown
+
+let check t ~lo ~hi =
+  if lo < t.lo || hi > t.hi then Reject
+  else if lo >= t.mru_lo && hi <= t.mru_hi then Hit
+  else Unknown
+
+let note_add t ~lo ~hi =
+  if lo < t.lo then t.lo <- lo;
+  if hi > t.hi then t.hi <- hi;
+  t.mru_lo <- lo;
+  t.mru_hi <- hi
+
+let note_remove t ~lo ~hi =
+  (* Any overlap with the MRU range invalidates it: the MRU may be a
+     sub-range of the removed block. *)
+  if t.mru_hi > t.mru_lo && lo < t.mru_hi && hi > t.mru_lo then begin
+    t.mru_lo <- 0;
+    t.mru_hi <- 0
+  end
+
+let note_hit t ~lo ~hi =
+  t.mru_lo <- lo;
+  t.mru_hi <- hi
+
+let clear t =
+  t.lo <- max_int;
+  t.hi <- min_int;
+  t.mru_lo <- 0;
+  t.mru_hi <- 0
+
+let bounds t = if t.hi > t.lo then Some (t.lo, t.hi) else None
+let mru t = if t.mru_hi > t.mru_lo then Some (t.mru_lo, t.mru_hi) else None

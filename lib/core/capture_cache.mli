@@ -1,0 +1,54 @@
+(** Hierarchical front line for the captured-memory check.
+
+    Sits in front of an allocation-log backend and answers most probes in
+    a couple of compares, before the backend (tree / array / filter) is
+    touched at all:
+
+    - a {b bounds summary} — the envelope [\[lo, hi)] of every block the
+      backend currently tracks.  Probes outside the envelope (including
+      every probe while the log is empty, when the envelope is the empty
+      interval) are rejected in ~2 ops.  The envelope only grows between
+      [clear]s, so it over-approximates after removals — which can only
+      send a probe on to the backend needlessly, never accept wrongly.
+    - a {b single-entry MRU block cache} — the most recently logged or
+      matched block.  The paper observes captured memory is typically
+      accessed immediately after allocation, so repeat hits to one block
+      dominate; those are accepted without a backend probe.
+
+    The cache is purely an accelerator: [Reject] is definitive only
+    because the envelope covers every tracked block, [Hit] is definitive
+    only because the MRU range is always a sub-range of a live tracked
+    block, and everything else is [Unknown] (ask the backend). *)
+
+type t
+
+val create : unit -> t
+
+type verdict =
+  | Reject  (** outside the envelope (or log empty): definitely not captured *)
+  | Hit  (** inside the MRU block: definitely captured *)
+  | Unknown  (** inside the envelope but not the MRU block: probe the backend *)
+
+val check : t -> lo:int -> hi:int -> verdict
+
+(** [note_add t ~lo ~hi] — the backend accepted block [\[lo, hi)]: grow
+    the envelope and make the block the MRU entry. *)
+val note_add : t -> lo:int -> hi:int -> unit
+
+(** [note_remove t ~lo ~hi] — the backend dropped block [\[lo, hi)]: the
+    MRU entry is invalidated if it overlaps (the envelope is left alone —
+    shrinking it would need a backend scan). *)
+val note_remove : t -> lo:int -> hi:int -> unit
+
+(** [note_hit t ~lo ~hi] — a backend probe matched inside block
+    [\[lo, hi)]: cache it as the MRU entry.  [\[lo, hi)] must be (a
+    sub-range of) a block the backend currently tracks. *)
+val note_hit : t -> lo:int -> hi:int -> unit
+
+val clear : t -> unit
+
+val bounds : t -> (int * int) option
+(** Current envelope, [None] while empty (for tests and debugging). *)
+
+val mru : t -> (int * int) option
+(** Current MRU block, [None] while invalid. *)

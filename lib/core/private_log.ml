@@ -4,10 +4,10 @@ let create ?(backend = Alloc_log.Tree) () = Alloc_log.create backend
 
 let add_block t ~addr ~size =
   if size <= 0 then invalid_arg "Private_log.add_block";
-  Alloc_log.add t ~lo:addr ~hi:(addr + size)
+  ignore (Alloc_log.add t ~lo:addr ~hi:(addr + size) : Alloc_log.added)
 
 let remove_block t ~addr ~size =
-  Alloc_log.remove t ~lo:addr ~hi:(addr + size)
+  ignore (Alloc_log.remove t ~lo:addr ~hi:(addr + size) : bool)
 
 let contains t ~addr ~size = Alloc_log.contains t ~lo:addr ~hi:(addr + size)
 let size = Alloc_log.size

@@ -45,6 +45,19 @@ let contains t ~lo ~hi =
   in
   hi > lo && scan 0
 
+let find t ~lo ~hi =
+  let rec scan i =
+    if i >= t.len then None
+    else if lo >= t.los.(i) && hi <= t.his.(i) then Some (t.los.(i), t.his.(i))
+    else scan (i + 1)
+  in
+  if hi > lo then scan 0 else None
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f ~lo:t.los.(i) ~hi:t.his.(i)
+  done
+
 let size t = t.len
 
 let clear t =

@@ -22,6 +22,12 @@ val remove : t -> lo:int -> bool
     block dropped at insertion, never [true] wrongly. *)
 val contains : t -> lo:int -> hi:int -> bool
 
+(** [find t ~lo ~hi] — the tracked range containing [\[lo, hi)], if any. *)
+val find : t -> lo:int -> hi:int -> (int * int) option
+
+val iter : t -> (lo:int -> hi:int -> unit) -> unit
+(** Over the tracked ranges, in slot order. *)
+
 val size : t -> int
 val clear : t -> unit
 val dropped : t -> int

@@ -135,6 +135,17 @@ let contains t ~lo ~hi =
   in
   hi > lo && go t.root
 
+let find t ~lo ~hi =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if hi > n.max_hi then None
+        else if lo >= n.lo && hi <= n.hi then Some (n.lo, n.hi)
+        else if lo < n.lo then go n.left
+        else go n.right
+  in
+  if hi > lo then go t.root else None
+
 let size t = t.count
 let depth t = height t.root
 

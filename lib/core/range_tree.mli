@@ -25,6 +25,10 @@ val remove : t -> lo:int -> bool
     block? *)
 val contains : t -> lo:int -> hi:int -> bool
 
+(** [find t ~lo ~hi] — the logged block containing [\[lo, hi)], if any
+    (same traversal as [contains]). *)
+val find : t -> lo:int -> hi:int -> (int * int) option
+
 val size : t -> int
 (** Number of logged blocks. *)
 

@@ -12,6 +12,7 @@ type scope = {
 type t = {
   analysis : analysis;
   scope : scope;
+  fastpath : bool;
   static_filter : bool;
   pessimistic_reads : bool;
   waw_filter : bool;
@@ -38,6 +39,7 @@ let default =
   {
     analysis = Baseline;
     scope = full_scope;
+    fastpath = false;
     static_filter = false;
     pessimistic_reads = false;
     waw_filter = true;
@@ -61,6 +63,7 @@ let runtime_hybrid ?(scope = full_scope) backend =
   { default with analysis = Runtime backend; scope; static_filter = true }
 
 let pessimistic t = { t with pessimistic_reads = true }
+let with_fastpath ?(on = true) t = { t with fastpath = on }
 let audit = { default with audit = true }
 
 let name t =
@@ -76,7 +79,10 @@ let name t =
           (if s.on_reads then "r" else "")
           (if s.on_writes then "+w" else "")
   in
-  let suffix = if t.pessimistic_reads then "+pessimistic" else "" in
+  let suffix =
+    (if t.fastpath then "+fp" else "")
+    ^ if t.pessimistic_reads then "+pessimistic" else ""
+  in
   match t.analysis with
   | Baseline -> (if t.audit then "audit" else "baseline") ^ suffix
   | Runtime b ->

@@ -26,6 +26,13 @@ type scope = {
 type t = {
   analysis : analysis;
   scope : scope;
+  fastpath : bool;
+      (** Hierarchical capture-check fast path: run the
+          empty-log/bounds-summary and MRU block-cache tiers in front of
+          every allocation-log probe, and promote a saturated range array
+          in place to a range tree instead of dropping precision.  Only
+          meaningful with [Runtime]; semantics-preserving (conservatism is
+          never violated). *)
   static_filter : bool;
       (** Skip runtime capture checks at sites the compiler proved
           definitely shared (the paper's §3.2/§6 future work); only
@@ -73,6 +80,10 @@ val runtime_hybrid : ?scope:scope -> Captured_core.Alloc_log.backend -> t
 
 (** [pessimistic t] switches [t] to read-locking barriers. *)
 val pessimistic : t -> t
+
+(** [with_fastpath t] enables ([?on:false]: disables) the hierarchical
+    capture-check fast path. *)
+val with_fastpath : ?on:bool -> t -> t
 val audit : t
 (** Baseline + audit counting (Figure 8 runs). *)
 

@@ -22,6 +22,13 @@ let validate_per_read = 2
 let lock_spin = 4
 let txn_begin = 12
 
+(* Hierarchical capture-check fast path: the bounds summary is two
+   compares, the MRU block cache two more; promoting a saturated range
+   array into a tree rebuilds a cache line's worth of entries once. *)
+let capture_summary_check = 2
+let capture_mru_check = 2
+let capture_promote = 48
+
 let backoff ~attempt ~jitter =
   let shift = min attempt 10 in
   (64 lsl shift) + (jitter land 63) * attempt

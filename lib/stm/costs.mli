@@ -40,6 +40,15 @@ val validate_per_read : int
 val lock_spin : int
 val txn_begin : int
 
+val capture_summary_check : int
+(** Fast-path tier 1: empty-log short-circuit + lo/hi envelope compare. *)
+
+val capture_mru_check : int
+(** Fast-path tier 2: single-entry MRU block-cache compare. *)
+
+val capture_promote : int
+(** One-time cost of promoting a saturated range array to a range tree. *)
+
 val backoff : attempt:int -> jitter:int -> int
 (** Exponential backoff cycles for retry [attempt] (1-based); [jitter] in
     [0, 63] decorrelates threads. *)

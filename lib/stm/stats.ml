@@ -29,6 +29,12 @@ type t = {
   mutable audit_static_violations : int;
   mutable tx_allocs : int;
   mutable tx_frees : int;
+  mutable capture_summary_rejects : int;
+  mutable capture_mru_hits : int;
+  mutable capture_backend_probes : int;
+  mutable capture_promotions : int;
+  mutable capture_log_overflows : int;
+  mutable capture_check_cycles : int;
 }
 
 let create () =
@@ -63,6 +69,12 @@ let create () =
     audit_static_violations = 0;
     tx_allocs = 0;
     tx_frees = 0;
+    capture_summary_rejects = 0;
+    capture_mru_hits = 0;
+    capture_backend_probes = 0;
+    capture_promotions = 0;
+    capture_log_overflows = 0;
+    capture_check_cycles = 0;
   }
 
 let reset t =
@@ -95,7 +107,13 @@ let reset t =
   t.audit_writes_other <- 0;
   t.audit_static_violations <- 0;
   t.tx_allocs <- 0;
-  t.tx_frees <- 0
+  t.tx_frees <- 0;
+  t.capture_summary_rejects <- 0;
+  t.capture_mru_hits <- 0;
+  t.capture_backend_probes <- 0;
+  t.capture_promotions <- 0;
+  t.capture_log_overflows <- 0;
+  t.capture_check_cycles <- 0
 
 let merge acc x =
   acc.commits <- acc.commits + x.commits;
@@ -130,7 +148,16 @@ let merge acc x =
   acc.audit_static_violations <-
     acc.audit_static_violations + x.audit_static_violations;
   acc.tx_allocs <- acc.tx_allocs + x.tx_allocs;
-  acc.tx_frees <- acc.tx_frees + x.tx_frees
+  acc.tx_frees <- acc.tx_frees + x.tx_frees;
+  acc.capture_summary_rejects <-
+    acc.capture_summary_rejects + x.capture_summary_rejects;
+  acc.capture_mru_hits <- acc.capture_mru_hits + x.capture_mru_hits;
+  acc.capture_backend_probes <-
+    acc.capture_backend_probes + x.capture_backend_probes;
+  acc.capture_promotions <- acc.capture_promotions + x.capture_promotions;
+  acc.capture_log_overflows <-
+    acc.capture_log_overflows + x.capture_log_overflows;
+  acc.capture_check_cycles <- acc.capture_check_cycles + x.capture_check_cycles
 
 let sum xs =
   let acc = create () in

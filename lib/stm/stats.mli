@@ -43,6 +43,21 @@ type t = {
   (* allocator *)
   mutable tx_allocs : int;
   mutable tx_frees : int;
+  (* hierarchical capture-check fast path *)
+  mutable capture_summary_rejects : int;
+      (** Heap capture checks answered by the empty-log/bounds summary. *)
+  mutable capture_mru_hits : int;
+      (** Heap capture checks answered by the MRU block cache. *)
+  mutable capture_backend_probes : int;
+      (** Heap capture checks that reached the backend (hit or miss). *)
+  mutable capture_promotions : int;
+      (** Saturated range arrays promoted in place to range trees. *)
+  mutable capture_log_overflows : int;
+      (** Allocations the range array dropped (fastpath off: log went
+          conservative). *)
+  mutable capture_check_cycles : int;
+      (** Total simulated cycles charged for heap capture checks — the
+          quantity the fast path exists to shrink. *)
 }
 
 val create : unit -> t

@@ -151,7 +151,8 @@ let make_tx th =
       | Config.Runtime backend ->
           Some
             (Alloc_log.create ~array_capacity:cfg.array_capacity
-               ~filter_buckets:cfg.filter_buckets backend)
+               ~filter_buckets:cfg.filter_buckets ~fastpath:cfg.fastpath
+               backend)
       | Config.Baseline | Config.Compiler -> None
     else None
   in
@@ -224,6 +225,36 @@ type elision =
   | Elide_heap of int
   | Elide_private of int
 
+(* One hierarchical heap capture check: classify the probe, charge the
+   tier that answered, and account it.  Without fastpath the hierarchy
+   degenerates to the bare backend probe at its usual price. *)
+let heap_capture_check th log ~lo ~hi =
+  let outcome = Alloc_log.probe log ~lo ~hi in
+  let st = th.stats in
+  let cost =
+    match outcome with
+    | Alloc_log.Summary_reject ->
+        st.Stats.capture_summary_rejects <-
+          st.Stats.capture_summary_rejects + 1;
+        Costs.capture_summary_check
+    | Alloc_log.Mru_hit ->
+        st.Stats.capture_mru_hits <- st.Stats.capture_mru_hits + 1;
+        Costs.capture_summary_check + Costs.capture_mru_check
+    | Alloc_log.Backend_hit | Alloc_log.Backend_miss ->
+        st.Stats.capture_backend_probes <- st.Stats.capture_backend_probes + 1;
+        (if Alloc_log.fastpath log then
+           Costs.capture_summary_check + Costs.capture_mru_check
+         else 0)
+        + Alloc_log.search_cost log
+  in
+  st.Stats.capture_check_cycles <- st.Stats.capture_check_cycles + cost;
+  let captured =
+    match outcome with
+    | Alloc_log.Mru_hit | Alloc_log.Backend_hit -> true
+    | Alloc_log.Summary_reject | Alloc_log.Backend_miss -> false
+  in
+  (captured, cost)
+
 let private_check th addr size cost =
   if
     th.config.Config.use_private_log
@@ -259,9 +290,11 @@ let try_elide tx addr size ~site ~is_write =
           let cost = if sc.check_stack then Costs.stack_check else 0 in
           match scope.capture_log with
           | Some log when sc.check_heap ->
-              let cost = cost + Alloc_log.search_cost log in
-              if Alloc_log.contains log ~lo:addr ~hi:(addr + size) then
-                Elide_heap cost
+              let captured, check_cost =
+                heap_capture_check th log ~lo:addr ~hi:(addr + size)
+              in
+              let cost = cost + check_cost in
+              if captured then Elide_heap cost
               else private_check th addr size cost
           | Some _ | None -> private_check th addr size cost
         end
@@ -456,16 +489,29 @@ let write ?(site = Site.anonymous_write) tx addr v =
 (* ------------------------------------------------------------------ *)
 (* Transactional allocation                                            *)
 
+(* Capture-log insertion with promotion/saturation accounting; used for
+   fresh allocations and for folding nested scopes into their parent. *)
+let capture_log_add th log ~lo ~hi =
+  match Alloc_log.add log ~lo ~hi with
+  | Alloc_log.Kept -> ()
+  | Alloc_log.Promoted ->
+      th.stats.Stats.capture_promotions <-
+        th.stats.Stats.capture_promotions + 1;
+      th.platform.consume Costs.capture_promote
+  | Alloc_log.Dropped ->
+      th.stats.Stats.capture_log_overflows <-
+        th.stats.Stats.capture_log_overflows + 1
+
 let log_alloc tx addr size =
   let scope = innermost tx in
   scope.allocs <- (addr, size) :: scope.allocs;
   (match scope.capture_log with
   | Some log ->
       tx.thread.platform.consume (Alloc_log.add_cost log ~lo:addr ~hi:(addr + size));
-      Alloc_log.add log ~lo:addr ~hi:(addr + size)
+      capture_log_add tx.thread log ~lo:addr ~hi:(addr + size)
   | None -> ());
   match scope.audit_log with
-  | Some log -> Alloc_log.add log ~lo:addr ~hi:(addr + size)
+  | Some log -> ignore (Alloc_log.add log ~lo:addr ~hi:(addr + size) : Alloc_log.added)
   | None -> ()
 
 let alloc tx n =
@@ -489,10 +535,10 @@ let unlog_alloc scope addr =
   | Some (sz, remaining) ->
       scope.allocs <- remaining;
       (match scope.capture_log with
-      | Some log -> Alloc_log.remove log ~lo:addr ~hi:(addr + sz)
+      | Some log -> ignore (Alloc_log.remove log ~lo:addr ~hi:(addr + sz) : bool)
       | None -> ());
       (match scope.audit_log with
-      | Some log -> Alloc_log.remove log ~lo:addr ~hi:(addr + sz)
+      | Some log -> ignore (Alloc_log.remove log ~lo:addr ~hi:(addr + sz) : bool)
       | None -> ());
       Some sz
 
@@ -542,7 +588,8 @@ let push_scope tx ~top =
       | Config.Runtime backend when cfg.Config.scope.Config.check_heap ->
           Some
             (Alloc_log.create ~array_capacity:cfg.Config.array_capacity
-               ~filter_buckets:cfg.Config.filter_buckets backend)
+               ~filter_buckets:cfg.Config.filter_buckets
+               ~fastpath:cfg.Config.fastpath backend)
       | Config.Runtime _ | Config.Baseline | Config.Compiler -> None
   in
   let audit_log =
@@ -651,10 +698,11 @@ let commit_scope tx =
         (fun (addr, size) ->
           parent.allocs <- (addr, size) :: parent.allocs;
           (match parent.capture_log with
-          | Some log -> Alloc_log.add log ~lo:addr ~hi:(addr + size)
+          | Some log -> capture_log_add th log ~lo:addr ~hi:(addr + size)
           | None -> ());
           match parent.audit_log with
-          | Some log -> Alloc_log.add log ~lo:addr ~hi:(addr + size)
+          | Some log ->
+              ignore (Alloc_log.add log ~lo:addr ~hi:(addr + size) : Alloc_log.added)
           | None -> ())
         (List.rev child.allocs);
       parent.deferred_frees <-

@@ -14,6 +14,9 @@ let configs =
     Config.runtime Alloc_log.Tree;
     Config.runtime Alloc_log.Array;
     Config.runtime Alloc_log.Filter;
+    Config.with_fastpath (Config.runtime Alloc_log.Tree);
+    Config.with_fastpath (Config.runtime Alloc_log.Array);
+    Config.with_fastpath (Config.runtime Alloc_log.Filter);
     Config.compiler;
     Config.audit;
   ]
@@ -90,6 +93,45 @@ let test_app_bench_scale app () =
   | Ok r -> check "ran" true (r.Engine.stats.Stats.commits > 0)
   | Error m -> Alcotest.failf "bench-scale verify failed: %s" m
 
+(* The capture-check fast path must be invisible to outcomes: under the
+   same seed, commits and app invariants match with it on and off, for
+   every backend.  The array backend may elide MORE with fastpath on
+   (promotion recovers precision a saturated array would drop), never
+   less; tree and filter elide identically. *)
+let test_app_fastpath_semantics app () =
+  List.iter
+    (fun backend ->
+      let run fp =
+        let cfg = Config.with_fastpath ~on:fp (Config.runtime backend) in
+        match
+          App.run_checked app ~nthreads:1 ~scale:App.Test ~mode:(`Sim 7) cfg
+        with
+        | Ok r -> r
+        | Error m ->
+            Alcotest.failf "verify failed (%s fastpath=%b): %s"
+              (Alloc_log.backend_name backend)
+              fp m
+      in
+      let off = run false and on = run true in
+      Alcotest.(check int)
+        (Alloc_log.backend_name backend ^ " commits")
+        off.Engine.stats.Stats.commits on.Engine.stats.Stats.commits;
+      Alcotest.(check int)
+        (Alloc_log.backend_name backend ^ " user aborts")
+        off.Engine.stats.Stats.user_aborts on.Engine.stats.Stats.user_aborts;
+      let elided r = Stats.reads_elided r.Engine.stats + Stats.writes_elided r.Engine.stats in
+      match backend with
+      | Alloc_log.Array ->
+          check
+            (Alloc_log.backend_name backend ^ " elides at least as much")
+            true
+            (elided on >= elided off)
+      | Alloc_log.Tree | Alloc_log.Filter ->
+          Alcotest.(check int)
+            (Alloc_log.backend_name backend ^ " elisions identical")
+            (elided off) (elided on))
+    Alloc_log.all_backends
+
 (* Hybrid config: verifies and still elides at least as much as nothing. *)
 let test_app_hybrid app () =
   match
@@ -123,6 +165,8 @@ let suite_for app =
         Alcotest.test_case "elision profile" `Quick
           (test_app_elision_profile app);
         Alcotest.test_case "bench scale" `Quick (test_app_bench_scale app);
+        Alcotest.test_case "fastpath semantics" `Quick
+          (test_app_fastpath_semantics app);
         Alcotest.test_case "hybrid" `Quick (test_app_hybrid app);
       ]
   in

@@ -3,6 +3,9 @@ open Captured_core
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let log_add log ~lo ~hi = ignore (Alloc_log.add log ~lo ~hi : Alloc_log.added)
+let log_remove log ~lo ~hi = ignore (Alloc_log.remove log ~lo ~hi : bool)
+
 (* ------------------------------------------------------------------ *)
 (* Range_tree *)
 
@@ -176,12 +179,12 @@ let prop_conservative backend =
           let lo, hi = block_of i in
           if add then begin
             if not (Hashtbl.mem model i) then begin
-              Alloc_log.add log ~lo ~hi;
+              log_add log ~lo ~hi;
               Hashtbl.replace model i ()
             end
           end
           else if Hashtbl.mem model i then begin
-            Alloc_log.remove log ~lo ~hi;
+            log_remove log ~lo ~hi;
             Hashtbl.remove model i
           end)
         script;
@@ -206,12 +209,12 @@ let prop_tree_exact =
           let lo, hi = block_of i in
           if add then begin
             if not (Hashtbl.mem model i) then begin
-              Alloc_log.add log ~lo ~hi;
+              log_add log ~lo ~hi;
               Hashtbl.replace model i ()
             end
           end
           else if Hashtbl.mem model i then begin
-            Alloc_log.remove log ~lo ~hi;
+            log_remove log ~lo ~hi;
             Hashtbl.remove model i
           end)
         script;
@@ -233,17 +236,17 @@ let test_alloc_log_costs () =
   let tree = Alloc_log.create Alloc_log.Tree in
   let c0 = Alloc_log.search_cost tree in
   for k = 1 to 64 do
-    Alloc_log.add tree ~lo:(k * 100) ~hi:((k * 100) + 8)
+    log_add tree ~lo:(k * 100) ~hi:((k * 100) + 8)
   done;
   check "tree probe grows with depth" true (Alloc_log.search_cost tree > c0);
   let arr = Alloc_log.create ~array_capacity:4 Alloc_log.Array in
   let a0 = Alloc_log.search_cost arr in
-  Alloc_log.add arr ~lo:10 ~hi:20;
-  Alloc_log.add arr ~lo:30 ~hi:40;
+  log_add arr ~lo:10 ~hi:20;
+  log_add arr ~lo:30 ~hi:40;
   check "array probe grows with occupancy" true (Alloc_log.search_cost arr > a0);
   let filt = Alloc_log.create Alloc_log.Filter in
   let f0 = Alloc_log.search_cost filt in
-  Alloc_log.add filt ~lo:10 ~hi:20;
+  log_add filt ~lo:10 ~hi:20;
   check_int "filter probe constant" f0 (Alloc_log.search_cost filt);
   check "filter add scales with block size" true
     (Alloc_log.add_cost filt ~lo:0 ~hi:64 > Alloc_log.add_cost filt ~lo:0 ~hi:4)
@@ -252,13 +255,321 @@ let test_alloc_log_clear_resets_size () =
   List.iter
     (fun backend ->
       let log = Alloc_log.create backend in
-      Alloc_log.add log ~lo:10 ~hi:20;
-      Alloc_log.add log ~lo:30 ~hi:40;
+      log_add log ~lo:10 ~hi:20;
+      log_add log ~lo:30 ~hi:40;
       check_int "size" 2 (Alloc_log.size log);
       Alloc_log.clear log;
       check_int "cleared" 0 (Alloc_log.size log);
       check "no stale hit" false (Alloc_log.contains log ~lo:12 ~hi:13))
     Alloc_log.all_backends
+
+(* ------------------------------------------------------------------ *)
+(* Capture_cache: the hierarchical fast path's front line *)
+
+let test_cache_empty_rejects () =
+  let c = Capture_cache.create () in
+  check "empty rejects" true (Capture_cache.check c ~lo:10 ~hi:11 = Capture_cache.Reject);
+  check "no bounds" true (Capture_cache.bounds c = None);
+  check "no mru" true (Capture_cache.mru c = None)
+
+let test_cache_bounds_and_mru () =
+  let c = Capture_cache.create () in
+  Capture_cache.note_add c ~lo:100 ~hi:120;
+  check "below rejects" true
+    (Capture_cache.check c ~lo:90 ~hi:91 = Capture_cache.Reject);
+  check "above rejects" true
+    (Capture_cache.check c ~lo:130 ~hi:131 = Capture_cache.Reject);
+  check "straddling lo rejects" true
+    (Capture_cache.check c ~lo:99 ~hi:101 = Capture_cache.Reject);
+  check "fresh block is MRU" true
+    (Capture_cache.check c ~lo:105 ~hi:106 = Capture_cache.Hit);
+  Capture_cache.note_add c ~lo:300 ~hi:310;
+  check "new block is MRU" true
+    (Capture_cache.check c ~lo:300 ~hi:301 = Capture_cache.Hit);
+  (* Old block now inside the envelope but off the MRU entry. *)
+  check "old block unknown" true
+    (Capture_cache.check c ~lo:105 ~hi:106 = Capture_cache.Unknown);
+  check "gap unknown" true
+    (Capture_cache.check c ~lo:200 ~hi:201 = Capture_cache.Unknown);
+  Capture_cache.note_hit c ~lo:100 ~hi:120;
+  check "refreshed MRU" true
+    (Capture_cache.check c ~lo:119 ~hi:120 = Capture_cache.Hit)
+
+let test_cache_remove_invalidates_mru () =
+  let c = Capture_cache.create () in
+  Capture_cache.note_add c ~lo:100 ~hi:120;
+  Capture_cache.note_remove c ~lo:100 ~hi:120;
+  (* The envelope over-approximates (not shrunk), so the verdict must be
+     Unknown, never Hit. *)
+  check "mru gone" true
+    (Capture_cache.check c ~lo:105 ~hi:106 = Capture_cache.Unknown);
+  Capture_cache.note_add c ~lo:200 ~hi:210;
+  Capture_cache.note_remove c ~lo:400 ~hi:410;
+  check "disjoint remove keeps mru" true
+    (Capture_cache.check c ~lo:205 ~hi:206 = Capture_cache.Hit);
+  Capture_cache.clear c;
+  check "clear rejects" true
+    (Capture_cache.check c ~lo:205 ~hi:206 = Capture_cache.Reject)
+
+(* ------------------------------------------------------------------ *)
+(* Alloc_log fast path: saturation reporting, promotion, remove sync *)
+
+let test_array_overflow_reported () =
+  let log = Alloc_log.create ~array_capacity:2 Alloc_log.Array in
+  check "kept" true (Alloc_log.add log ~lo:10 ~hi:20 = Alloc_log.Kept);
+  check "kept" true (Alloc_log.add log ~lo:30 ~hi:40 = Alloc_log.Kept);
+  check "overflow reported" true
+    (Alloc_log.add log ~lo:50 ~hi:60 = Alloc_log.Dropped);
+  (* A dropped block is not tracked: size must reflect the backend. *)
+  check_int "size excludes drops" 2 (Alloc_log.size log);
+  check "dropped unfound" false (Alloc_log.contains log ~lo:55 ~hi:56)
+
+let test_array_promotes_to_tree () =
+  let log = Alloc_log.create ~array_capacity:2 ~fastpath:true Alloc_log.Array in
+  check "kept" true (Alloc_log.add log ~lo:10 ~hi:20 = Alloc_log.Kept);
+  check "kept" true (Alloc_log.add log ~lo:30 ~hi:40 = Alloc_log.Kept);
+  check "promoted" true (Alloc_log.add log ~lo:50 ~hi:60 = Alloc_log.Promoted);
+  check "declared backend stays Array" true
+    (Alloc_log.backend log = Alloc_log.Array);
+  check "promoted flag" true (Alloc_log.promoted log);
+  check_int "one promotion" 1 (Alloc_log.promotions log);
+  (* No precision lost: all three blocks answer, including the overflowing
+     one and the pre-promotion ones. *)
+  check "pre-promotion found" true (Alloc_log.contains log ~lo:12 ~hi:13);
+  check "pre-promotion found" true (Alloc_log.contains log ~lo:35 ~hi:36);
+  check "overflow found" true (Alloc_log.contains log ~lo:55 ~hi:56);
+  check_int "size counts all" 3 (Alloc_log.size log);
+  (* Clear reverts to the cheap array backend. *)
+  Alloc_log.clear log;
+  check "kept again after clear" true
+    (Alloc_log.add log ~lo:10 ~hi:20 = Alloc_log.Kept);
+  check "fresh array also promotes" true
+    (Alloc_log.add log ~lo:30 ~hi:40 = Alloc_log.Kept
+    && Alloc_log.add log ~lo:50 ~hi:60 = Alloc_log.Promoted)
+
+let test_remove_miss_keeps_count () =
+  List.iter
+    (fun backend ->
+      let log = Alloc_log.create backend in
+      log_add log ~lo:10 ~hi:20;
+      log_add log ~lo:30 ~hi:40;
+      (match backend with
+      | Alloc_log.Tree | Alloc_log.Array ->
+          (* Removing a never-logged block must not decrement. *)
+          check "remove miss reported" false
+            (Alloc_log.remove log ~lo:500 ~hi:510);
+          check_int "count intact" 2 (Alloc_log.size log)
+      | Alloc_log.Filter -> ());
+      check "remove hit reported" true (Alloc_log.remove log ~lo:10 ~hi:20);
+      check_int "count decremented" 1 (Alloc_log.size log))
+    Alloc_log.all_backends
+
+let test_probe_classification () =
+  let log = Alloc_log.create ~fastpath:true Alloc_log.Tree in
+  check "empty: summary reject" true
+    (Alloc_log.probe log ~lo:100 ~hi:101 = Alloc_log.Summary_reject);
+  log_add log ~lo:100 ~hi:120;
+  log_add log ~lo:300 ~hi:320;
+  check "outside envelope: summary reject" true
+    (Alloc_log.probe log ~lo:50 ~hi:51 = Alloc_log.Summary_reject);
+  check "fresh block: MRU hit" true
+    (Alloc_log.probe log ~lo:305 ~hi:306 = Alloc_log.Mru_hit);
+  check "older block: backend hit" true
+    (Alloc_log.probe log ~lo:105 ~hi:106 = Alloc_log.Backend_hit);
+  check "now cached: MRU hit on another word of the block" true
+    (Alloc_log.probe log ~lo:110 ~hi:111 = Alloc_log.Mru_hit);
+  check "inside envelope gap: backend miss" true
+    (Alloc_log.probe log ~lo:200 ~hi:201 = Alloc_log.Backend_miss);
+  (* Without fastpath every probe is a backend probe. *)
+  let plain = Alloc_log.create Alloc_log.Tree in
+  check "no fastpath: backend miss" true
+    (Alloc_log.probe plain ~lo:100 ~hi:101 = Alloc_log.Backend_miss)
+
+(* Fast-path conservatism: for every backend, the hierarchical log never
+   claims captured wrongly, and it agrees exactly with a precise reference
+   on Tree (and on Array, thanks to promotion). *)
+let prop_fastpath_conservative backend =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s+fastpath conservative vs reference"
+         (Alloc_log.backend_name backend))
+    ~count:300 ops_gen
+    (fun script ->
+      let log =
+        Alloc_log.create ~array_capacity:4 ~filter_buckets:64 ~fastpath:true
+          backend
+      in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          if add then begin
+            if not (Hashtbl.mem model i) then begin
+              log_add log ~lo ~hi;
+              Hashtbl.replace model i ()
+            end
+          end
+          else if Hashtbl.mem model i then begin
+            log_remove log ~lo ~hi;
+            Hashtbl.remove model i
+          end)
+        script;
+      let exact = backend <> Alloc_log.Filter in
+      let ok = ref true in
+      for i = 0 to 19 do
+        let lo, hi = block_of i in
+        for a = lo - 2 to hi + 1 do
+          let claimed = Alloc_log.contains log ~lo:a ~hi:(a + 1) in
+          let truth = Hashtbl.mem model i && a >= lo && a < hi in
+          if claimed && not truth then ok := false;
+          (* Tree is precise; Array promotes instead of dropping, so with
+             fastpath it is precise too. *)
+          if exact && claimed <> truth then ok := false
+        done
+      done;
+      !ok)
+
+(* Probing mutates the MRU entry; interleaving probes with add/remove must
+   never turn that cached state into a false positive. *)
+let prop_fastpath_probe_interleaved backend =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s+fastpath probes interleaved with updates"
+         (Alloc_log.backend_name backend))
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (pair (int_range 0 2) (int_range 0 19) (* op, block index *)))
+    (fun script ->
+      let log =
+        Alloc_log.create ~array_capacity:4 ~filter_buckets:64 ~fastpath:true
+          backend
+      in
+      let model = Hashtbl.create 32 in
+      let ok = ref true in
+      List.iter
+        (fun (op, i) ->
+          let lo, hi = block_of i in
+          match op with
+          | 0 ->
+              if not (Hashtbl.mem model i) then begin
+                log_add log ~lo ~hi;
+                Hashtbl.replace model i ()
+              end
+          | 1 ->
+              if Hashtbl.mem model i then begin
+                log_remove log ~lo ~hi;
+                Hashtbl.remove model i
+              end
+          | _ ->
+              for a = lo - 1 to hi do
+                if
+                  Alloc_log.contains log ~lo:a ~hi:(a + 1)
+                  && not (Hashtbl.mem model i && a >= lo && a < hi)
+                then ok := false
+              done)
+        script;
+      !ok)
+
+(* Satellite: Range_tree round-trips under random add/remove/contains,
+   directly against a model (not through Alloc_log). *)
+let prop_tree_roundtrip =
+  QCheck.Test.make ~name:"Range_tree random add/remove/contains round-trip"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 80) (pair bool (int_range 0 39)))
+    (fun script ->
+      let t = Range_tree.create () in
+      let model = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          if add then begin
+            if not (Hashtbl.mem model i) then begin
+              Range_tree.insert t ~lo ~hi;
+              Hashtbl.replace model i ()
+            end
+          end
+          else begin
+            let removed = Range_tree.remove t ~lo in
+            if removed <> Hashtbl.mem model i then ok := false;
+            Hashtbl.remove model i
+          end;
+          if Range_tree.size t <> Hashtbl.length model then ok := false)
+        script;
+      for i = 0 to 39 do
+        let lo, hi = block_of i in
+        let expect = Hashtbl.mem model i in
+        if Range_tree.contains t ~lo ~hi:(lo + 1) <> expect then ok := false;
+        if Range_tree.contains t ~lo:(hi - 1) ~hi <> expect then ok := false;
+        if Range_tree.contains t ~lo:(hi + 1) ~hi:(hi + 2) then ok := false;
+        match Range_tree.find t ~lo ~hi:(lo + 1) with
+        | Some (flo, fhi) -> if not (expect && flo = lo && fhi = hi) then ok := false
+        | None -> if expect then ok := false
+      done;
+      !ok)
+
+(* Satellite: direct conservatism of the lossy backends — a [true] from
+   Range_array/Range_filter always corresponds to a live tracked block,
+   whatever got dropped or collided. *)
+let prop_array_conservative_direct =
+  QCheck.Test.make ~name:"Range_array direct conservatism" ~count:300 ops_gen
+    (fun script ->
+      let a = Range_array.create ~capacity:3 () in
+      let tracked = Hashtbl.create 16 in
+      (* No duplicate live blocks: an allocator never hands out the same
+         address twice without an intervening free, and the array stores
+         one slot per insert. *)
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          if add then begin
+            if not (Hashtbl.mem tracked i) then
+              if Range_array.insert a ~lo ~hi then Hashtbl.replace tracked i ()
+          end
+          else if Range_array.remove a ~lo then Hashtbl.remove tracked i)
+        script;
+      let ok = ref true in
+      for i = 0 to 19 do
+        let lo, hi = block_of i in
+        for addr = lo - 1 to hi do
+          if Range_array.contains a ~lo:addr ~hi:(addr + 1) then
+            if not (Hashtbl.mem tracked i && addr >= lo && addr < hi) then
+              ok := false
+        done
+      done;
+      !ok)
+
+let prop_filter_conservative_direct =
+  QCheck.Test.make ~name:"Range_filter direct conservatism" ~count:300 ops_gen
+    (fun script ->
+      let f = Range_filter.create ~buckets:16 () in
+      let live = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          if add then begin
+            if not (Hashtbl.mem live i) then begin
+              Range_filter.insert f ~lo ~hi;
+              Hashtbl.replace live i ()
+            end
+          end
+          else if Hashtbl.mem live i then begin
+            Range_filter.remove f ~lo ~hi;
+            Hashtbl.remove live i
+          end)
+        script;
+      let ok = ref true in
+      for i = 0 to 19 do
+        let lo, hi = block_of i in
+        for addr = lo - 1 to hi do
+          if Range_filter.contains f ~lo:addr ~hi:(addr + 1) then
+            if not (Hashtbl.mem live i && addr >= lo && addr < hi) then
+              ok := false
+        done
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Private_log *)
@@ -342,12 +653,42 @@ let () =
           Alcotest.test_case "collision conservative" `Quick
             test_filter_collision_conservative;
         ] );
+      ( "capture_cache",
+        [
+          Alcotest.test_case "empty rejects" `Quick test_cache_empty_rejects;
+          Alcotest.test_case "bounds + MRU" `Quick test_cache_bounds_and_mru;
+          Alcotest.test_case "remove invalidates MRU" `Quick
+            test_cache_remove_invalidates_mru;
+        ] );
+      ( "alloc_log-fastpath",
+        [
+          Alcotest.test_case "overflow reported" `Quick
+            test_array_overflow_reported;
+          Alcotest.test_case "array promotes to tree" `Quick
+            test_array_promotes_to_tree;
+          Alcotest.test_case "remove miss keeps count" `Quick
+            test_remove_miss_keeps_count;
+          Alcotest.test_case "probe classification" `Quick
+            test_probe_classification;
+        ] );
       qsuite "alloc_log-props"
         [
           prop_conservative Alloc_log.Tree;
           prop_conservative Alloc_log.Array;
           prop_conservative Alloc_log.Filter;
           prop_tree_exact;
+          prop_fastpath_conservative Alloc_log.Tree;
+          prop_fastpath_conservative Alloc_log.Array;
+          prop_fastpath_conservative Alloc_log.Filter;
+          prop_fastpath_probe_interleaved Alloc_log.Tree;
+          prop_fastpath_probe_interleaved Alloc_log.Array;
+          prop_fastpath_probe_interleaved Alloc_log.Filter;
+        ];
+      qsuite "range-props"
+        [
+          prop_tree_roundtrip;
+          prop_array_conservative_direct;
+          prop_filter_conservative_direct;
         ];
       ( "alloc_log-costs",
         [
