@@ -50,7 +50,10 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
      \"waw_hits\":%d,\"undo_entries\":%d,\"lock_waits\":%d,\
      \"tx_allocs\":%d,\"tx_frees\":%d,\"summary_rejects\":%d,\
      \"mru_hits\":%d,\"backend_probes\":%d,\"promotions\":%d,\
-     \"overflows\":%d,\"capture_check_cycles\":%d,\"makespan\":%d,\
+     \"overflows\":%d,\"capture_check_cycles\":%d,\"validations\":%d,\
+     \"validations_skipped\":%d,\"snapshot_extensions\":%d,\
+     \"readonly_fast_commits\":%d,\"clock_advances\":%d,\
+     \"validation_cycles\":%d,\"makespan\":%d,\
      \"wall_ms\":%.3f}\n"
     app config threads
     (if native then "native" else "sim")
@@ -63,6 +66,9 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
     s.Stats.tx_frees s.Stats.capture_summary_rejects s.Stats.capture_mru_hits
     s.Stats.capture_backend_probes s.Stats.capture_promotions
     s.Stats.capture_log_overflows s.Stats.capture_check_cycles
+    s.Stats.validations s.Stats.validations_skipped
+    s.Stats.snapshot_extensions s.Stats.readonly_fast_commits
+    s.Stats.clock_advances s.Stats.validation_cycles
     r.Engine.makespan
     (1000. *. r.Engine.wall)
 
@@ -93,17 +99,25 @@ let print_result (r : Engine.result) ~native =
   Printf.printf "  promotions:       %d\n" s.Stats.capture_promotions;
   Printf.printf "  array overflows:  %d\n" s.Stats.capture_log_overflows;
   Printf.printf "  check cycles:     %d\n" s.Stats.capture_check_cycles;
+  Printf.printf "validation:         full-scans %d / skipped %d / \
+                 extensions %d\n"
+    s.Stats.validations s.Stats.validations_skipped
+    s.Stats.snapshot_extensions;
+  Printf.printf "  ro fast commits:  %d\n" s.Stats.readonly_fast_commits;
+  Printf.printf "  clock advances:   %d\n" s.Stats.clock_advances;
+  Printf.printf "  cycles:           %d\n" s.Stats.validation_cycles;
   if native then Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall)
   else Printf.printf "virtual makespan:   %d cycles\n" r.Engine.makespan
 
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic fastpath json =
+    pessimistic fastpath tvalidate json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
     let* config = config_of_name ~scope config_name in
     let config = if pessimistic then Config.pessimistic config else config in
     let config = if fastpath then Config.with_fastpath config else config in
+    let config = if tvalidate then Config.with_tvalidate config else config in
     let* scale = scale_of_name scale_name in
     match Registry.find app_name with
     | None ->
@@ -186,6 +200,13 @@ let fastpath_arg =
            ~doc:"Hierarchical capture-check fast path (bounds summary, MRU \
                  block cache, adaptive array-to-tree promotion).")
 
+let tvalidate_arg =
+  Arg.(value & flag
+       & info [ "tvalidate" ]
+           ~doc:"Timestamp-based validation (global version clock, O(1) \
+                 snapshot checks, snapshot extension, read-only commit \
+                 fast path).")
+
 let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit one JSON object instead of the text report.")
@@ -193,7 +214,7 @@ let json_arg =
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
-             $ fastpath_arg $ json_arg))
+             $ fastpath_arg $ tvalidate_arg $ json_arg))
 
 let cmds =
   [

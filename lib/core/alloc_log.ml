@@ -114,14 +114,29 @@ let backend_find t ~lo ~hi =
 
 type probe = Summary_reject | Mru_hit | Backend_hit | Backend_miss
 
+(* The MRU tier only pays for itself when the backend probe it short-cuts
+   is worth skipping: a filter probe is already O(1), and a log holding at
+   most one block is answered by the envelope alone — in both cases the
+   tier is dead weight on the common fall-through path, so it is skipped
+   (the cache itself stays maintained: the envelope summary still runs,
+   and the tier re-arms as soon as the log grows past one block). *)
+let mru_tier_active t =
+  Option.is_some t.cache && t.declared <> Filter && t.blocks > 1
+
 let probe t ~lo ~hi =
   match t.cache with
   | None -> if backend_contains t ~lo ~hi then Backend_hit else Backend_miss
   | Some c -> (
       match Capture_cache.check c ~lo ~hi with
       | Capture_cache.Reject -> Summary_reject
-      | Capture_cache.Hit -> Mru_hit
-      | Capture_cache.Unknown ->
+      | Capture_cache.Hit
+        when Capture_cache.exact c || mru_tier_active t ->
+          (* An exact envelope (single block, nothing removed) decides
+             both ways with the bounds compare alone — callers price this
+             hit as a summary check, so one-block transactions (the
+             genome/array shape) never pay for the skipped tier. *)
+          Mru_hit
+      | Capture_cache.Hit | Capture_cache.Unknown ->
           if backend_contains t ~lo ~hi then begin
             (* Cache the whole containing block when the backend knows it,
                so neighbouring words of the same block repeat-hit too. *)

@@ -57,10 +57,18 @@ type probe =
   | Backend_hit  (** full backend probe, captured *)
   | Backend_miss  (** full backend probe, not captured *)
 
+val mru_tier_active : t -> bool
+(** Whether the MRU block-cache tier is currently consulted.  The tier is
+    skipped — and must not be charged for — when the backend probe is
+    already O(1) ([Filter]) or the log holds at most one block (the
+    envelope summary alone answers); it re-arms automatically once the
+    log grows past one block. *)
+
 (** [probe t ~lo ~hi] — conservative captured-on-heap test, classified by
     which tier of the hierarchy answered (without fastpath, always
     [Backend_hit]/[Backend_miss]).  A backend hit refreshes the MRU
-    entry. *)
+    entry; when {!mru_tier_active} is false the MRU tier is bypassed and
+    the probe routes straight from the summary to the backend. *)
 val probe : t -> lo:int -> hi:int -> probe
 
 (** [contains t ~lo ~hi] — [probe] collapsed to a boolean. *)

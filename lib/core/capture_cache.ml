@@ -7,9 +7,18 @@ type t = {
   mutable hi : int;
   mutable mru_lo : int;
   mutable mru_hi : int; (* mru_hi <= mru_lo encodes "no MRU entry" *)
+  mutable adds : int; (* saturates at 2: only "exactly one" matters *)
+  mutable pristine : bool; (* no removals since the last clear *)
 }
 
-let create () = { lo = max_int; hi = min_int; mru_lo = 0; mru_hi = 0 }
+let create () =
+  { lo = max_int; hi = min_int; mru_lo = 0; mru_hi = 0; adds = 0; pristine = true }
+
+(* The envelope is *exact* — it IS the one tracked block, not an
+   over-approximation — precisely when one block was added since the last
+   clear and nothing was removed.  Then the bounds compare alone decides
+   both ways and the MRU compare (against the same two words) is free. *)
+let exact t = t.adds = 1 && t.pristine
 
 type verdict = Reject | Hit | Unknown
 
@@ -22,9 +31,11 @@ let note_add t ~lo ~hi =
   if lo < t.lo then t.lo <- lo;
   if hi > t.hi then t.hi <- hi;
   t.mru_lo <- lo;
-  t.mru_hi <- hi
+  t.mru_hi <- hi;
+  if t.adds < 2 then t.adds <- t.adds + 1
 
 let note_remove t ~lo ~hi =
+  t.pristine <- false;
   (* Any overlap with the MRU range invalidates it: the MRU may be a
      sub-range of the removed block. *)
   if t.mru_hi > t.mru_lo && lo < t.mru_hi && hi > t.mru_lo then begin
@@ -40,7 +51,9 @@ let clear t =
   t.lo <- max_int;
   t.hi <- min_int;
   t.mru_lo <- 0;
-  t.mru_hi <- 0
+  t.mru_hi <- 0;
+  t.adds <- 0;
+  t.pristine <- true
 
 let bounds t = if t.hi > t.lo then Some (t.lo, t.hi) else None
 let mru t = if t.mru_hi > t.mru_lo then Some (t.mru_lo, t.mru_hi) else None

@@ -31,6 +31,14 @@ type verdict =
 
 val check : t -> lo:int -> hi:int -> verdict
 
+val exact : t -> bool
+(** The envelope is exact — it coincides with the single tracked block —
+    because exactly one block was added since the last [clear] and none
+    removed.  Then [Reject]/[Hit] partition all probes (no [Unknown] is
+    possible) and the bounds compare alone answers both ways: callers may
+    price such a [Hit] as a summary check, the MRU compare being against
+    the same two words. *)
+
 (** [note_add t ~lo ~hi] — the backend accepted block [\[lo, hi)]: grow
     the envelope and make the block the MRU entry. *)
 val note_add : t -> lo:int -> hi:int -> unit

@@ -13,6 +13,7 @@ type t = {
   analysis : analysis;
   scope : scope;
   fastpath : bool;
+  tvalidate : bool;
   static_filter : bool;
   pessimistic_reads : bool;
   waw_filter : bool;
@@ -40,6 +41,7 @@ let default =
     analysis = Baseline;
     scope = full_scope;
     fastpath = false;
+    tvalidate = false;
     static_filter = false;
     pessimistic_reads = false;
     waw_filter = true;
@@ -64,6 +66,7 @@ let runtime_hybrid ?(scope = full_scope) backend =
 
 let pessimistic t = { t with pessimistic_reads = true }
 let with_fastpath ?(on = true) t = { t with fastpath = on }
+let with_tvalidate ?(on = true) t = { t with tvalidate = on }
 let audit = { default with audit = true }
 
 let name t =
@@ -81,6 +84,7 @@ let name t =
   in
   let suffix =
     (if t.fastpath then "+fp" else "")
+    ^ (if t.tvalidate then "+tv" else "")
     ^ if t.pessimistic_reads then "+pessimistic" else ""
   in
   match t.analysis with

@@ -33,6 +33,17 @@ type t = {
           in place to a range tree instead of dropping precision.  Only
           meaningful with [Runtime]; semantics-preserving (conservatism is
           never violated). *)
+  tvalidate : bool;
+      (** Timestamp-based validation (TL2/LSA-style global version clock):
+          commits stamp released orecs with a shared clock value; a
+          transaction records a snapshot timestamp at begin; reads whose
+          orec version is within the snapshot need no revalidation, newer
+          versions trigger snapshot {e extension} (one full validation,
+          then a fresh timestamp) instead of an abort.  [maybe_validate]
+          becomes an O(1) clock compare, commit skips the read-set scan
+          when the snapshot is current, and read-only transactions commit
+          with no validation and no clock bump.  Works under every
+          [analysis]; semantics-preserving. *)
   static_filter : bool;
       (** Skip runtime capture checks at sites the compiler proved
           definitely shared (the paper's §3.2/§6 future work); only
@@ -84,6 +95,10 @@ val pessimistic : t -> t
 (** [with_fastpath t] enables ([?on:false]: disables) the hierarchical
     capture-check fast path. *)
 val with_fastpath : ?on:bool -> t -> t
+
+(** [with_tvalidate t] enables ([?on:false]: disables) timestamp-based
+    validation (global version clock; [+tv] name suffix). *)
+val with_tvalidate : ?on:bool -> t -> t
 val audit : t
 (** Baseline + audit counting (Figure 8 runs). *)
 

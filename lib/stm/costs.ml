@@ -22,6 +22,16 @@ let validate_per_read = 2
 let lock_spin = 4
 let txn_begin = 12
 
+(* Timestamp-based validation: a snapshot check is one clock load and one
+   compare; the per-read version<=ts test is a single compare on a word
+   already in hand; advancing the clock is one contended fetch-and-add;
+   a snapshot extension adds its bookkeeping on top of the full
+   validation it triggers. *)
+let ts_read_check = 1
+let tvalidate_check = 2
+let clock_advance = 8
+let snapshot_extend = 4
+
 (* Hierarchical capture-check fast path: the bounds summary is two
    compares, the MRU block cache two more; promoting a saturated range
    array into a tree rebuilds a cache line's worth of entries once. *)

@@ -40,6 +40,20 @@ val validate_per_read : int
 val lock_spin : int
 val txn_begin : int
 
+val ts_read_check : int
+(** Timestamp validation: per-read [version <= start_ts] compare. *)
+
+val tvalidate_check : int
+(** Timestamp validation: one O(1) clock-vs-snapshot compare (replaces a
+    full read-set scan when the snapshot is still current). *)
+
+val clock_advance : int
+(** Commit-time global-version-clock fetch-and-add. *)
+
+val snapshot_extend : int
+(** Bookkeeping of a snapshot extension, on top of the full validation it
+    triggers. *)
+
 val capture_summary_check : int
 (** Fast-path tier 1: empty-log short-circuit + lo/hi envelope compare. *)
 

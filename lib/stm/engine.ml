@@ -48,6 +48,7 @@ let arena_of w i = w.arenas.(i)
 let nthreads w = w.nthreads
 let config w = w.config
 let orecs w = w.orecs
+let clock w = Orec.clock w.orecs
 
 type result = {
   per_thread : Stats.t array;

@@ -28,6 +28,10 @@ val nthreads : world -> int
 val config : world -> Config.t
 val orecs : world -> Orec.t
 
+val clock : world -> int
+(** Current value of the world's global version clock (0 until the first
+    writing commit under [Config.tvalidate]). *)
+
 type result = {
   per_thread : Stats.t array;
   stats : Stats.t;  (** merged over threads *)

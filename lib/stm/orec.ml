@@ -2,6 +2,7 @@ type t = {
   records : int Atomic.t array;
   shift : int; (* take the HIGH bits of the multiplicative hash *)
   line_words_log2 : int;
+  version_clock : int Atomic.t;
 }
 
 let create ~bits ~line_words_log2 =
@@ -11,6 +12,7 @@ let create ~bits ~line_words_log2 =
     records = Array.init n (fun _ -> Atomic.make 0);
     shift = 62 - bits;
     line_words_log2;
+    version_clock = Atomic.make 0;
   }
 
 (* Fibonacci hashing: the low product bits are periodic in the address
@@ -31,3 +33,14 @@ let try_lock t i ~owner ~expected =
   Atomic.compare_and_set t.records.(i) expected (locked_word ~owner)
 
 let unlock t i word = Atomic.set t.records.(i) word
+
+(* Global version clock (TL2/LSA-style).  Commit-time stamps are clock
+   values, so "record version <= snapshot timestamp" certifies that the
+   line is unchanged since the snapshot was taken — the O(1) consistency
+   check timestamp-based validation rests on. *)
+
+let clock t = Atomic.get t.version_clock
+
+let advance_clock t = 1 + Atomic.fetch_and_add t.version_clock 1
+
+let stamped ~ts = ts lsl 1

@@ -39,3 +39,21 @@ val try_lock : t -> int -> owner:int -> expected:int -> bool
 
 val unlock : t -> int -> int -> unit
 (** [unlock t i word] stores an unlocked [word] (release). *)
+
+(** {2 Global version clock}
+
+    One shared monotonic counter per orec table (TL2/LSA style).  With
+    timestamp-based validation ({!Config.t.tvalidate}) commits stamp the
+    records they release with a freshly advanced clock value instead of a
+    per-record bump, so a record whose version is [<=] a transaction's
+    snapshot timestamp is provably unchanged since the snapshot. *)
+
+val clock : t -> int
+(** Current clock value (0 on a fresh table). *)
+
+val advance_clock : t -> int
+(** Atomically advance the clock; returns the {e new} value.  One
+    fetch-and-add (the "clock CAS" commits pay under [tvalidate]). *)
+
+val stamped : ts:int -> int
+(** The unlocked word carrying version [ts] (a clock value). *)

@@ -35,6 +35,11 @@ type t = {
   mutable capture_promotions : int;
   mutable capture_log_overflows : int;
   mutable capture_check_cycles : int;
+  mutable validations_skipped : int;
+  mutable snapshot_extensions : int;
+  mutable readonly_fast_commits : int;
+  mutable clock_advances : int;
+  mutable validation_cycles : int;
 }
 
 let create () =
@@ -75,6 +80,11 @@ let create () =
     capture_promotions = 0;
     capture_log_overflows = 0;
     capture_check_cycles = 0;
+    validations_skipped = 0;
+    snapshot_extensions = 0;
+    readonly_fast_commits = 0;
+    clock_advances = 0;
+    validation_cycles = 0;
   }
 
 let reset t =
@@ -113,7 +123,12 @@ let reset t =
   t.capture_backend_probes <- 0;
   t.capture_promotions <- 0;
   t.capture_log_overflows <- 0;
-  t.capture_check_cycles <- 0
+  t.capture_check_cycles <- 0;
+  t.validations_skipped <- 0;
+  t.snapshot_extensions <- 0;
+  t.readonly_fast_commits <- 0;
+  t.clock_advances <- 0;
+  t.validation_cycles <- 0
 
 let merge acc x =
   acc.commits <- acc.commits + x.commits;
@@ -157,7 +172,13 @@ let merge acc x =
   acc.capture_promotions <- acc.capture_promotions + x.capture_promotions;
   acc.capture_log_overflows <-
     acc.capture_log_overflows + x.capture_log_overflows;
-  acc.capture_check_cycles <- acc.capture_check_cycles + x.capture_check_cycles
+  acc.capture_check_cycles <- acc.capture_check_cycles + x.capture_check_cycles;
+  acc.validations_skipped <- acc.validations_skipped + x.validations_skipped;
+  acc.snapshot_extensions <- acc.snapshot_extensions + x.snapshot_extensions;
+  acc.readonly_fast_commits <-
+    acc.readonly_fast_commits + x.readonly_fast_commits;
+  acc.clock_advances <- acc.clock_advances + x.clock_advances;
+  acc.validation_cycles <- acc.validation_cycles + x.validation_cycles
 
 let sum xs =
   let acc = create () in

@@ -58,6 +58,25 @@ type t = {
   mutable capture_check_cycles : int;
       (** Total simulated cycles charged for heap capture checks — the
           quantity the fast path exists to shrink. *)
+  (* timestamp-based validation ([Config.tvalidate]) *)
+  mutable validations_skipped : int;
+      (** Full read-set scans replaced by an O(1) clock-vs-snapshot
+          compare (periodic zombie guards and commit-time validations
+          whose snapshot was still current). *)
+  mutable snapshot_extensions : int;
+      (** Snapshot extensions: a newer-than-snapshot orec version forced
+          one full validation, after which the snapshot timestamp was
+          advanced instead of aborting. *)
+  mutable readonly_fast_commits : int;
+      (** Read-only transactions (no acquired orecs) committed with no
+          validation scan and no clock bump. *)
+  mutable clock_advances : int;
+      (** Commit-time global-version-clock CASes (fetch-and-add). *)
+  mutable validation_cycles : int;
+      (** Total simulated cycles charged for consistency checking: full
+          read-set scans, per-read timestamp compares, clock compares and
+          snapshot-extension bookkeeping — the quantity timestamp-based
+          validation exists to shrink. *)
 }
 
 val create : unit -> t

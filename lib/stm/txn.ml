@@ -60,6 +60,9 @@ and tx = {
   mutable live : bool;
   mutable attempts : int;
   mutable ops_since_validate : int;
+  (* Snapshot timestamp (tvalidate): the read set is known consistent at
+     the instant the global clock held this value. *)
+  mutable start_ts : int;
 }
 
 and scope = {
@@ -176,6 +179,7 @@ let make_tx th =
     live = false;
     attempts = 0;
     ops_since_validate = 0;
+    start_ts = 0;
   }
 
 let innermost tx =
@@ -196,10 +200,14 @@ let read_entry_valid th oi word =
      && th.owned_epoch.(oi) = th.epoch
      && th.owned_prev.(oi) = word)
 
+let charge_validation th cost =
+  th.platform.consume cost;
+  th.stats.validation_cycles <- th.stats.validation_cycles + cost
+
 let validate tx =
   let th = tx.thread in
   th.stats.validations <- th.stats.validations + 1;
-  th.platform.consume (Costs.validate_per_read * tx.n_reads);
+  charge_validation th (Costs.validate_per_read * tx.n_reads);
   let rec go k =
     if k >= tx.n_reads then true
     else if read_entry_valid th tx.read_orecs.(k) tx.read_words.(k) then
@@ -208,11 +216,32 @@ let validate tx =
   in
   go 0
 
+(* Snapshot extension (lazy snapshot algorithm): a newer-than-snapshot
+   version was observed.  Sample the clock, then fully validate; success
+   proves the whole read set is consistent at the sampled instant (orec
+   versions only grow, so "valid after the sample" implies "valid at the
+   sample"), and the snapshot moves forward instead of aborting. *)
+let extend_snapshot tx =
+  let th = tx.thread in
+  let now = Orec.clock th.orecs in
+  th.stats.snapshot_extensions <- th.stats.snapshot_extensions + 1;
+  charge_validation th Costs.snapshot_extend;
+  if validate tx then tx.start_ts <- now else raise Retry_conflict
+
 let maybe_validate tx =
   tx.ops_since_validate <- tx.ops_since_validate + 1;
   if tx.ops_since_validate >= tx.thread.config.validate_every then begin
     tx.ops_since_validate <- 0;
-    if not (validate tx) then raise Retry_conflict
+    let th = tx.thread in
+    if th.config.Config.tvalidate then begin
+      (* O(1) zombie guard: an unmoved clock means nothing committed since
+         the snapshot, so the read set cannot have been invalidated. *)
+      charge_validation th Costs.tvalidate_check;
+      if Orec.clock th.orecs > tx.start_ts then extend_snapshot tx
+      else
+        th.stats.validations_skipped <- th.stats.validations_skipped + 1
+    end
+    else if not (validate tx) then raise Retry_conflict
   end
 
 (* ------------------------------------------------------------------ *)
@@ -239,11 +268,19 @@ let heap_capture_check th log ~lo ~hi =
         Costs.capture_summary_check
     | Alloc_log.Mru_hit ->
         st.Stats.capture_mru_hits <- st.Stats.capture_mru_hits + 1;
-        Costs.capture_summary_check + Costs.capture_mru_check
+        (* With the MRU tier skipped (filter backend or <=1 block) a hit
+           can only come from an exact single-block envelope, where the
+           MRU compare is against the same two words as the bounds
+           compare — the summary price covers it. *)
+        Costs.capture_summary_check
+        + (if Alloc_log.mru_tier_active log then Costs.capture_mru_check
+           else 0)
     | Alloc_log.Backend_hit | Alloc_log.Backend_miss ->
         st.Stats.capture_backend_probes <- st.Stats.capture_backend_probes + 1;
         (if Alloc_log.fastpath log then
-           Costs.capture_summary_check + Costs.capture_mru_check
+           Costs.capture_summary_check
+           + (if Alloc_log.mru_tier_active log then Costs.capture_mru_check
+              else 0)
          else 0)
         + Alloc_log.search_cost log
   in
@@ -356,6 +393,18 @@ let rec full_read_loop tx oi addr spins =
         if th.read_seen_word.(oi) <> w1 then raise Retry_conflict
       end
       else begin
+        if th.config.Config.tvalidate then begin
+          (* One compare per *fresh* read keeps the snapshot invariant:
+             version <= start_ts means the line is untouched since the
+             snapshot, so no logging-time revalidation is ever needed.
+             (A repeat read of a logged orec with the same word needs no
+             check — it passed this test at first read and [start_ts]
+             only grows.)  A newer version extends the snapshot (which
+             validates); [w1] was read before the extension sampled the
+             clock, so it is inside the extended snapshot afterwards. *)
+          charge_validation th Costs.ts_read_check;
+          if Orec.version_of w1 > tx.start_ts then extend_snapshot tx
+        end;
         th.read_seen_epoch.(oi) <- th.epoch;
         th.read_seen_word.(oi) <- w1;
         push_read tx oi w1
@@ -623,6 +672,8 @@ let begin_top tx =
   tx.n_undo <- 0;
   tx.n_acq <- 0;
   tx.ops_since_validate <- 0;
+  tx.start_ts <-
+    (if th.config.Config.tvalidate then Orec.clock th.orecs else 0);
   Waw.clear tx.waw;
   (match tx.top_capture_log with Some l -> Alloc_log.clear l | None -> ());
   (match tx.top_audit_log with Some l -> Alloc_log.clear l | None -> ());
@@ -654,20 +705,65 @@ let release_all tx ~commit =
   done;
   tx.n_acq <- 0
 
-let commit_top tx =
+(* Commit-time release under tvalidate: every acquired orec is stamped
+   with the commit's clock value (versions still only grow — any prior
+   stamp predates this commit's clock advance). *)
+let release_all_stamped tx ~ts =
   let th = tx.thread in
-  th.platform.consume
-    (Costs.commit_base
-    + (Costs.commit_per_read * tx.n_reads)
-    + (Costs.commit_per_orec * tx.n_acq));
-  if not (validate tx) then raise Retry_conflict;
-  release_all tx ~commit:true;
+  let word = Orec.stamped ~ts in
+  for k = 0 to tx.n_acq - 1 do
+    Orec.unlock th.orecs tx.acq_orecs.(k) word
+  done;
+  tx.n_acq <- 0
+
+let commit_epilogue tx =
+  let th = tx.thread in
   let scope = innermost tx in
   List.iter (fun addr -> Alloc.free th.arena addr) scope.deferred_frees;
   tx.scopes <- [];
   tx.live <- false;
   tx.attempts <- 0;
   th.stats.commits <- th.stats.commits + 1
+
+let commit_top tx =
+  let th = tx.thread in
+  (if th.config.Config.tvalidate then begin
+     if tx.n_acq = 0 then begin
+       (* Read-only fast path: every read was checked against the
+          snapshot as it happened, so the read set is a consistent
+          snapshot at [start_ts] by construction — serialize there.  No
+          validation scan, no clock bump, nothing to release. *)
+       th.platform.consume Costs.commit_base;
+       th.stats.readonly_fast_commits <- th.stats.readonly_fast_commits + 1
+     end
+     else begin
+       th.platform.consume
+         (Costs.commit_base + Costs.clock_advance
+         + (Costs.commit_per_orec * tx.n_acq));
+       let wv = Orec.advance_clock th.orecs in
+       th.stats.clock_advances <- th.stats.clock_advances + 1;
+       if wv - 1 = tx.start_ts then begin
+         (* No commit landed since the snapshot: the read set is still
+            current by construction; the O(n_reads) scan is one compare. *)
+         charge_validation th Costs.tvalidate_check;
+         th.stats.validations_skipped <- th.stats.validations_skipped + 1
+       end
+       else begin
+         th.platform.consume (Costs.commit_per_read * tx.n_reads);
+         if not (validate tx) then raise Retry_conflict
+       end;
+       release_all_stamped tx ~ts:wv
+     end
+   end
+   else begin
+     th.platform.consume
+       (Costs.commit_base
+       + (Costs.commit_per_read * tx.n_reads)
+       + (Costs.commit_per_orec * tx.n_acq));
+     if not (validate tx) then raise Retry_conflict;
+     release_all tx ~commit:true
+   end);
+  commit_epilogue tx
 
 let abort_top tx ~user =
   let th = tx.thread in

@@ -17,6 +17,9 @@ let configs =
     Config.with_fastpath (Config.runtime Alloc_log.Tree);
     Config.with_fastpath (Config.runtime Alloc_log.Array);
     Config.with_fastpath (Config.runtime Alloc_log.Filter);
+    Config.with_tvalidate Config.baseline;
+    Config.with_tvalidate (Config.runtime Alloc_log.Tree);
+    Config.with_tvalidate (Config.with_fastpath (Config.runtime Alloc_log.Filter));
     Config.compiler;
     Config.audit;
   ]
@@ -132,6 +135,46 @@ let test_app_fastpath_semantics app () =
             (elided off) (elided on))
     Alloc_log.all_backends
 
+(* Timestamp-based validation must be invisible to outcomes too: under
+   the same seed, commits, user aborts and app invariants match with it
+   on and off, for every backend.  (Conflict aborts may differ — the two
+   modes detect doomed transactions at different instants — but apps do a
+   fixed amount of work, so what commits is workload-determined.) *)
+let test_app_tvalidate_semantics app () =
+  List.iter
+    (fun (name, cfg) ->
+      let run tv =
+        match
+          App.run_checked app ~nthreads:1 ~scale:App.Test ~mode:(`Sim 7)
+            (Config.with_tvalidate ~on:tv cfg)
+        with
+        | Ok r -> r
+        | Error m ->
+            Alcotest.failf "verify failed (%s tvalidate=%b): %s" name tv m
+      in
+      let off = run false and on = run true in
+      Alcotest.(check int) (name ^ " commits") off.Engine.stats.Stats.commits
+        on.Engine.stats.Stats.commits;
+      Alcotest.(check int)
+        (name ^ " user aborts")
+        off.Engine.stats.Stats.user_aborts on.Engine.stats.Stats.user_aborts;
+      (* Elision is orthogonal to validation strategy: identical. *)
+      Alcotest.(check int)
+        (name ^ " reads elided")
+        (Stats.reads_elided off.Engine.stats)
+        (Stats.reads_elided on.Engine.stats);
+      Alcotest.(check int)
+        (name ^ " writes elided")
+        (Stats.writes_elided off.Engine.stats)
+        (Stats.writes_elided on.Engine.stats);
+      check (name ^ " no clock advances when off") true
+        (off.Engine.stats.Stats.clock_advances = 0))
+    (("baseline", Config.baseline)
+    :: List.map
+         (fun backend ->
+           (Alloc_log.backend_name backend, Config.runtime backend))
+         Alloc_log.all_backends)
+
 (* Hybrid config: verifies and still elides at least as much as nothing. *)
 let test_app_hybrid app () =
   match
@@ -167,6 +210,8 @@ let suite_for app =
         Alcotest.test_case "bench scale" `Quick (test_app_bench_scale app);
         Alcotest.test_case "fastpath semantics" `Quick
           (test_app_fastpath_semantics app);
+        Alcotest.test_case "tvalidate semantics" `Quick
+          (test_app_tvalidate_semantics app);
         Alcotest.test_case "hybrid" `Quick (test_app_hybrid app);
       ]
   in

@@ -385,6 +385,44 @@ let test_probe_classification () =
   check "no fastpath: backend miss" true
     (Alloc_log.probe plain ~lo:100 ~hi:101 = Alloc_log.Backend_miss)
 
+(* The MRU tier is skipped when it cannot pay for itself: the filter's
+   backend probe is already O(1), and a log of at most one block is fully
+   answered by the envelope summary.  Probes then route straight from the
+   summary to the backend (same boolean answer, different tier), and the
+   tier re-arms once the log grows past one block. *)
+let test_mru_tier_gating () =
+  (* Filter: never active, even with many blocks. *)
+  let f = Alloc_log.create ~fastpath:true Alloc_log.Filter in
+  log_add f ~lo:100 ~hi:120;
+  log_add f ~lo:300 ~hi:320;
+  check "filter: tier off" false (Alloc_log.mru_tier_active f);
+  check "filter: repeat probe routes to backend" true
+    (Alloc_log.probe f ~lo:305 ~hi:306 = Alloc_log.Backend_hit
+    && Alloc_log.probe f ~lo:305 ~hi:306 = Alloc_log.Backend_hit);
+  (* Tree: off at <=1 block, re-arms at 2, off again after removal. *)
+  let t = Alloc_log.create ~fastpath:true Alloc_log.Tree in
+  check "tree empty: tier off" false (Alloc_log.mru_tier_active t);
+  log_add t ~lo:100 ~hi:120;
+  check "tree 1 block: tier off" false (Alloc_log.mru_tier_active t);
+  (* One block, nothing removed: the envelope is exact, so the summary
+     itself answers "captured" (reported as an MRU hit, priced as a
+     summary check). *)
+  check "tree 1 exact block: summary-priced hit" true
+    (Alloc_log.probe t ~lo:105 ~hi:106 = Alloc_log.Mru_hit);
+  log_add t ~lo:300 ~hi:320;
+  check "tree 2 blocks: tier armed" true (Alloc_log.mru_tier_active t);
+  check "tree 2 blocks: fresh block MRU hit" true
+    (Alloc_log.probe t ~lo:305 ~hi:306 = Alloc_log.Mru_hit);
+  check "remove hit" true (Alloc_log.remove t ~lo:300 ~hi:320);
+  check "tree back to 1 block: tier off" false (Alloc_log.mru_tier_active t);
+  (* After a removal the envelope is no longer exact, so the surviving
+     block's probes route to the backend (the stale MRU was invalidated). *)
+  check "tree 1 inexact block: backend hit" true
+    (Alloc_log.probe t ~lo:105 ~hi:106 = Alloc_log.Backend_hit);
+  (* No fastpath: never active. *)
+  let plain = Alloc_log.create Alloc_log.Tree in
+  check "plain: tier off" false (Alloc_log.mru_tier_active plain)
+
 (* Fast-path conservatism: for every backend, the hierarchical log never
    claims captured wrongly, and it agrees exactly with a precise reference
    on Tree (and on Array, thanks to promotion). *)
@@ -670,6 +708,7 @@ let () =
             test_remove_miss_keeps_count;
           Alcotest.test_case "probe classification" `Quick
             test_probe_classification;
+          Alcotest.test_case "mru tier gating" `Quick test_mru_tier_gating;
         ] );
       qsuite "alloc_log-props"
         [

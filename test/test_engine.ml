@@ -33,6 +33,19 @@ let test_orec_lock_cycle () =
     ((not (Orec.is_locked (Orec.get t i)))
     && Orec.version_of (Orec.get t i) = Orec.version_of before + 1)
 
+let test_orec_clock () =
+  let t = Orec.create ~bits:6 ~line_words_log2:2 in
+  check_int "starts at zero" 0 (Orec.clock t);
+  check_int "first advance returns 1" 1 (Orec.advance_clock t);
+  check_int "second advance returns 2" 2 (Orec.advance_clock t);
+  check_int "clock reads newest" 2 (Orec.clock t);
+  (* Stamped words are unlocked version words decoding to the stamp. *)
+  let w = Orec.stamped ~ts:2 in
+  check "stamped unlocked" false (Orec.is_locked w);
+  check_int "stamped roundtrip" 2 (Orec.version_of w);
+  (* Stamping is order-preserving: versions only grow with the clock. *)
+  check "monotone" true (Orec.stamped ~ts:2 > Orec.stamped ~ts:1)
+
 let test_orec_line_granularity () =
   let t = Orec.create ~bits:10 ~line_words_log2:2 in
   (* Addresses within one 4-word line map to the same record. *)
@@ -216,6 +229,7 @@ let () =
         [
           Alcotest.test_case "encoding" `Quick test_orec_encoding;
           Alcotest.test_case "lock cycle" `Quick test_orec_lock_cycle;
+          Alcotest.test_case "version clock" `Quick test_orec_clock;
           Alcotest.test_case "line granularity" `Quick
             test_orec_line_granularity;
           Alcotest.test_case "no pow2 aliasing" `Quick
