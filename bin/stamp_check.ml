@@ -1,0 +1,303 @@
+(* stamp_check: schedule exploration with the opacity oracle.
+
+   Sweeps workloads (micro workloads and/or registered STAMP apps) across
+   STM configurations and exploration strategies, checking every explored
+   schedule with the opacity oracle.  Exit status 0 means every schedule
+   passed (or, with --inject-bug, that the injected bug was caught). *)
+
+module Config = Captured_stm.Config
+module Strategy = Captured_check.Strategy
+module Harness = Captured_check.Harness
+module Oracle = Captured_check.Oracle
+module Workloads = Captured_check.Workloads
+
+let analysis_of_name = function
+  | "baseline" -> Some Config.baseline
+  | "tree" -> Some (Config.runtime Captured_core.Alloc_log.Tree)
+  | "array" -> Some (Config.runtime Captured_core.Alloc_log.Array)
+  | "filter" -> Some (Config.runtime Captured_core.Alloc_log.Filter)
+  | _ -> None
+
+let mode_of_name = function
+  | "base" -> Some (false, false)
+  | "fp" -> Some (true, false)
+  | "tv" -> Some (false, true)
+  | "fptv" -> Some (true, true)
+  | _ -> None
+
+let split_csv s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_json (r : Harness.report) union =
+  Printf.sprintf
+    "{\"workload\":\"%s\",\"config\":\"%s\",\"strategy\":\"%s\",\"runs\":%d,\"new_schedules\":%d,\"union_distinct\":%d,\"truncated\":%d,\"violations\":%d%s}"
+    (json_escape r.Harness.workload)
+    (json_escape r.Harness.config)
+    r.Harness.strategy r.Harness.runs r.Harness.distinct union
+    r.Harness.truncated r.Harness.violations
+    (match r.Harness.first with
+    | None -> ""
+    | Some f ->
+        Printf.sprintf ",\"first\":\"%s\",\"minimized\":\"%s\""
+          (json_escape (Oracle.violation_to_string f.Harness.violation))
+          (json_escape (Strategy.interventions_to_string f.Harness.minimized)))
+
+let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
+    strategies_csv runs seed max_steps persist pct_depth dfs_preemptions
+    min_distinct inject_bug json smoke =
+  let runs = if smoke && runs = 0 then 600 else if runs = 0 then 400 else runs
+  and min_distinct = if smoke && min_distinct = 0 then 1000 else min_distinct in
+  let workload_names =
+    if workloads_csv = "" && apps_csv = "" then
+      [ "counter"; "bank"; "publish"; "scoped" ]
+    else split_csv workloads_csv
+  in
+  let resolve name =
+    match Workloads.find name ~nthreads with
+    | Some w -> Ok w
+    | None -> Error (Printf.sprintf "unknown workload %S" name)
+  in
+  let rec resolve_all acc = function
+    | [] -> Ok (List.rev acc)
+    | n :: rest -> (
+        match resolve n with
+        | Ok w -> resolve_all (w :: acc) rest
+        | Error _ as e -> e)
+  in
+  match resolve_all [] (workload_names @ split_csv apps_csv) with
+  | Error msg -> `Error (false, msg)
+  | Ok workloads -> (
+      match analysis_of_name analysis_name with
+      | None ->
+          `Error
+            (false, Printf.sprintf "unknown analysis %S" analysis_name)
+      | Some base -> (
+          let modes =
+            List.filter_map
+              (fun m ->
+                match mode_of_name m with
+                | Some fptv -> Some (m, fptv)
+                | None -> None)
+            @@ split_csv modes_csv
+          in
+          let strategies =
+            List.filter_map
+              (fun s ->
+                match s with
+                | "random" -> Some (Strategy.Random { persist })
+                | "pct" -> Some (Strategy.Pct { depth = pct_depth })
+                | "dfs" -> Some (Strategy.Dfs { preemptions = dfs_preemptions })
+                | _ -> None)
+            @@ split_csv strategies_csv
+          in
+          if modes = [] then `Error (false, "no valid modes")
+          else if strategies = [] then `Error (false, "no valid strategies")
+          else begin
+            let failures = ref 0
+            and caught = ref 0
+            and total_runs = ref 0
+            and total_distinct = ref 0
+            and shallow = ref [] in
+            List.iter
+              (fun w ->
+                List.iter
+                  (fun (_mname, (fp, tv)) ->
+                    let config =
+                      base
+                      |> Config.with_fastpath ~on:fp
+                      |> Config.with_tvalidate ~on:tv
+                      |> Config.with_skip_validation ~on:inject_bug
+                    in
+                    let seen = Hashtbl.create (8 * runs) in
+                    List.iter
+                      (fun strategy ->
+                        let r =
+                          Harness.explore ~workload:w ~config ~strategy ~runs
+                            ~seed ~max_steps ~seen ()
+                        in
+                        total_runs := !total_runs + r.Harness.runs;
+                        if r.Harness.violations > 0 then begin
+                          if inject_bug then begin
+                            incr caught;
+                            match r.Harness.first with
+                            | Some f ->
+                                shallow :=
+                                  (w.Workloads.name,
+                                   List.length f.Harness.minimized)
+                                  :: !shallow
+                            | None -> ()
+                          end
+                          else incr failures
+                        end;
+                        if json then
+                          print_endline (report_json r (Hashtbl.length seen))
+                        else print_endline (Harness.report_to_string r))
+                      strategies;
+                    let union = Hashtbl.length seen in
+                    total_distinct := !total_distinct + union;
+                    if (not inject_bug) && union < min_distinct then begin
+                      incr failures;
+                      if not json then
+                        Printf.printf
+                          "FAIL %s %s: %d distinct schedules < %d required\n"
+                          w.Workloads.name (Config.name config) union
+                          min_distinct
+                    end)
+                  modes)
+              workloads;
+            if not json then
+              Printf.printf
+                "total: %d runs, %d distinct schedules across %d workload×config cells\n"
+                !total_runs !total_distinct
+                (List.length workloads * List.length modes);
+            if inject_bug then
+              if !caught = 0 then
+                `Error
+                  ( false,
+                    "injected validation-skip bug was NOT caught by any \
+                     strategy" )
+              else begin
+                if not json then
+                  List.iter
+                    (fun (w, n) ->
+                      Printf.printf
+                        "caught injected bug on %s (minimized to %d \
+                         interventions)\n"
+                        w n)
+                    !shallow;
+                `Ok ()
+              end
+            else if !failures > 0 then
+              `Error
+                (false, Printf.sprintf "%d failing cells (see above)" !failures)
+            else `Ok ()
+          end))
+
+open Cmdliner
+
+let workloads_arg =
+  let doc =
+    "Comma-separated micro workloads (counter, bank, publish, scoped). \
+     Default: all four (unless $(b,--apps) is given alone)."
+  in
+  Arg.(value & opt string "" & info [ "workloads"; "w" ] ~docv:"NAMES" ~doc)
+
+let apps_arg =
+  let doc = "Comma-separated registered STAMP apps to sweep (Test scale)." in
+  Arg.(value & opt string "" & info [ "apps" ] ~docv:"NAMES" ~doc)
+
+let threads_arg =
+  let doc = "Simulated threads per workload." in
+  Arg.(value & opt int 2 & info [ "threads"; "t" ] ~docv:"N" ~doc)
+
+let analysis_arg =
+  let doc = "Base analysis: baseline, tree, array or filter." in
+  Arg.(value & opt string "tree" & info [ "analysis" ] ~docv:"NAME" ~doc)
+
+let modes_arg =
+  let doc =
+    "STM mode combinations to sweep: base, fp (+fastpath), tv (+timestamp \
+     validation), fptv (both)."
+  in
+  Arg.(
+    value & opt string "base,fp,tv,fptv" & info [ "modes" ] ~docv:"NAMES" ~doc)
+
+let strategies_arg =
+  let doc = "Exploration strategies: random, pct, dfs." in
+  Arg.(
+    value
+    & opt string "random,pct,dfs"
+    & info [ "strategies"; "s" ] ~docv:"NAMES" ~doc)
+
+let runs_arg =
+  let doc = "Schedules per strategy per workload×config (0 = default 400)." in
+  Arg.(value & opt int 0 & info [ "runs"; "n" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Base PRNG seed (the sweep is deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let max_steps_arg =
+  let doc = "Scheduler decision budget per run before truncation." in
+  Arg.(value & opt int 200_000 & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let persist_arg =
+  let doc = "Random walk: percent chance to keep running at consume points." in
+  Arg.(value & opt int 85 & info [ "persist" ] ~docv:"PCT" ~doc)
+
+let pct_depth_arg =
+  let doc = "PCT bug depth d (d - 1 priority-change points)." in
+  Arg.(value & opt int 3 & info [ "pct-depth" ] ~docv:"N" ~doc)
+
+let dfs_preemptions_arg =
+  let doc = "DFS preemption bound." in
+  Arg.(value & opt int 2 & info [ "dfs-preemptions" ] ~docv:"N" ~doc)
+
+let min_distinct_arg =
+  let doc =
+    "Fail unless every workload×config cell explores at least N distinct \
+     schedules across its strategies (0 = no floor)."
+  in
+  Arg.(value & opt int 0 & info [ "min-distinct" ] ~docv:"N" ~doc)
+
+let inject_bug_arg =
+  let doc =
+    "Canary mode: inject the validation-skipping bug and succeed only if \
+     the oracle catches it."
+  in
+  Arg.(value & flag & info [ "inject-bug" ] ~doc)
+
+let json_arg =
+  let doc = "Emit one JSON object per report line." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let smoke_arg =
+  let doc =
+    "Smoke preset: defaults $(b,--min-distinct) to 1000 (CI acceptance \
+     floor)."
+  in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let cmd =
+  let doc = "systematic concurrency testing for the STM" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Explores thread interleavings of small transactional workloads \
+         under a controlled scheduler and checks every run against an \
+         opacity oracle (snapshot consistency, lost updates, read \
+         coherence, final state, workload invariants).  Any violation is \
+         minimized with delta debugging to a short intervention list that \
+         replays deterministically.";
+      `S Manpage.s_examples;
+      `P "Full smoke sweep (what CI runs):";
+      `Pre "  stamp_check --smoke --seed 1";
+      `P "Check the checker catches an injected lost-update bug:";
+      `Pre "  stamp_check --inject-bug -w counter -s random,dfs";
+      `P "Sweep a STAMP app:";
+      `Pre "  stamp_check --apps vacation-low -n 100 --min-distinct 0";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "stamp_check" ~doc ~man)
+    Term.(
+      ret
+        (const sweep $ workloads_arg $ apps_arg $ threads_arg $ analysis_arg
+       $ modes_arg $ strategies_arg $ runs_arg $ seed_arg $ max_steps_arg
+       $ persist_arg $ pct_depth_arg $ dfs_preemptions_arg $ min_distinct_arg
+       $ inject_bug_arg $ json_arg $ smoke_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -42,6 +42,12 @@ val run :
   Config.t ->
   Engine.result
 
+(** [load_verdicts app] resets the global site table, analyzes the app's
+    IR model and loads its capture verdicts — what [run] does implicitly
+    for [Compiler]/hybrid configurations.  Exposed for harnesses that
+    drive [prepare]/[Engine.run_sim] directly ({!Captured_check}). *)
+val load_verdicts : t -> unit
+
 (** As [run] but returns the verification error instead of raising. *)
 val run_checked :
   t ->

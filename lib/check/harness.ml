@@ -1,0 +1,248 @@
+module Sched = Captured_sim.Sched
+module Memory = Captured_tmem.Memory
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Stats = Captured_stm.Stats
+module App = Captured_apps.App
+
+exception Step_budget_exceeded
+
+type run = {
+  trace : Strategy.trace;
+  violation : Oracle.violation option;
+  truncated : bool;
+  commits : int;
+  aborts : int;
+  events : int;
+}
+
+(* The oracle's strict (aborted-attempts-too) mode is sound exactly when
+   every read is validated as it happens. *)
+let strictness_for (config : Config.t) =
+  if config.Config.tvalidate || config.Config.pessimistic_reads then
+    Oracle.All_attempts
+  else Oracle.Committed_only
+
+(* One controlled run: fresh world, snapshot memory, record the history,
+   replay it through the oracle.  Deterministic in (workload, config,
+   seed, control). *)
+let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
+    ~(workload : Workloads.t) ~config control =
+  let p = workload.Workloads.prepare config in
+  let mem = Engine.memory p.App.world in
+  let size = Memory.size mem in
+  let init = Array.make size 0 in
+  Memory.blit_to_array mem 1 init 1 (size - 1);
+  let hist = History.create () in
+  let trace = Strategy.new_trace ~record_detail () in
+  let instrumented = Strategy.instrument trace control in
+  let control ~ready ~current ~point =
+    if Strategy.steps trace >= max_steps then raise Step_budget_exceeded;
+    instrumented ~ready ~current ~point
+  in
+  History.attach hist;
+  let outcome =
+    Fun.protect ~finally:History.detach (fun () ->
+        try `Done (Engine.run_sim ~control ~seed p.App.world p.App.body) with
+        | Step_budget_exceeded -> `Truncated
+        | Sched.Fiber_failure (tid, e) -> `Crashed (tid, e))
+  in
+  match outcome with
+  | `Truncated ->
+      {
+        trace;
+        violation = None;
+        truncated = true;
+        commits = 0;
+        aborts = 0;
+        events = History.length hist;
+      }
+  | `Crashed (tid, e) ->
+      (* No fiber raises in a correct run (conflicts retry internally):
+         an escaped exception is zombie fallout or a harness bug. *)
+      {
+        trace;
+        violation =
+          Some
+            {
+              Oracle.kind = "fiber-exception";
+              tid;
+              seq = History.length hist;
+              detail = Printexc.to_string e;
+            };
+        truncated = false;
+        commits = 0;
+        aborts = 0;
+        events = History.length hist;
+      }
+  | `Done r ->
+      let orecs = Engine.orecs p.App.world in
+      let violation =
+        Oracle.check
+          ~strictness:(strictness_for config)
+          ~index_of:(Captured_stm.Orec.index_of orecs)
+          ~initial:(fun a -> init.(a))
+          ~final:(fun a -> Memory.get mem a)
+          ~history:hist ~verify:p.App.verify ()
+      in
+      {
+        trace;
+        violation;
+        truncated = false;
+        commits = r.Engine.stats.Stats.commits;
+        aborts = r.Engine.stats.Stats.aborts;
+        events = History.length hist;
+      }
+
+type found = {
+  violation : Oracle.violation;
+  interventions : (int * int) list;
+  minimized : (int * int) list;
+}
+
+type report = {
+  workload : string;
+  config : string;
+  strategy : string;
+  runs : int;
+  distinct : int; (* schedules not seen before (across the shared table) *)
+  truncated : int;
+  violations : int;
+  first : found option;
+  max_events : int;
+  total_commits : int;
+}
+
+(* Bounded exhaustive DFS with preemption bounding: run a prescription,
+   then branch on every consume decision after its last prescribed step
+   (those all followed the default = continue, so each alternative is one
+   more preemption). *)
+let dfs_explore ~workload ~config ~seed ~max_steps ~bound ~budget ~note =
+  let stack = ref [ [] ] in
+  let runs = ref 0 in
+  while !stack <> [] && !runs < budget do
+    match !stack with
+    | [] -> ()
+    | p :: rest ->
+        stack := rest;
+        incr runs;
+        let r =
+          run_one ~workload ~config ~seed ~max_steps ~record_detail:true
+            (Strategy.replay_control ~interventions:p ())
+        in
+        note r p;
+        if (not r.truncated) && List.length p < bound then begin
+          let last =
+            List.fold_left (fun acc (s, _) -> max acc s) (-1) p
+          in
+          let detail = Strategy.detail r.trace in
+          Array.iteri
+            (fun i (d : Strategy.decision) ->
+              if i > last && d.Strategy.d_point = Sched.Consume_point then
+                Array.iter
+                  (fun alt ->
+                    if alt <> d.Strategy.d_chosen then
+                      stack := (p @ [ (i, alt) ]) :: !stack)
+                  d.Strategy.d_ready)
+            detail
+        end
+  done;
+  !runs
+
+let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
+    ?(seed = 1) ?(max_steps = 200_000) ?(minimize = true) ?seen () =
+  let seen =
+    match seen with Some s -> s | None -> Hashtbl.create (4 * runs)
+  in
+  let distinct = ref 0
+  and truncated = ref 0
+  and violations = ref 0
+  and max_events = ref 0
+  and total_commits = ref 0
+  and ran = ref 0 in
+  let first = ref None in
+  let note (r : run) interventions =
+    incr ran;
+    let h = Strategy.hash r.trace in
+    if not (Hashtbl.mem seen h) then begin
+      Hashtbl.replace seen h ();
+      incr distinct
+    end;
+    if r.truncated then incr truncated;
+    max_events := max !max_events r.events;
+    total_commits := !total_commits + r.commits;
+    match r.violation with
+    | None -> ()
+    | Some v ->
+        incr violations;
+        if !first = None then begin
+          let minimized =
+            if minimize then
+              Minimize.ddmin
+                ~test:(fun subset ->
+                  let rr =
+                    run_one ~workload ~config ~seed ~max_steps
+                      (Strategy.replay_control ~interventions:subset ())
+                  in
+                  rr.violation <> None)
+                interventions
+            else interventions
+          in
+          first := Some { violation = v; interventions; minimized }
+        end
+  in
+  (match strategy with
+  | Strategy.Random { persist } ->
+      for i = 0 to runs - 1 do
+        let r =
+          run_one ~workload ~config ~seed ~max_steps
+            (Strategy.random_control ~seed:(seed + (7919 * i)) ~persist)
+        in
+        note r (Strategy.interventions r.trace)
+      done
+  | Strategy.Pct { depth } ->
+      (* One default-policy probe estimates the schedule length PCT
+         samples its priority-change points over. *)
+      let probe =
+        run_one ~workload ~config ~seed ~max_steps
+          (Strategy.replay_control ())
+      in
+      note probe (Strategy.interventions probe.trace);
+      let length = max 1 (Strategy.steps probe.trace) in
+      for i = 1 to runs - 1 do
+        let r =
+          run_one ~workload ~config ~seed ~max_steps
+            (Strategy.pct_control ~seed:(seed + (7919 * i))
+               ~nthreads:workload.Workloads.nthreads ~depth ~length)
+        in
+        note r (Strategy.interventions r.trace)
+      done
+  | Strategy.Dfs { preemptions } ->
+      ignore
+        (dfs_explore ~workload ~config ~seed ~max_steps ~bound:preemptions
+           ~budget:runs ~note:(fun r p -> note r p)
+          : int));
+  {
+    workload = workload.Workloads.name;
+    config = Config.name config;
+    strategy = Strategy.kind_name strategy;
+    runs = !ran;
+    distinct = !distinct;
+    truncated = !truncated;
+    violations = !violations;
+    first = !first;
+    max_events = !max_events;
+    total_commits = !total_commits;
+  }
+
+let report_to_string r =
+  Printf.sprintf "%-14s %-28s %-6s runs=%-5d new-schedules=%-5d trunc=%-3d %s"
+    r.workload r.config r.strategy r.runs r.distinct r.truncated
+    (if r.violations = 0 then "ok"
+     else
+       match r.first with
+       | None -> Printf.sprintf "VIOLATIONS=%d" r.violations
+       | Some f ->
+           Printf.sprintf "VIOLATIONS=%d first=%s minimized=%s" r.violations
+             (Oracle.violation_to_string f.violation)
+             (Strategy.interventions_to_string f.minimized))

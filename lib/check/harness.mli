@@ -1,0 +1,72 @@
+(** Exploration harness: run workloads under controlled schedules and
+    check every run with the opacity oracle. *)
+
+module Config = Captured_stm.Config
+module Sched = Captured_sim.Sched
+
+exception Step_budget_exceeded
+
+type run = {
+  trace : Strategy.trace;
+  violation : Oracle.violation option;
+  truncated : bool;  (** hit the step budget; not oracle-checked *)
+  commits : int;
+  aborts : int;
+  events : int;
+}
+
+(** Oracle strictness a configuration has earned: [All_attempts] under
+    per-read validation (+tv) or pessimistic reads, else
+    [Committed_only]. *)
+val strictness_for : Config.t -> Oracle.strictness
+
+(** [run_one ~workload ~config control] prepares a fresh world, runs it
+    under [control] and replays the history through the oracle.
+    Deterministic in (workload, config, seed, control). *)
+val run_one :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?record_detail:bool ->
+  workload:Workloads.t ->
+  config:Config.t ->
+  Sched.control ->
+  run
+
+type found = {
+  violation : Oracle.violation;
+  interventions : (int * int) list;
+  minimized : (int * int) list;  (** ddmin-shrunk reproducer *)
+}
+
+type report = {
+  workload : string;
+  config : string;
+  strategy : string;
+  runs : int;
+  distinct : int;
+      (** schedules whose choice-sequence hash was not already in the
+          shared [seen] table *)
+  truncated : int;
+  violations : int;
+  first : found option;
+  max_events : int;
+  total_commits : int;
+}
+
+(** [explore ~workload ~config ~strategy ()] runs one strategy's budget
+    of schedules.  [seen] (shared across calls) makes [distinct] count
+    union-distinct schedules per workload × config.  The first violation
+    is minimized with ddmin unless [minimize:false]. *)
+val explore :
+  workload:Workloads.t ->
+  config:Config.t ->
+  strategy:Strategy.kind ->
+  ?runs:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?minimize:bool ->
+  ?seen:(int, unit) Hashtbl.t ->
+  unit ->
+  report
+
+val report_to_string : report -> string

@@ -1,0 +1,57 @@
+module Txn = Captured_stm.Txn
+
+type entry = { seq : int; tid : int; ev : Txn.event }
+
+type t = { mutable entries : entry array; mutable len : int }
+
+let dummy = { seq = 0; tid = 0; ev = Txn.Ev_commit }
+
+let create () = { entries = Array.make 1024 dummy; len = 0 }
+
+let clear t = t.len <- 0
+
+let record t ~tid ev =
+  if t.len >= Array.length t.entries then begin
+    let bigger = Array.make (2 * Array.length t.entries) dummy in
+    Array.blit t.entries 0 bigger 0 t.len;
+    t.entries <- bigger
+  end;
+  t.entries.(t.len) <- { seq = t.len; tid; ev };
+  t.len <- t.len + 1
+
+let length t = t.len
+let get t i = t.entries.(i)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.entries.(i)
+  done
+
+let attach t = Txn.set_tracer (Some (fun tid ev -> record t ~tid ev))
+let detach () = Txn.set_tracer None
+
+let class_name = function
+  | Txn.Instrumented -> ""
+  | Txn.Elided_static -> "/static"
+  | Txn.Elided_stack -> "/stack"
+  | Txn.Elided_heap -> "/heap"
+  | Txn.Elided_private -> "/private"
+
+let event_to_string = function
+  | Txn.Ev_begin { attempt } -> Printf.sprintf "begin#%d" attempt
+  | Txn.Ev_read { addr; value; cls } ->
+      Printf.sprintf "rd%s %d=%d" (class_name cls) addr value
+  | Txn.Ev_write { addr; value; cls } ->
+      Printf.sprintf "wr%s %d:=%d" (class_name cls) addr value
+  | Txn.Ev_alloc { addr; size } -> Printf.sprintf "alloc %d+%d" addr size
+  | Txn.Ev_alloca { addr; size } -> Printf.sprintf "alloca %d+%d" addr size
+  | Txn.Ev_free { addr } -> Printf.sprintf "free %d" addr
+  | Txn.Ev_scope_begin -> "scope{"
+  | Txn.Ev_scope_commit -> "}commit"
+  | Txn.Ev_scope_abort -> "}abort"
+  | Txn.Ev_commit -> "commit"
+  | Txn.Ev_abort { user } -> if user then "abort(user)" else "abort"
+  | Txn.Ev_raw_write { addr; value } -> Printf.sprintf "raw %d:=%d" addr value
+
+let entry_to_string e =
+  Printf.sprintf "%4d t%d %s" e.seq e.tid (event_to_string e.ev)

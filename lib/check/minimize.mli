@@ -1,0 +1,10 @@
+(** Failing-schedule minimization: ddmin over intervention lists. *)
+
+(** [ddmin ~budget ~test cs] returns a minimal (in the ddmin sense)
+    subset of [cs] on which [test] still returns [true], assuming
+    [test cs = true].  [test] is called at most [budget] (default 400)
+    times; on budget exhaustion the smallest failing subset found so far
+    is returned. *)
+val ddmin :
+  ?budget:int -> test:((int * int) list -> bool) -> (int * int) list ->
+  (int * int) list

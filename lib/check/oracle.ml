@@ -1,0 +1,304 @@
+module Txn = Captured_stm.Txn
+
+type strictness = Committed_only | All_attempts
+
+type violation = { kind : string; tid : int; seq : int; detail : string }
+
+let violation_to_string v =
+  Printf.sprintf "[%s] thread %d at event %d: %s" v.kind v.tid v.seq v.detail
+
+exception Found of violation
+
+let fail ~kind ~tid ~seq detail = raise (Found { kind; tid; seq; detail })
+
+(* Committed-state value of one cell: known, or freshly (re)allocated and
+   never initialised — a wildcard that matches any observation. *)
+type cell = Val of int | Fresh
+
+(* One in-flight transaction attempt, replayed from its events. *)
+type attempt = {
+  begin_seq : int;
+  first_reads : (int, int * int) Hashtbl.t; (* addr -> value, seq *)
+  mutable pending : (int * int * bool) list; (* newest first: addr, value, elided *)
+  mutable pending_n : int;
+  mutable marks : int list; (* pending_n at each open nested scope *)
+  mutable owned : (int * int) list; (* [lo, hi) alloc/alloca ranges *)
+  locked : (int, unit) Hashtbl.t;
+      (* orec indices this attempt write-locked.  A read of ANY address
+         mapping to a locked orec — the written address itself, a
+         line-mate, or a hash-collided line — takes the owned fast path:
+         memory access with no validation.  Partial aborts roll pending
+         writes back but KEEP the locks (txn.ml keeps acquired orecs
+         through nested aborts), so those reads can legally observe
+         states newer than the snapshot; they are outside every
+         consistency rule. *)
+  mutable deferred : violation option;
+      (* A read inconsistency observed mid-attempt that is only a
+         violation if the attempt commits (zombie reads in attempts the
+         STM later aborts are legal under [Committed_only]). *)
+}
+
+let new_attempt seq =
+  {
+    begin_seq = seq;
+    first_reads = Hashtbl.create 16;
+    pending = [];
+    pending_n = 0;
+    marks = [];
+    owned = [];
+    locked = Hashtbl.create 8;
+    deferred = None;
+  }
+
+let own_pending a addr =
+  let rec go = function
+    | [] -> None
+    | (ad, v, _) :: rest -> if ad = addr then Some v else go rest
+  in
+  go a.pending
+
+let in_owned a addr =
+  List.exists (fun (lo, hi) -> addr >= lo && addr < hi) a.owned
+
+let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> a)
+    ~initial ~final ~history ~verify () =
+  (* Per-address committed-value timeline, newest entry first.  An address
+     absent from the table has held its initial value throughout. *)
+  let timeline : (int, (int * cell) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let allocated : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let value_at addr t =
+    match Hashtbl.find_opt timeline addr with
+    | None -> Val (initial addr)
+    | Some l ->
+        let rec go = function
+          | [] -> Val (initial addr)
+          | (s, v) :: rest -> if s <= t then v else go rest
+        in
+        go !l
+  in
+  let append addr seq st =
+    match Hashtbl.find_opt timeline addr with
+    | Some l -> l := (seq, st) :: !l
+    | None -> Hashtbl.add timeline addr (ref [ (seq, st) ])
+  in
+  (* Opacity's per-attempt condition: some instant t in [begin, end] at
+     which every first read matches the committed state.  Candidate
+     instants are the begin plus every commit that touched a read address
+     inside the window (the committed state is constant in between). *)
+  let snapshot_exists a ~end_seq =
+    let reads =
+      Hashtbl.fold (fun addr (v, s) acc -> (addr, v, s) :: acc) a.first_reads []
+    in
+    reads = []
+    ||
+    let consistent_at t =
+      List.for_all
+        (fun (addr, v, _) ->
+          match value_at addr t with Fresh -> true | Val x -> x = v)
+        reads
+    in
+    consistent_at a.begin_seq
+    || List.exists
+         (fun (addr, _, _) ->
+           match Hashtbl.find_opt timeline addr with
+           | None -> false
+           | Some l ->
+               List.exists
+                 (fun (s, _) ->
+                   s > a.begin_seq && s <= end_seq && consistent_at s)
+                 !l)
+         reads
+  in
+  let describe_reads a =
+    let rs =
+      Hashtbl.fold
+        (fun addr (v, s) acc -> Printf.sprintf "%d=%d@%d" addr v s :: acc)
+        a.first_reads []
+    in
+    String.concat " " (List.sort compare rs)
+  in
+  let live : (int, attempt) Hashtbl.t = Hashtbl.create 8 in
+  let on_event ({ seq; tid; ev } : History.entry) =
+    match ev with
+    | Txn.Ev_begin _ -> Hashtbl.replace live tid (new_attempt seq)
+    | Txn.Ev_scope_begin -> (
+        match Hashtbl.find_opt live tid with
+        | Some a -> a.marks <- a.pending_n :: a.marks
+        | None -> ())
+    | Txn.Ev_scope_commit -> (
+        match Hashtbl.find_opt live tid with
+        | Some a -> (
+            match a.marks with m :: r -> ignore m; a.marks <- r | [] -> ())
+        | None -> ())
+    | Txn.Ev_scope_abort -> (
+        (* Partial abort: the child scope's pending writes are rolled
+           back; reads stay in the prefix (the runtime keeps them logged
+           and validated too). *)
+        match Hashtbl.find_opt live tid with
+        | Some a -> (
+            match a.marks with
+            | m :: r ->
+                let rec drop l n =
+                  if n <= m then l
+                  else
+                    match l with [] -> [] | _ :: tl -> drop tl (n - 1)
+                in
+                a.pending <- drop a.pending a.pending_n;
+                a.pending_n <- m;
+                a.marks <- r
+            | [] -> ())
+        | None -> ())
+    | Txn.Ev_read { addr; value; cls } -> (
+        match Hashtbl.find_opt live tid with
+        | None -> ()
+        | Some a -> (
+            match own_pending a addr with
+            | Some w ->
+                if w <> value then
+                  fail ~kind:"read-own-write" ~tid ~seq
+                    (Printf.sprintf "addr %d read %d, own write was %d" addr
+                       value w)
+            | None ->
+                (* Elided reads of this attempt's own allocations are
+                   thread-private by construction (that is the property
+                   being tested); private-annotated data is outside the
+                   STM's contract.  Everything else is held to shared-read
+                   rules — including elided reads that target memory this
+                   attempt did NOT allocate, which is how a capture-
+                   analysis bug surfaces. *)
+                let skip =
+                  Hashtbl.mem a.locked (index_of addr)
+                  (* a self-locked orec (possibly via a line-mate): the
+                     owned fast path returns memory with no validation *)
+                  ||
+                  match cls with
+                  | Txn.Elided_private -> true
+                  | Txn.Instrumented -> false
+                  | Txn.Elided_static | Txn.Elided_stack | Txn.Elided_heap
+                    ->
+                      in_owned a addr
+                in
+                if not skip then begin
+                  match Hashtbl.find_opt a.first_reads addr with
+                  | Some (v0, s0) ->
+                      if v0 <> value then begin
+                        (* Per-read validation makes this impossible in a
+                           correct run, so report at once under
+                           [All_attempts]; the baseline only promises the
+                           attempt won't COMMIT like this, so hold the
+                           verdict until its commit event. *)
+                        let v =
+                          {
+                            kind = "repeat-read";
+                            tid;
+                            seq;
+                            detail =
+                              Printf.sprintf
+                                "addr %d read %d, first read saw %d at %d"
+                                addr value v0 s0;
+                          }
+                        in
+                        if strictness = All_attempts then raise (Found v)
+                        else if a.deferred = None then a.deferred <- Some v
+                      end
+                  | None -> Hashtbl.add a.first_reads addr (value, seq)
+                end))
+    | Txn.Ev_write { addr; value; cls } -> (
+        match Hashtbl.find_opt live tid with
+        | None -> ()
+        | Some a ->
+            if cls = Txn.Elided_private then
+              (* Private-annotated writes are never rolled back. *)
+              append addr seq (Val value)
+            else begin
+              if cls = Txn.Instrumented then
+                Hashtbl.replace a.locked (index_of addr) ();
+              a.pending <- (addr, value, cls <> Txn.Instrumented) :: a.pending;
+              a.pending_n <- a.pending_n + 1
+            end)
+    | Txn.Ev_alloc { addr; size } | Txn.Ev_alloca { addr; size } -> (
+        for i = addr to addr + size - 1 do
+          Hashtbl.replace allocated i ()
+        done;
+        match Hashtbl.find_opt live tid with
+        | None -> ()
+        | Some a ->
+            a.owned <- (addr, addr + size) :: a.owned;
+            (* Recycled cells hold garbage until initialised: wildcard. *)
+            for i = addr to addr + size - 1 do
+              append i seq Fresh
+            done)
+    | Txn.Ev_free _ -> ()
+    | Txn.Ev_commit -> (
+        match Hashtbl.find_opt live tid with
+        | None -> ()
+        | Some a ->
+            (match a.deferred with Some v -> raise (Found v) | None -> ());
+            if not (snapshot_exists a ~end_seq:seq) then
+              fail ~kind:"no-snapshot" ~tid ~seq
+                (Printf.sprintf "committed reads fit no instant in [%d,%d]: %s"
+                   a.begin_seq seq (describe_reads a));
+            (* A committed writer validated with its write locks held, so
+               a first read of an address it also wrote (non-elided writes
+               are locked through commit) must still be the committed
+               value now — otherwise an update was lost. *)
+            List.iter
+              (fun (addr, _, elided) ->
+                if not elided then
+                  match Hashtbl.find_opt a.first_reads addr with
+                  | None -> ()
+                  | Some (v, rs) -> (
+                      match value_at addr (seq - 1) with
+                      | Fresh -> ()
+                      | Val cur ->
+                          if cur <> v then
+                            fail ~kind:"stale-locked-read" ~tid ~seq
+                              (Printf.sprintf
+                                 "addr %d: read %d at %d, but %d was \
+                                  committed before this commit (lost update)"
+                                 addr v rs cur)))
+              a.pending;
+            List.iter
+              (fun (addr, v, _) -> append addr seq (Val v))
+              (List.rev a.pending);
+            Hashtbl.remove live tid)
+    | Txn.Ev_abort _ -> (
+        match Hashtbl.find_opt live tid with
+        | None -> ()
+        | Some a ->
+            (* Under per-read validation (+tv) or pessimistic reads even
+               aborted attempts must be opaque; the baseline's periodic
+               validation admits bounded zombie windows, so only committed
+               attempts are held to the snapshot rule there. *)
+            if strictness = All_attempts && not (snapshot_exists a ~end_seq:seq)
+            then
+              fail ~kind:"no-snapshot-aborted" ~tid ~seq
+                (Printf.sprintf "aborted reads fit no instant in [%d,%d]: %s"
+                   a.begin_seq seq (describe_reads a));
+            Hashtbl.remove live tid)
+    | Txn.Ev_raw_write { addr; value } -> append addr seq (Val value)
+  in
+  try
+    History.iter history on_event;
+    (* Final-state replay: every address the committed history last set to
+       a known value must hold it in memory — skipping allocator-recycled
+       addresses, whose liveness the oracle does not track. *)
+    Hashtbl.iter
+      (fun addr l ->
+        if not (Hashtbl.mem allocated addr) then
+          match !l with
+          | (s, Val v) :: _ ->
+              let f = final addr in
+              if f <> v then
+                fail ~kind:"final-state" ~tid:(-1) ~seq:s
+                  (Printf.sprintf
+                     "addr %d holds %d, committed history says %d" addr f v)
+          | _ -> ())
+      timeline;
+    (match verify () with
+    | Ok () -> ()
+    | Error m -> fail ~kind:"app-verify" ~tid:(-1) ~seq:(History.length history) m);
+    None
+  with Found v -> Some v

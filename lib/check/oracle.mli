@@ -1,0 +1,60 @@
+(** Opacity / serializability oracle.
+
+    Replays a recorded {!History} against a sequential reference: a
+    per-address timeline of committed values (transactional writes take
+    effect at their [Ev_commit]; private-annotated and raw writes
+    immediately).  The checks, in the order they can fire:
+
+    - {b read-own-write}: a read after the attempt's own pending write
+      must return that write's value;
+    - {b repeat-read}: two reads of one address with no own write in
+      between must agree.  Under [Committed_only] the verdict is held
+      until the attempt commits — a mismatched zombie read in an attempt
+      the STM later aborts is legal there;
+    - {b no-snapshot}: a committed attempt's first reads must all match
+      the committed state at {e some} instant between its begin and its
+      commit (opacity's snapshot condition);
+    - {b stale-locked-read}: an address a committed attempt both read and
+      wrote (so its lock was held through validation) must still hold the
+      read value at commit — the lost-update detector;
+    - {b no-snapshot-aborted}: the snapshot condition applied to aborted
+      attempts, only under [All_attempts] (see below);
+    - {b final-state}: memory after the run must match the timeline
+      (allocator-recycled addresses excluded);
+    - {b app-verify}: the workload's own invariant checker.
+
+    Reads the barrier elided as captured are exempt only when the address
+    lies in a block the same attempt allocated — an elision that leaks
+    to genuinely shared memory is checked as a shared access and fails.
+    Reads of addresses whose ownership record the attempt itself
+    write-locked earlier are also exempt — including line-mates and
+    hash-collided addresses, which is what [index_of] (the world's
+    address → orec mapping; identity by default) decides: partial aborts
+    roll writes back but keep the locks, and the owned fast path reads
+    memory with no validation, so such reads carry no consistency
+    promise in any mode.
+
+    [All_attempts] is sound for configurations that validate every read
+    ([Config.tvalidate]) or lock reads ([Config.pessimistic_reads]); the
+    baseline's periodic validation ([validate_every]) permits bounded
+    zombie windows in aborted attempts, so it gets [Committed_only]. *)
+
+type strictness = Committed_only | All_attempts
+
+type violation = { kind : string; tid : int; seq : int; detail : string }
+
+val violation_to_string : violation -> string
+
+(** [check ~strictness ~initial ~final ~history ~verify ()] replays
+    [history].  [initial addr] is memory before the run, [final addr]
+    after; [verify] is the workload invariant.  Returns the first
+    violation found, or [None]. *)
+val check :
+  ?strictness:strictness ->
+  ?index_of:(int -> int) ->
+  initial:(int -> int) ->
+  final:(int -> int) ->
+  history:History.t ->
+  verify:(unit -> (unit, string) result) ->
+  unit ->
+  violation option

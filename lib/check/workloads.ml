@@ -1,0 +1,219 @@
+module Config = Captured_stm.Config
+module Engine = Captured_stm.Engine
+module Txn = Captured_stm.Txn
+module Memory = Captured_tmem.Memory
+module Alloc = Captured_tmem.Alloc
+module Site = Captured_core.Site
+module Prng = Captured_util.Prng
+module App = Captured_apps.App
+module Registry = Captured_apps.Registry
+
+type t = { name : string; nthreads : int; prepare : Config.t -> App.prepared }
+
+(* Micro worlds are tiny on purpose: the harness snapshots all of memory
+   before every run and replays thousands of schedules.  The orec table
+   is shrunk to match (1024 records cover a few dozen live addresses
+   collision-free and make world setup cheap per schedule). *)
+let small_world ~nthreads config =
+  Engine.create ~global_words:1024 ~stack_words:256 ~arena_words:1024
+    ~nthreads
+    { config with Config.orec_bits = 10 }
+
+(* Shared counter: the minimal lost-update workload — one cell, read-
+   modify-write transactions racing from every thread. *)
+let counter ~nthreads ~incs =
+  {
+    name = Printf.sprintf "counter-%dx%d" nthreads incs;
+    nthreads;
+    prepare =
+      (fun config ->
+        let world = small_world ~nthreads config in
+        let cell = Alloc.alloc (Engine.global_arena world) 1 in
+        let body th =
+          for _ = 1 to incs do
+            Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+          done
+        in
+        let verify () =
+          let v = Memory.get (Engine.memory world) cell in
+          let expect = nthreads * incs in
+          if v = expect then Ok ()
+          else Error (Printf.sprintf "counter holds %d, expected %d" v expect)
+        in
+        { App.world; body; verify });
+  }
+
+(* Bank transfers: multi-address invariants (the sum is conserved) plus
+   user aborts on insufficient funds. *)
+let bank ~nthreads ~accounts ~transfers =
+  {
+    name = Printf.sprintf "bank-%dx%d" nthreads transfers;
+    nthreads;
+    prepare =
+      (fun config ->
+        let world = small_world ~nthreads config in
+        let mem = Engine.memory world in
+        let base = Alloc.alloc (Engine.global_arena world) accounts in
+        for i = 0 to accounts - 1 do
+          Memory.set mem (base + i) 100
+        done;
+        let body th =
+          let g = Txn.thread_prng th in
+          for _ = 1 to transfers do
+            let src = base + Prng.int g accounts in
+            let dst = base + Prng.int g accounts in
+            let amount = 1 + Prng.int g 150 in
+            try
+              Txn.atomic th (fun tx ->
+                  let s = Txn.read tx src in
+                  if s < amount then Txn.abort tx;
+                  Txn.write tx src (s - amount);
+                  if dst <> src then
+                    Txn.write tx dst (Txn.read tx dst + amount)
+                  else Txn.write tx dst s)
+            with Txn.User_abort -> ()
+          done
+        in
+        let verify () =
+          let sum = ref 0 in
+          for i = 0 to accounts - 1 do
+            sum := !sum + Memory.get mem (base + i)
+          done;
+          let expect = 100 * accounts in
+          if !sum = expect then Ok ()
+          else Error (Printf.sprintf "bank sum %d, expected %d" !sum expect)
+        in
+        { App.world; body; verify });
+  }
+
+(* Publish: each thread builds list nodes transactionally — allocation
+   plus initialising writes the capture analysis elides — and links them
+   into a shared stack.  The paper's captured-memory claim end to end:
+   elided initialisation must never be observable half-done. *)
+let publish ~nthreads ~nodes =
+  {
+    name = Printf.sprintf "publish-%dx%d" nthreads nodes;
+    nthreads;
+    prepare =
+      (fun config ->
+        let world = small_world ~nthreads config in
+        let mem = Engine.memory world in
+        let head = Alloc.alloc (Engine.global_arena world) 1 in
+        let body th =
+          let tid = Txn.thread_id th in
+          for i = 1 to nodes do
+            Txn.atomic th (fun tx ->
+                let n = Txn.alloc tx 2 in
+                Txn.write tx n ((100 * tid) + i);
+                Txn.write tx (n + 1) (Txn.read tx head);
+                Txn.write tx head n)
+          done
+        in
+        let verify () =
+          (* Walk the stack: every pushed value exactly once. *)
+          let seen = Hashtbl.create 16 in
+          let rec walk addr count =
+            if addr = 0 then Ok count
+            else if count > nthreads * nodes then Error "list cycle"
+            else begin
+              let v = Memory.get mem addr in
+              if Hashtbl.mem seen v then
+                Error (Printf.sprintf "duplicate value %d" v)
+              else begin
+                Hashtbl.add seen v ();
+                walk (Memory.get mem (addr + 1)) (count + 1)
+              end
+            end
+          in
+          match walk (Memory.get mem head) 0 with
+          | Error m -> Error m
+          | Ok count ->
+              if count <> nthreads * nodes then
+                Error
+                  (Printf.sprintf "found %d nodes, expected %d" count
+                     (nthreads * nodes))
+              else if
+                not
+                  (List.for_all
+                     (fun tid ->
+                       List.for_all
+                         (fun i -> Hashtbl.mem seen ((100 * tid) + i))
+                         (List.init nodes (fun i -> i + 1)))
+                     (List.init nthreads Fun.id))
+              then Error "missing node value"
+              else Ok ()
+        in
+        { App.world; body; verify });
+  }
+
+(* Scoped: closed nesting with partial aborts — every other iteration a
+   nested scope writes and then user-aborts, which must leave no trace. *)
+let scoped ~nthreads ~incs =
+  {
+    name = Printf.sprintf "scoped-%dx%d" nthreads incs;
+    nthreads;
+    prepare =
+      (fun config ->
+        let world = small_world ~nthreads config in
+        let cell = Alloc.alloc (Engine.global_arena world) 1 in
+        let body th =
+          for i = 1 to incs do
+            Txn.atomic th (fun tx ->
+                let v = Txn.read tx cell in
+                (try
+                   Txn.atomic th (fun tx ->
+                       Txn.write tx cell (v + 1000);
+                       if i mod 2 = 0 then Txn.abort tx)
+                 with Txn.User_abort -> ());
+                let v' = Txn.read tx cell in
+                Txn.write tx cell (v' + 1))
+          done
+        in
+        let verify () =
+          let v = Memory.get (Engine.memory world) cell in
+          (* Per iteration: +1, plus +1000 when the nested scope commits
+             (odd i).  Deterministic across schedules. *)
+          let per_thread = incs + (1000 * ((incs + 1) / 2)) in
+          let expect = nthreads * per_thread in
+          if v = expect then Ok ()
+          else Error (Printf.sprintf "scoped holds %d, expected %d" v expect)
+        in
+        { App.world; body; verify });
+  }
+
+let micros ~nthreads =
+  [
+    counter ~nthreads ~incs:4;
+    bank ~nthreads ~accounts:4 ~transfers:3;
+    publish ~nthreads ~nodes:3;
+    scoped ~nthreads ~incs:2;
+  ]
+
+(* STAMP app adapter: same verdict-loading dispatch as [App.run]. *)
+let of_app ?(scale = App.Test) app ~nthreads =
+  {
+    name = app.App.name;
+    nthreads;
+    prepare =
+      (fun config ->
+        (match config.Config.analysis with
+        | Config.Compiler -> App.load_verdicts app
+        | Config.Runtime _ when config.Config.static_filter ->
+            App.load_verdicts app
+        | Config.Baseline | Config.Runtime _ -> Site.reset_verdicts ());
+        app.App.prepare ~nthreads ~scale config);
+  }
+
+let find name ~nthreads =
+  let micro_matches w =
+    (* Accept "counter" for "counter-2x3" — the parameters are fixed. *)
+    w.name = name
+    || String.length w.name > String.length name
+       && String.sub w.name 0 (String.length name + 1) = name ^ "-"
+  in
+  match List.find_opt micro_matches (micros ~nthreads) with
+  | Some w -> Some w
+  | None -> (
+      match Registry.find name with
+      | Some app -> Some (of_app app ~nthreads)
+      | None -> None)

@@ -1,0 +1,32 @@
+(** Workloads for schedule exploration: micro workloads with tiny worlds
+    (the harness snapshots memory before every run) plus an adapter for
+    the registered STAMP apps. *)
+
+module Config = Captured_stm.Config
+module App = Captured_apps.App
+
+type t = { name : string; nthreads : int; prepare : Config.t -> App.prepared }
+
+val counter : nthreads:int -> incs:int -> t
+(** Shared-counter increments — the minimal lost-update shape. *)
+
+val bank : nthreads:int -> accounts:int -> transfers:int -> t
+(** Random transfers conserving the total; user-aborts on overdraft. *)
+
+val publish : nthreads:int -> nodes:int -> t
+(** Transactionally allocate + initialise (captured, elidable writes)
+    then publish to a shared list — the paper's claim end to end. *)
+
+val scoped : nthreads:int -> incs:int -> t
+(** Closed nesting with partial aborts. *)
+
+val micros : nthreads:int -> t list
+(** The four micro workloads at smoke-test sizes. *)
+
+val of_app : ?scale:App.scale -> App.t -> nthreads:int -> t
+(** A registered STAMP app as a workload ([Test] scale by default);
+    handles compiler-verdict loading like {!App.run}. *)
+
+val find : string -> nthreads:int -> t option
+(** Look up a micro workload (by base name, e.g. ["counter"]) or a
+    registry app (by exact name). *)

@@ -14,6 +14,10 @@ and state =
   | Running
   | Done
 
+type point = Consume_point | Yield_point
+
+type control = ready:int array -> current:int -> point:point -> int
+
 type sched = {
   quantum : int;
   heap : fiber array;
@@ -21,6 +25,12 @@ type sched = {
   mutable deadline : int;
   mutable switches : int;
   finish : int array;
+  (* Controlled mode (systematic testing): when set, every consume/yield
+     with another runnable fiber suspends, and [control] picks the next
+     fiber to run.  The heap array is used as an unordered bag. *)
+  controlled : bool;
+  mutable pending_point : point;
+  mutable current : int;
 }
 
 type ctx = { sched : sched; fiber : fiber }
@@ -93,16 +103,54 @@ let reschedule ctx =
 let consume ctx c =
   let f = ctx.fiber in
   f.vtime <- f.vtime + c;
-  if f.vtime >= ctx.sched.deadline then reschedule ctx
+  if ctx.sched.controlled then begin
+    if ctx.sched.heap_len > 0 then begin
+      ctx.sched.pending_point <- Consume_point;
+      Effect.perform Yield
+    end
+  end
+  else if f.vtime >= ctx.sched.deadline then reschedule ctx
 
 let yield ctx =
   ctx.fiber.vtime <- ctx.fiber.vtime + 1;
-  if ctx.sched.heap_len > 0 then Effect.perform Yield
+  if ctx.sched.heap_len > 0 then begin
+    if ctx.sched.controlled then ctx.sched.pending_point <- Yield_point;
+    Effect.perform Yield
+  end
 
 let self ctx = ctx.fiber.id
 let vtime ctx = ctx.fiber.vtime
 
-let run ?(quantum = 200) ~threads () =
+(* Controlled pick: the heap array is an unordered bag.  A lone candidate
+   resumes without consulting [control] — decision indices then depend only
+   on the points where a real choice exists, which keeps replayed schedules
+   aligned step for step. *)
+let pick_controlled s (control : control) =
+  if s.heap_len = 0 then None
+  else if s.heap_len = 1 then begin
+    s.heap_len <- 0;
+    Some s.heap.(0)
+  end
+  else begin
+    let ready = Array.init s.heap_len (fun i -> s.heap.(i).id) in
+    Array.sort compare ready;
+    let chosen =
+      control ~ready ~current:s.current ~point:s.pending_point
+    in
+    let idx = ref (-1) in
+    for i = 0 to s.heap_len - 1 do
+      if s.heap.(i).id = chosen then idx := i
+    done;
+    if !idx < 0 then
+      invalid_arg
+        (Printf.sprintf "Sched: control chose fiber %d, not ready" chosen);
+    let f = s.heap.(!idx) in
+    s.heap_len <- s.heap_len - 1;
+    s.heap.(!idx) <- s.heap.(s.heap_len);
+    Some f
+  end
+
+let run ?(quantum = 200) ?control ~threads () =
   let n = Array.length threads in
   let dummy = { id = -1; vtime = 0; state = Done } in
   let s =
@@ -113,6 +161,9 @@ let run ?(quantum = 200) ~threads () =
       deadline = 0;
       switches = 0;
       finish = Array.make (max n 1) 0;
+      controlled = Option.is_some control;
+      pending_point = Yield_point;
+      current = -1;
     }
   in
   let make_fiber i body =
@@ -145,30 +196,50 @@ let run ?(quantum = 200) ~threads () =
     fiber
   in
   Array.iteri (fun i body -> heap_push s (make_fiber i body)) threads;
-  let rec loop () =
-    match heap_pop s with
-    | None -> ()
-    | Some f ->
-        s.switches <- s.switches + 1;
-        s.deadline <- next_deadline s;
-        let result =
-          match f.state with
-          | Start start ->
-              f.state <- Running;
-              start ()
-          | Suspended k ->
-              f.state <- Running;
-              Effect.Deep.continue k ()
-          | Running | Done -> assert false
-        in
-        (match result with
-        | Finished ->
-            f.state <- Done;
-            s.finish.(f.id) <- f.vtime
-        | Yielded -> ());
-        loop ()
+  let resume f =
+    s.switches <- s.switches + 1;
+    match f.state with
+    | Start start ->
+        f.state <- Running;
+        start ()
+    | Suspended k ->
+        f.state <- Running;
+        Effect.Deep.continue k ()
+    | Running | Done -> assert false
   in
-  loop ();
+  (match control with
+  | None ->
+      let rec loop () =
+        match heap_pop s with
+        | None -> ()
+        | Some f ->
+            s.deadline <- next_deadline s;
+            (match resume f with
+            | Finished ->
+                f.state <- Done;
+                s.finish.(f.id) <- f.vtime
+            | Yielded -> ());
+            loop ()
+      in
+      loop ()
+  | Some control ->
+      let rec loop () =
+        match pick_controlled s control with
+        | None -> ()
+        | Some f ->
+            s.current <- f.id;
+            (match resume f with
+            | Finished ->
+                f.state <- Done;
+                s.finish.(f.id) <- f.vtime;
+                (* The departing fiber leaves no "current" to continue: the
+                   next pick is a fresh start, like an explicit yield. *)
+                s.current <- -1;
+                s.pending_point <- Yield_point
+            | Yielded -> ());
+            loop ()
+      in
+      loop ());
   { final = s }
 
 let makespan t = Array.fold_left max 0 t.final.finish

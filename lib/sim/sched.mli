@@ -17,10 +17,31 @@ type t
 type ctx
 (** Handle a fiber uses to interact with its scheduler. *)
 
-(** [run ?quantum ~threads ()] executes [threads.(i) ctx] for each [i] as a
-    fiber and returns the completed simulation.  [quantum] (default 200) is
-    the preemption grain in cycles. *)
-val run : ?quantum:int -> threads:(ctx -> unit) array -> unit -> t
+(** Kind of scheduling decision point (controlled mode): [Consume_point] is
+    a cycle charge inside straight-line code (the default policy continues
+    the current fiber); [Yield_point] is an explicit reschedule request —
+    a spin loop waiting for another fiber — where the default policy must
+    switch away or spinning code would livelock. *)
+type point = Consume_point | Yield_point
+
+type control = ready:int array -> current:int -> point:point -> int
+(** A scheduling strategy for controlled mode.  Called at every decision
+    point with ≥ 2 runnable fibers: [ready] is the sorted ids of runnable
+    fibers, [current] the fiber that just paused ([-1] if it finished),
+    [point] the kind of pause.  Must return a member of [ready].  Decision
+    points with a single runnable fiber resume it without consulting the
+    control, so decision indices are stable across replays. *)
+
+(** [run ?quantum ?control ~threads ()] executes [threads.(i) ctx] for each
+    [i] as a fiber and returns the completed simulation.  [quantum]
+    (default 200) is the preemption grain in cycles.
+
+    With [control] the scheduler runs in {e controlled mode}: virtual-time
+    ordering and the quantum are ignored, every [consume] and [yield] with
+    another runnable fiber suspends the caller, and [control] picks who
+    runs next — the systematic-testing hook ({!Captured_check}). *)
+val run :
+  ?quantum:int -> ?control:control -> threads:(ctx -> unit) array -> unit -> t
 
 (** [consume ctx c] charges [c] virtual cycles to the calling fiber; may
     switch to another fiber. *)

@@ -25,6 +25,7 @@ type t = {
   filter_buckets : int;
   spin_limit : int;
   validate_every : int;
+  bug_skip_validation : bool;
 }
 
 let full_scope =
@@ -53,6 +54,7 @@ let default =
     filter_buckets = 4096;
     spin_limit = 32;
     validate_every = 512;
+    bug_skip_validation = false;
   }
 
 let baseline = default
@@ -67,6 +69,7 @@ let runtime_hybrid ?(scope = full_scope) backend =
 let pessimistic t = { t with pessimistic_reads = true }
 let with_fastpath ?(on = true) t = { t with fastpath = on }
 let with_tvalidate ?(on = true) t = { t with tvalidate = on }
+let with_skip_validation ?(on = true) t = { t with bug_skip_validation = on }
 let audit = { default with audit = true }
 
 let name t =
@@ -85,7 +88,8 @@ let name t =
   let suffix =
     (if t.fastpath then "+fp" else "")
     ^ (if t.tvalidate then "+tv" else "")
-    ^ if t.pessimistic_reads then "+pessimistic" else ""
+    ^ (if t.pessimistic_reads then "+pessimistic" else "")
+    ^ if t.bug_skip_validation then "+bug:noval" else ""
   in
   match t.analysis with
   | Baseline -> (if t.audit then "audit" else "baseline") ^ suffix

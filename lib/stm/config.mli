@@ -68,6 +68,11 @@ type t = {
   spin_limit : int;  (** lock-wait spins before self-abort. *)
   validate_every : int;
       (** Barriers between incremental validations (zombie guard). *)
+  bug_skip_validation : bool;
+      (** Fault injection for the schedule-exploration checker
+          ({!Captured_check}): read-set validation always reports success
+          and the per-read timestamp check is skipped, so lost updates
+          slip through.  Never enable outside tests. *)
 }
 
 val full_scope : scope
@@ -99,6 +104,10 @@ val with_fastpath : ?on:bool -> t -> t
 (** [with_tvalidate t] enables ([?on:false]: disables) timestamp-based
     validation (global version clock; [+tv] name suffix). *)
 val with_tvalidate : ?on:bool -> t -> t
+
+(** [with_skip_validation t] injects the validation-skipping bug (testing
+    the checker's detection power only; [+bug:noval] name suffix). *)
+val with_skip_validation : ?on:bool -> t -> t
 val audit : t
 (** Baseline + audit counting (Figure 8 runs). *)
 

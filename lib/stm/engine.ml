@@ -71,7 +71,7 @@ let collect threads makespan wall =
   let per_thread = Array.map Txn.thread_stats threads in
   { per_thread; stats = Stats.sum (Array.to_list per_thread); makespan; wall }
 
-let run_sim ?quantum ?(seed = 42) w body =
+let run_sim ?quantum ?control ?(seed = 42) w body =
   let threads = Array.make w.nthreads None in
   let fibers =
     Array.init w.nthreads (fun tid ctx ->
@@ -84,7 +84,9 @@ let run_sim ?quantum ?(seed = 42) w body =
         platform.Platform.consume (tid * 53);
         body th)
   in
-  let (sim, wall) = Clock.time (fun () -> Sched.run ?quantum ~threads:fibers ()) in
+  let (sim, wall) =
+    Clock.time (fun () -> Sched.run ?quantum ?control ~threads:fibers ())
+  in
   let threads =
     Array.map (function Some th -> th | None -> assert false) threads
   in

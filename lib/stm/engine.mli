@@ -39,10 +39,18 @@ type result = {
   wall : float;  (** host seconds *)
 }
 
-(** [run_sim ?quantum ?seed world body] executes [body thread] for each of
-    the world's logical threads on simulator fibers.  Deterministic for a
-    fixed [seed]. *)
-val run_sim : ?quantum:int -> ?seed:int -> world -> (Txn.thread -> unit) -> result
+(** [run_sim ?quantum ?control ?seed world body] executes [body thread]
+    for each of the world's logical threads on simulator fibers.
+    Deterministic for a fixed [seed].  [control] switches the scheduler to
+    controlled mode (see {!Captured_sim.Sched.run}) for systematic
+    schedule exploration. *)
+val run_sim :
+  ?quantum:int ->
+  ?control:Captured_sim.Sched.control ->
+  ?seed:int ->
+  world ->
+  (Txn.thread -> unit) ->
+  result
 
 (** [run_native ?seed world body] executes on real domains (thread 0 runs
     on the calling domain).  With [nthreads = 1] this measures pure

@@ -19,6 +19,44 @@ let note_lock_wait addr =
   | Some h ->
       Hashtbl.replace h addr (1 + Option.value ~default:0 (Hashtbl.find_opt h addr))
 
+(* ------------------------------------------------------------------ *)
+(* Event tracing (schedule-exploration checker hook)                   *)
+
+type access_class =
+  | Instrumented
+  | Elided_static
+  | Elided_stack
+  | Elided_heap
+  | Elided_private
+
+type event =
+  | Ev_begin of { attempt : int }
+  | Ev_read of { addr : int; value : int; cls : access_class }
+  | Ev_write of { addr : int; value : int; cls : access_class }
+  | Ev_alloc of { addr : int; size : int }
+  | Ev_alloca of { addr : int; size : int }
+  | Ev_free of { addr : int }
+  | Ev_scope_begin
+  | Ev_scope_commit
+  | Ev_scope_abort
+  | Ev_commit
+  | Ev_abort of { user : bool }
+  | Ev_raw_write of { addr : int; value : int }
+
+(* No-op by default: barriers test the ref with one load and construct no
+   event.  Write/alloc/commit/abort emissions sit right next to the memory
+   effect they report, with no virtual-cycle charge (= no scheduling point)
+   in between, so the recorded order matches the memory-effect order.  A
+   read's event may land a few scheduling points after the load itself
+   (the barrier charges cycles post-load); the oracle only relies on reads
+   being no {e earlier} than their recorded instant's transaction begin. *)
+let tracer : (int -> event -> unit) option ref = ref None
+let set_tracer f = tracer := f
+
+(* For cold sites (begin/commit/abort/alloc); hot barriers inline the
+   match so disabled tracing allocates nothing. *)
+let emit tid ev = match !tracer with None -> () | Some f -> f tid ev
+
 type thread = {
   tid : int;
   platform : Platform.t;
@@ -208,6 +246,9 @@ let validate tx =
   let th = tx.thread in
   th.stats.validations <- th.stats.validations + 1;
   charge_validation th (Costs.validate_per_read * tx.n_reads);
+  (* Injected fault (checker self-test): report success without looking. *)
+  th.config.Config.bug_skip_validation
+  ||
   let rec go k =
     if k >= tx.n_reads then true
     else if read_entry_valid th tx.read_orecs.(k) tx.read_words.(k) then
@@ -390,26 +431,40 @@ let rec full_read_loop tx oi addr spins =
       (* Dedup: log each orec once; observing a *different* version than
          first logged is already a conflict. *)
       if th.read_seen_epoch.(oi) = th.epoch then begin
-        if th.read_seen_word.(oi) <> w1 then raise Retry_conflict
+        if th.read_seen_word.(oi) <> w1 then raise Retry_conflict;
+        v
       end
       else begin
-        if th.config.Config.tvalidate then begin
-          (* One compare per *fresh* read keeps the snapshot invariant:
-             version <= start_ts means the line is untouched since the
-             snapshot, so no logging-time revalidation is ever needed.
-             (A repeat read of a logged orec with the same word needs no
-             check — it passed this test at first read and [start_ts]
-             only grows.)  A newer version extends the snapshot (which
-             validates); [w1] was read before the extension sampled the
-             clock, so it is inside the extended snapshot afterwards. *)
-          charge_validation th Costs.ts_read_check;
-          if Orec.version_of w1 > tx.start_ts then extend_snapshot tx
-        end;
-        th.read_seen_epoch.(oi) <- th.epoch;
-        th.read_seen_word.(oi) <- w1;
-        push_read tx oi w1
-      end;
-      v
+        (* One compare per *fresh* read keeps the snapshot invariant:
+           version <= start_ts means the line is untouched since the
+           snapshot, so no logging-time revalidation is ever needed.
+           (A repeat read of a logged orec with the same word needs no
+           check — it passed this test at first read and [start_ts]
+           only grows.)  A newer version extends the snapshot (which
+           validates the reads logged so far) — but [v] was loaded
+           before the extension sampled the clock, and a commit to this
+           very line can land in between, leaving (v, w1) stale inside
+           the extended snapshot.  Re-run the read under the new
+           [start_ts] instead of logging the pre-extension pair. *)
+        let extend =
+          th.config.Config.tvalidate
+          && begin
+               charge_validation th Costs.ts_read_check;
+               Orec.version_of w1 > tx.start_ts
+               && not th.config.Config.bug_skip_validation
+             end
+        in
+        if extend then begin
+          extend_snapshot tx;
+          full_read_loop tx oi addr spins
+        end
+        else begin
+          th.read_seen_epoch.(oi) <- th.epoch;
+          th.read_seen_word.(oi) <- w1;
+          push_read tx oi w1;
+          v
+        end
+      end
     end
     else full_read_loop tx oi addr (spins + 1)
   end
@@ -460,26 +515,53 @@ let read ?(site = Site.anonymous_read) tx addr =
   let st = th.stats in
   st.reads <- st.reads + 1;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:false;
-  match try_elide tx addr 1 ~site ~is_write:false with
-  | Elide_static ->
-      st.reads_elided_static <- st.reads_elided_static + 1;
-      th.platform.consume Costs.direct_access;
-      Memory.get th.memory addr
-  | Elide_stack c ->
-      st.reads_elided_stack <- st.reads_elided_stack + 1;
-      th.platform.consume (c + Costs.direct_access);
-      Memory.get th.memory addr
-  | Elide_heap c ->
-      st.reads_elided_heap <- st.reads_elided_heap + 1;
-      th.platform.consume (c + Costs.direct_access);
-      Memory.get th.memory addr
-  | Elide_private c ->
-      st.reads_elided_private <- st.reads_elided_private + 1;
-      th.platform.consume (c + Costs.direct_access);
-      Memory.get th.memory addr
-  | Keep c ->
-      th.platform.consume c;
-      full_read tx addr
+  match !tracer with
+  | None -> (
+      match try_elide tx addr 1 ~site ~is_write:false with
+      | Elide_static ->
+          st.reads_elided_static <- st.reads_elided_static + 1;
+          th.platform.consume Costs.direct_access;
+          Memory.get th.memory addr
+      | Elide_stack c ->
+          st.reads_elided_stack <- st.reads_elided_stack + 1;
+          th.platform.consume (c + Costs.direct_access);
+          Memory.get th.memory addr
+      | Elide_heap c ->
+          st.reads_elided_heap <- st.reads_elided_heap + 1;
+          th.platform.consume (c + Costs.direct_access);
+          Memory.get th.memory addr
+      | Elide_private c ->
+          st.reads_elided_private <- st.reads_elided_private + 1;
+          th.platform.consume (c + Costs.direct_access);
+          Memory.get th.memory addr
+      | Keep c ->
+          th.platform.consume c;
+          full_read tx addr)
+  | Some f ->
+      let cls, value =
+        match try_elide tx addr 1 ~site ~is_write:false with
+        | Elide_static ->
+            st.reads_elided_static <- st.reads_elided_static + 1;
+            th.platform.consume Costs.direct_access;
+            (Elided_static, Memory.get th.memory addr)
+        | Elide_stack c ->
+            st.reads_elided_stack <- st.reads_elided_stack + 1;
+            th.platform.consume (c + Costs.direct_access);
+            (Elided_stack, Memory.get th.memory addr)
+        | Elide_heap c ->
+            st.reads_elided_heap <- st.reads_elided_heap + 1;
+            th.platform.consume (c + Costs.direct_access);
+            (Elided_heap, Memory.get th.memory addr)
+        | Elide_private c ->
+            st.reads_elided_private <- st.reads_elided_private + 1;
+            th.platform.consume (c + Costs.direct_access);
+            (Elided_private, Memory.get th.memory addr)
+        | Keep c ->
+            th.platform.consume c;
+            (Instrumented, full_read tx addr)
+      in
+      f th.tid (Ev_read { addr; value; cls });
+      value
 
 (* ------------------------------------------------------------------ *)
 (* Write barrier                                                       *)
@@ -514,26 +596,36 @@ let write ?(site = Site.anonymous_write) tx addr v =
   let st = th.stats in
   st.writes <- st.writes + 1;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:true;
-  match try_elide tx addr 1 ~site ~is_write:true with
-  | Elide_static ->
-      st.writes_elided_static <- st.writes_elided_static + 1;
-      th.platform.consume Costs.direct_access;
-      Memory.set th.memory addr v
-  | Elide_stack c ->
-      st.writes_elided_stack <- st.writes_elided_stack + 1;
-      th.platform.consume (c + Costs.direct_access);
-      Memory.set th.memory addr v
-  | Elide_heap c ->
-      st.writes_elided_heap <- st.writes_elided_heap + 1;
-      th.platform.consume (c + Costs.direct_access);
-      Memory.set th.memory addr v
-  | Elide_private c ->
-      st.writes_elided_private <- st.writes_elided_private + 1;
-      th.platform.consume (c + Costs.direct_access);
-      Memory.set th.memory addr v
-  | Keep c ->
-      th.platform.consume c;
-      full_write tx addr v
+  let cls =
+    match try_elide tx addr 1 ~site ~is_write:true with
+    | Elide_static ->
+        st.writes_elided_static <- st.writes_elided_static + 1;
+        th.platform.consume Costs.direct_access;
+        Memory.set th.memory addr v;
+        Elided_static
+    | Elide_stack c ->
+        st.writes_elided_stack <- st.writes_elided_stack + 1;
+        th.platform.consume (c + Costs.direct_access);
+        Memory.set th.memory addr v;
+        Elided_stack
+    | Elide_heap c ->
+        st.writes_elided_heap <- st.writes_elided_heap + 1;
+        th.platform.consume (c + Costs.direct_access);
+        Memory.set th.memory addr v;
+        Elided_heap
+    | Elide_private c ->
+        st.writes_elided_private <- st.writes_elided_private + 1;
+        th.platform.consume (c + Costs.direct_access);
+        Memory.set th.memory addr v;
+        Elided_private
+    | Keep c ->
+        th.platform.consume c;
+        full_write tx addr v;
+        Instrumented
+  in
+  match !tracer with
+  | None -> ()
+  | Some f -> f th.tid (Ev_write { addr; value = v; cls })
 
 (* ------------------------------------------------------------------ *)
 (* Transactional allocation                                            *)
@@ -570,6 +662,7 @@ let alloc tx n =
   let addr = Alloc.alloc th.arena n in
   let size = Alloc.block_size th.arena addr in
   log_alloc tx addr size;
+  emit th.tid (Ev_alloc { addr; size });
   addr
 
 let unlog_alloc scope addr =
@@ -596,6 +689,7 @@ let free tx addr =
   th.platform.consume Costs.free;
   th.stats.tx_frees <- th.stats.tx_frees + 1;
   let scope = innermost tx in
+  emit th.tid (Ev_free { addr });
   match unlog_alloc scope addr with
   | Some _ ->
       (* Allocated by this very scope: really free it now. *)
@@ -608,7 +702,9 @@ let free tx addr =
 let alloca tx n =
   let th = tx.thread in
   th.platform.consume Costs.alloca;
-  Tstack.alloca th.stack n
+  let addr = Tstack.alloca th.stack n in
+  emit th.tid (Ev_alloca { addr; size = n });
+  addr
 
 let stack_save tx = Tstack.save tx.thread.stack
 let stack_restore tx frame = Tstack.restore tx.thread.stack frame
@@ -660,7 +756,8 @@ let push_scope tx ~top =
       allocs = [];
       deferred_frees = [];
     }
-    :: tx.scopes
+    :: tx.scopes;
+  if not top then emit th.tid Ev_scope_begin
 
 let begin_top tx =
   let th = tx.thread in
@@ -680,7 +777,8 @@ let begin_top tx =
   tx.scopes <- [];
   tx.live <- true;
   tx.attempts <- tx.attempts + 1;
-  push_scope tx ~top:true
+  push_scope tx ~top:true;
+  emit th.tid (Ev_begin { attempt = tx.attempts })
 
 let rollback_undo tx ~down_to =
   let th = tx.thread in
@@ -763,7 +861,8 @@ let commit_top tx =
      if not (validate tx) then raise Retry_conflict;
      release_all tx ~commit:true
    end);
-  commit_epilogue tx
+  commit_epilogue tx;
+  emit th.tid Ev_commit
 
 let abort_top tx ~user =
   let th = tx.thread in
@@ -782,7 +881,8 @@ let abort_top tx ~user =
     th.stats.user_aborts <- th.stats.user_aborts + 1;
     tx.attempts <- 0
   end
-  else th.stats.aborts <- th.stats.aborts + 1
+  else th.stats.aborts <- th.stats.aborts + 1;
+  emit th.tid (Ev_abort { user })
 
 (* Nested commit: fold the child scope into its parent. *)
 let commit_scope tx =
@@ -804,7 +904,8 @@ let commit_scope tx =
       parent.deferred_frees <-
         child.deferred_frees @ parent.deferred_frees;
       tx.scopes <- rest;
-      th.stats.nested_commits <- th.stats.nested_commits + 1
+      th.stats.nested_commits <- th.stats.nested_commits + 1;
+      emit th.tid Ev_scope_commit
 
 (* Nested (partial) abort: roll the child scope back, keep the parent
    running.  Acquired orecs are kept (safe, merely pessimistic); the WAW
@@ -820,7 +921,8 @@ let abort_scope tx =
       Tstack.restore th.stack child.start_sp;
       Waw.clear tx.waw;
       tx.scopes <- rest;
-      th.stats.nested_aborts <- th.stats.nested_aborts + 1
+      th.stats.nested_aborts <- th.stats.nested_aborts + 1;
+      emit th.tid Ev_scope_abort
 
 (* ------------------------------------------------------------------ *)
 (* The atomic runner                                                   *)
@@ -905,7 +1007,8 @@ let raw_read th addr =
 
 let raw_write th addr v =
   th.platform.consume Costs.direct_access;
-  Memory.set th.memory addr v
+  Memory.set th.memory addr v;
+  emit th.tid (Ev_raw_write { addr; value = v })
 
 let raw_alloc th n =
   th.platform.consume Costs.alloc;

@@ -118,6 +118,41 @@ val validate : tx -> bool
 (** Diagnostics: when set, lock waits in read barriers record the
     contended address. *)
 val debug_lock_trace : (int, int) Hashtbl.t option ref
+
+(** {2 Event tracing}
+
+    Hook for the schedule-exploration checker ({!Captured_check}): when a
+    tracer is installed, every barrier, allocation and transaction
+    boundary reports an event carrying the value it moved.  The default is
+    [None] and costs one ref load per barrier. *)
+
+(** How the barrier treated the access: fully instrumented, or elided by
+    one of the capture-analysis verdicts (paper Figure 2). *)
+type access_class =
+  | Instrumented
+  | Elided_static
+  | Elided_stack
+  | Elided_heap
+  | Elided_private
+
+type event =
+  | Ev_begin of { attempt : int }  (** top-level (re)start *)
+  | Ev_read of { addr : int; value : int; cls : access_class }
+  | Ev_write of { addr : int; value : int; cls : access_class }
+  | Ev_alloc of { addr : int; size : int }
+  | Ev_alloca of { addr : int; size : int }
+  | Ev_free of { addr : int }
+  | Ev_scope_begin  (** nested scope opened *)
+  | Ev_scope_commit
+  | Ev_scope_abort  (** nested scope rolled back (partial abort) *)
+  | Ev_commit  (** top-level commit completed (locks released) *)
+  | Ev_abort of { user : bool }  (** top-level rollback completed *)
+  | Ev_raw_write of { addr : int; value : int }
+      (** non-transactional store *)
+
+(** [set_tracer (Some f)] routes every event to [f tid event]; [None]
+    restores the free default.  Global — one tracer at a time. *)
+val set_tracer : (int -> event -> unit) option -> unit
 val thread_stats : thread -> Stats.t
 val thread_id : thread -> int
 val thread_config : thread -> Config.t

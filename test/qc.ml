@@ -1,0 +1,20 @@
+(* Reproducible qcheck runs: every property in the suite draws from an
+   explicit seed so a failure is replayable.  Override with QCHECK_SEED;
+   the active seed is printed whenever a property fails. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> 0xC0FFEE)
+  | None -> 0xC0FFEE
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf "\n[qcheck] reproduce with QCHECK_SEED=%d\n%!" seed;
+        raise e )

@@ -96,79 +96,63 @@ let test_app_bench_scale app () =
   | Ok r -> check "ran" true (r.Engine.stats.Stats.commits > 0)
   | Error m -> Alcotest.failf "bench-scale verify failed: %s" m
 
-(* The capture-check fast path must be invisible to outcomes: under the
-   same seed, commits and app invariants match with it on and off, for
-   every backend.  The array backend may elide MORE with fastpath on
-   (promotion recovers precision a saturated array would drop), never
-   less; tree and filter elide identically. *)
-let test_app_fastpath_semantics app () =
+(* Cross-config semantics matrix: the capture-check fast path and
+   timestamp-based validation must both be invisible to outcomes,
+   separately and composed.  For every base analysis, all four
+   {fastpath, tvalidate} combinations run under the same seed and must
+   verify with identical commits and user aborts.  (Conflict aborts may
+   differ — the modes detect doomed transactions at different instants —
+   but apps do a fixed amount of work, so what commits is
+   workload-determined.)  Elision is orthogonal to validation strategy;
+   the fast path may only ADD elisions, and only through the array
+   backend's saturation promotion. *)
+let mode_combos =
+  [ (false, false); (true, false); (false, true); (true, true) ]
+
+let test_app_mode_matrix app () =
   List.iter
-    (fun backend ->
-      let run fp =
-        let cfg = Config.with_fastpath ~on:fp (Config.runtime backend) in
+    (fun (base_name, base) ->
+      let run (fp, tv) =
+        let cfg =
+          base |> Config.with_fastpath ~on:fp |> Config.with_tvalidate ~on:tv
+        in
         match
           App.run_checked app ~nthreads:1 ~scale:App.Test ~mode:(`Sim 7) cfg
         with
         | Ok r -> r
         | Error m ->
-            Alcotest.failf "verify failed (%s fastpath=%b): %s"
-              (Alloc_log.backend_name backend)
-              fp m
+            Alcotest.failf "verify failed (%s fp=%b tv=%b): %s" base_name fp
+              tv m
       in
-      let off = run false and on = run true in
-      Alcotest.(check int)
-        (Alloc_log.backend_name backend ^ " commits")
-        off.Engine.stats.Stats.commits on.Engine.stats.Stats.commits;
-      Alcotest.(check int)
-        (Alloc_log.backend_name backend ^ " user aborts")
-        off.Engine.stats.Stats.user_aborts on.Engine.stats.Stats.user_aborts;
-      let elided r = Stats.reads_elided r.Engine.stats + Stats.writes_elided r.Engine.stats in
-      match backend with
-      | Alloc_log.Array ->
-          check
-            (Alloc_log.backend_name backend ^ " elides at least as much")
-            true
-            (elided on >= elided off)
-      | Alloc_log.Tree | Alloc_log.Filter ->
+      let results = List.map (fun c -> (c, run c)) mode_combos in
+      let _, base_r = List.hd results in
+      let elided r =
+        Stats.reads_elided r.Engine.stats + Stats.writes_elided r.Engine.stats
+      in
+      List.iter
+        (fun ((fp, tv), r) ->
+          let label = Printf.sprintf "%s fp=%b tv=%b" base_name fp tv in
           Alcotest.(check int)
-            (Alloc_log.backend_name backend ^ " elisions identical")
-            (elided off) (elided on))
-    Alloc_log.all_backends
-
-(* Timestamp-based validation must be invisible to outcomes too: under
-   the same seed, commits, user aborts and app invariants match with it
-   on and off, for every backend.  (Conflict aborts may differ — the two
-   modes detect doomed transactions at different instants — but apps do a
-   fixed amount of work, so what commits is workload-determined.) *)
-let test_app_tvalidate_semantics app () =
-  List.iter
-    (fun (name, cfg) ->
-      let run tv =
-        match
-          App.run_checked app ~nthreads:1 ~scale:App.Test ~mode:(`Sim 7)
-            (Config.with_tvalidate ~on:tv cfg)
-        with
-        | Ok r -> r
-        | Error m ->
-            Alcotest.failf "verify failed (%s tvalidate=%b): %s" name tv m
-      in
-      let off = run false and on = run true in
-      Alcotest.(check int) (name ^ " commits") off.Engine.stats.Stats.commits
-        on.Engine.stats.Stats.commits;
-      Alcotest.(check int)
-        (name ^ " user aborts")
-        off.Engine.stats.Stats.user_aborts on.Engine.stats.Stats.user_aborts;
-      (* Elision is orthogonal to validation strategy: identical. *)
-      Alcotest.(check int)
-        (name ^ " reads elided")
-        (Stats.reads_elided off.Engine.stats)
-        (Stats.reads_elided on.Engine.stats);
-      Alcotest.(check int)
-        (name ^ " writes elided")
-        (Stats.writes_elided off.Engine.stats)
-        (Stats.writes_elided on.Engine.stats);
-      check (name ^ " no clock advances when off") true
-        (off.Engine.stats.Stats.clock_advances = 0))
+            (label ^ " commits") base_r.Engine.stats.Stats.commits
+            r.Engine.stats.Stats.commits;
+          Alcotest.(check int)
+            (label ^ " user aborts")
+            base_r.Engine.stats.Stats.user_aborts
+            r.Engine.stats.Stats.user_aborts;
+          (match base.Config.analysis with
+          | Config.Runtime Alloc_log.Array when fp ->
+              check
+                (label ^ " elides at least as much")
+                true
+                (elided r >= elided base_r)
+          | _ ->
+              Alcotest.(check int)
+                (label ^ " elisions identical")
+                (elided base_r) (elided r));
+          if not tv then
+            check (label ^ " no clock advances") true
+              (r.Engine.stats.Stats.clock_advances = 0))
+        results)
     (("baseline", Config.baseline)
     :: List.map
          (fun backend ->
@@ -208,10 +192,7 @@ let suite_for app =
         Alcotest.test_case "elision profile" `Quick
           (test_app_elision_profile app);
         Alcotest.test_case "bench scale" `Quick (test_app_bench_scale app);
-        Alcotest.test_case "fastpath semantics" `Quick
-          (test_app_fastpath_semantics app);
-        Alcotest.test_case "tvalidate semantics" `Quick
-          (test_app_tvalidate_semantics app);
+        Alcotest.test_case "mode matrix" `Quick (test_app_mode_matrix app);
         Alcotest.test_case "hybrid" `Quick (test_app_hybrid app);
       ]
   in

@@ -1,0 +1,370 @@
+(* Tests for the schedule-exploration checker: controlled-scheduler
+   determinism and replay fidelity, the opacity oracle on hand-built
+   histories, clean sweeps over the micro workloads, and the
+   injected-bug canary (caught, minimized, replayable). *)
+
+module Config = Captured_stm.Config
+module Txn = Captured_stm.Txn
+module Alloc_log = Captured_core.Alloc_log
+module History = Captured_check.History
+module Oracle = Captured_check.Oracle
+module Strategy = Captured_check.Strategy
+module Minimize = Captured_check.Minimize
+module Workloads = Captured_check.Workloads
+module Harness = Captured_check.Harness
+
+let tree = Config.runtime Alloc_log.Tree
+
+let configs =
+  [
+    Config.baseline;
+    tree;
+    Config.with_fastpath tree;
+    Config.with_tvalidate tree;
+    Config.with_tvalidate (Config.with_fastpath tree);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Controlled scheduler                                                *)
+
+let test_deterministic () =
+  let workload = Workloads.counter ~nthreads:2 ~incs:3 in
+  let go () =
+    Harness.run_one ~seed:5 ~workload ~config:tree
+      (Strategy.random_control ~seed:99 ~persist:80)
+  in
+  let a = go () and b = go () in
+  Alcotest.(check int)
+    "same schedule hash"
+    (Strategy.hash a.Harness.trace)
+    (Strategy.hash b.Harness.trace);
+  Alcotest.(check int) "same commits" a.Harness.commits b.Harness.commits;
+  Alcotest.(check int) "same events" a.Harness.events b.Harness.events;
+  Alcotest.(check bool) "no violation" true (a.Harness.violation = None)
+
+let test_replay_fidelity () =
+  (* Any schedule replays exactly from its intervention list alone. *)
+  let workload = Workloads.bank ~nthreads:2 ~accounts:3 ~transfers:2 in
+  for i = 0 to 19 do
+    let r =
+      Harness.run_one ~seed:5 ~workload ~config:tree
+        (Strategy.random_control ~seed:(1000 + i) ~persist:70)
+    in
+    let again =
+      Harness.run_one ~seed:5 ~workload ~config:tree
+        (Strategy.replay_control
+           ~interventions:(Strategy.interventions r.Harness.trace)
+           ())
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "replay %d hash" i)
+      (Strategy.hash r.Harness.trace)
+      (Strategy.hash again.Harness.trace)
+  done
+
+let test_schedules_differ () =
+  (* Different seeds must actually explore different interleavings. *)
+  let workload = Workloads.counter ~nthreads:2 ~incs:3 in
+  let hashes = Hashtbl.create 64 in
+  for i = 0 to 39 do
+    let r =
+      Harness.run_one ~seed:5 ~workload ~config:tree
+        (Strategy.random_control ~seed:i ~persist:80)
+    in
+    Hashtbl.replace hashes (Strategy.hash r.Harness.trace) ()
+  done;
+  Alcotest.(check bool)
+    "at least 20 distinct schedules out of 40 seeds" true
+    (Hashtbl.length hashes >= 20)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle unit tests on hand-built histories                           *)
+
+let run_oracle ?(strictness = Oracle.Committed_only) ?(initial = fun _ -> 0)
+    ?(final = fun _ -> 0) events =
+  let h = History.create () in
+  List.iter (fun (tid, ev) -> History.record h ~tid ev) events;
+  Oracle.check ~strictness ~initial ~final ~history:h
+    ~verify:(fun () -> Ok ())
+    ()
+
+let rd addr value = Txn.Ev_read { addr; value; cls = Txn.Instrumented }
+let wr addr value = Txn.Ev_write { addr; value; cls = Txn.Instrumented }
+
+let test_oracle_clean_history () =
+  (* Two serial increments: nothing to complain about. *)
+  let v =
+    run_oracle
+      ~final:(fun a -> if a = 7 then 2 else 0)
+      [
+        (0, Txn.Ev_begin { attempt = 1 });
+        (0, rd 7 0);
+        (0, wr 7 1);
+        (0, Txn.Ev_commit);
+        (1, Txn.Ev_begin { attempt = 1 });
+        (1, rd 7 1);
+        (1, wr 7 2);
+        (1, Txn.Ev_commit);
+      ]
+  in
+  Alcotest.(check bool) "clean" true (v = None)
+
+let test_oracle_lost_update () =
+  (* Interleaved read-modify-writes that both commit: the classic lost
+     update the stale-locked-read rule exists for. *)
+  let v =
+    run_oracle
+      ~final:(fun a -> if a = 7 then 1 else 0)
+      [
+        (0, Txn.Ev_begin { attempt = 1 });
+        (0, rd 7 0);
+        (1, Txn.Ev_begin { attempt = 1 });
+        (1, rd 7 0);
+        (1, wr 7 1);
+        (1, Txn.Ev_commit);
+        (0, wr 7 1);
+        (0, Txn.Ev_commit);
+      ]
+  in
+  match v with
+  | Some { kind = "stale-locked-read"; _ } -> ()
+  | Some v -> Alcotest.failf "wrong kind: %s" (Oracle.violation_to_string v)
+  | None -> Alcotest.fail "lost update not detected"
+
+let test_oracle_zombie_legal_when_aborted () =
+  (* A zombie repeat-read in an attempt that aborts is legal under
+     Committed_only but a violation under All_attempts. *)
+  let events =
+    [
+      (0, Txn.Ev_begin { attempt = 1 });
+      (0, rd 7 0);
+      (1, Txn.Ev_begin { attempt = 1 });
+      (1, rd 7 0);
+      (1, wr 7 5);
+      (1, Txn.Ev_commit);
+      (0, rd 7 5);
+      (* inconsistent with the first read *)
+      (0, Txn.Ev_abort { user = false });
+    ]
+  in
+  let relaxed =
+    run_oracle ~final:(fun a -> if a = 7 then 5 else 0) events
+  in
+  Alcotest.(check bool) "legal when aborted" true (relaxed = None);
+  match
+    run_oracle ~strictness:Oracle.All_attempts
+      ~final:(fun a -> if a = 7 then 5 else 0)
+      events
+  with
+  | Some { kind = "repeat-read"; _ } -> ()
+  | Some v -> Alcotest.failf "wrong kind: %s" (Oracle.violation_to_string v)
+  | None -> Alcotest.fail "strict mode missed the zombie read"
+
+let test_oracle_zombie_illegal_when_committed () =
+  (* The same inconsistent repeat-read inside a COMMITTED attempt is a
+     violation in every mode. *)
+  let events =
+    [
+      (0, Txn.Ev_begin { attempt = 1 });
+      (0, rd 7 0);
+      (1, Txn.Ev_begin { attempt = 1 });
+      (1, rd 7 0);
+      (1, wr 7 5);
+      (1, Txn.Ev_commit);
+      (0, rd 7 5);
+      (0, Txn.Ev_commit);
+    ]
+  in
+  match run_oracle ~final:(fun a -> if a = 7 then 5 else 0) events with
+  | Some { kind = "repeat-read"; _ } -> ()
+  | Some v -> Alcotest.failf "wrong kind: %s" (Oracle.violation_to_string v)
+  | None -> Alcotest.fail "committed zombie read not detected"
+
+let test_oracle_read_own_write () =
+  let v =
+    run_oracle
+      [
+        (0, Txn.Ev_begin { attempt = 1 });
+        (0, wr 7 3);
+        (0, rd 7 9);
+        (* should have been 3 *)
+        (0, Txn.Ev_abort { user = false });
+      ]
+  in
+  match v with
+  | Some { kind = "read-own-write"; _ } -> ()
+  | Some v -> Alcotest.failf "wrong kind: %s" (Oracle.violation_to_string v)
+  | None -> Alcotest.fail "read-own-write not detected"
+
+let test_oracle_partial_abort_rollback () =
+  (* A nested scope's writes roll back on partial abort; the retained
+     lock makes the subsequent re-read exempt, and commit applies only
+     the outer write. *)
+  let v =
+    run_oracle
+      ~final:(fun a -> if a = 7 then 1 else 0)
+      [
+        (0, Txn.Ev_begin { attempt = 1 });
+        (0, rd 7 0);
+        (0, Txn.Ev_scope_begin);
+        (0, wr 7 1000);
+        (0, Txn.Ev_scope_abort);
+        (0, rd 7 0);
+        (0, wr 7 1);
+        (0, Txn.Ev_commit);
+      ]
+  in
+  Alcotest.(check bool) "rolled back cleanly" true (v = None)
+
+let test_oracle_final_state () =
+  let v =
+    run_oracle
+      ~final:(fun _ -> 0) (* memory does NOT hold the committed 1 *)
+      [
+        (0, Txn.Ev_begin { attempt = 1 });
+        (0, wr 7 1);
+        (0, Txn.Ev_commit);
+      ]
+  in
+  match v with
+  | Some { kind = "final-state"; _ } -> ()
+  | Some v -> Alcotest.failf "wrong kind: %s" (Oracle.violation_to_string v)
+  | None -> Alcotest.fail "final-state divergence not detected"
+
+(* ------------------------------------------------------------------ *)
+(* ddmin                                                               *)
+
+let test_ddmin () =
+  let needed = [ (3, 1); (8, 0) ] in
+  let calls = ref 0 in
+  let test subset =
+    incr calls;
+    List.for_all (fun c -> List.mem c subset) needed
+  in
+  let input = List.init 12 (fun i -> (i, i mod 2)) in
+  let out = Minimize.ddmin ~test input in
+  Alcotest.(check (list (pair int int)))
+    "exactly the needed pair" needed
+    (List.sort compare out);
+  Alcotest.(check bool) "bounded work" true (!calls <= 400)
+
+let test_ddmin_single () =
+  let out = Minimize.ddmin ~test:(fun s -> List.mem (5, 1) s)
+      (List.init 30 (fun i -> (i, 1)))
+  in
+  Alcotest.(check (list (pair int int))) "singleton" [ (5, 1) ] out
+
+(* ------------------------------------------------------------------ *)
+(* Clean sweeps: every micro workload × config, three strategies       *)
+
+let test_micros_clean () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun workload ->
+          List.iter
+            (fun strategy ->
+              let r =
+                Harness.explore ~workload ~config ~strategy ~runs:40 ~seed:3
+                  ()
+              in
+              if r.Harness.violations > 0 then
+                Alcotest.failf "%s" (Harness.report_to_string r);
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s/%s truncations" r.Harness.workload
+                   r.Harness.config r.Harness.strategy)
+                0 r.Harness.truncated)
+            [
+              Strategy.Random { persist = 85 };
+              Strategy.Pct { depth = 3 };
+              Strategy.Dfs { preemptions = 2 };
+            ])
+        (Workloads.micros ~nthreads:2))
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* The injected bug: caught, minimized small, replayable               *)
+
+let test_injected_bug_caught () =
+  let config = Config.with_skip_validation tree in
+  let workload = Workloads.counter ~nthreads:2 ~incs:3 in
+  let r =
+    Harness.explore ~workload ~config
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:200 ~seed:3 ()
+  in
+  match r.Harness.first with
+  | None -> Alcotest.fail "injected validation-skip bug not caught"
+  | Some f ->
+      Alcotest.(check bool)
+        "minimized to at most 10 interventions" true
+        (List.length f.Harness.minimized <= 10);
+      (* The minimized schedule must still reproduce a violation, from
+         nothing but the intervention list. *)
+      let again =
+        Harness.run_one ~seed:3 ~workload ~config
+          (Strategy.replay_control ~interventions:f.Harness.minimized ())
+      in
+      Alcotest.(check bool)
+        "minimized schedule reproduces" true
+        (again.Harness.violation <> None)
+
+let test_injected_bug_caught_by_dfs () =
+  let config = Config.with_skip_validation tree in
+  let workload = Workloads.counter ~nthreads:2 ~incs:3 in
+  let r =
+    Harness.explore ~workload ~config
+      ~strategy:(Strategy.Dfs { preemptions = 2 })
+      ~runs:200 ~seed:3 ()
+  in
+  Alcotest.(check bool) "dfs finds it" true (r.Harness.violations > 0)
+
+let test_clean_config_no_false_positive () =
+  (* Identical exploration without the bug: silence. *)
+  let workload = Workloads.counter ~nthreads:2 ~incs:3 in
+  let r =
+    Harness.explore ~workload ~config:tree
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:200 ~seed:3 ()
+  in
+  Alcotest.(check int) "no violations" 0 r.Harness.violations
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "replay fidelity" `Quick test_replay_fidelity;
+          Alcotest.test_case "schedules differ" `Quick test_schedules_differ;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean history" `Quick test_oracle_clean_history;
+          Alcotest.test_case "lost update" `Quick test_oracle_lost_update;
+          Alcotest.test_case "zombie legal when aborted" `Quick
+            test_oracle_zombie_legal_when_aborted;
+          Alcotest.test_case "zombie illegal when committed" `Quick
+            test_oracle_zombie_illegal_when_committed;
+          Alcotest.test_case "read own write" `Quick
+            test_oracle_read_own_write;
+          Alcotest.test_case "partial abort rollback" `Quick
+            test_oracle_partial_abort_rollback;
+          Alcotest.test_case "final state" `Quick test_oracle_final_state;
+        ] );
+      ( "minimize",
+        [
+          Alcotest.test_case "ddmin pair" `Quick test_ddmin;
+          Alcotest.test_case "ddmin singleton" `Quick test_ddmin_single;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "micros clean" `Quick test_micros_clean;
+          Alcotest.test_case "injected bug caught+minimized" `Quick
+            test_injected_bug_caught;
+          Alcotest.test_case "injected bug via dfs" `Quick
+            test_injected_bug_caught_by_dfs;
+          Alcotest.test_case "no false positive" `Quick
+            test_clean_config_no_false_positive;
+        ] );
+    ]

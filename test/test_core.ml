@@ -627,6 +627,125 @@ let test_private_log_persists () =
   Private_log.add_block p ~addr:300 ~size:10;
   check_int "two blocks" 2 (Private_log.size p)
 
+let test_private_log_zero_size () =
+  let p = Private_log.create () in
+  Alcotest.check_raises "zero" (Invalid_argument "Private_log.add_block")
+    (fun () -> Private_log.add_block p ~addr:10 ~size:0);
+  Alcotest.check_raises "negative" (Invalid_argument "Private_log.add_block")
+    (fun () -> Private_log.add_block p ~addr:10 ~size:(-3));
+  check_int "log untouched" 0 (Private_log.size p)
+
+let test_private_log_overlap_rejected () =
+  let p = Private_log.create () in
+  Private_log.add_block p ~addr:100 ~size:50;
+  check "overlapping annotation raises" true
+    (try
+       Private_log.add_block p ~addr:120 ~size:4;
+       false
+     with Invalid_argument _ -> true);
+  check_int "still one block" 1 (Private_log.size p);
+  check "original intact" true (Private_log.contains p ~addr:100 ~size:50)
+
+(* Model property: a random script of annotate / deannotate / bad-add
+   operations against a reference set of disjoint blocks.  The default
+   (tree) backend is precise, so membership must match the model exactly;
+   duplicate, overlapping and zero-length annotations must be rejected
+   without disturbing the log. *)
+let prop_private_log_model =
+  QCheck.Test.make ~name:"Private_log vs reference set model" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 80)
+        (pair (int_range 0 3) (int_range 0 39)))
+    (fun script ->
+      let p = Private_log.create () in
+      let model = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun (op, i) ->
+          let lo, hi = block_of i in
+          let size = hi - lo in
+          (match op with
+          | 0 ->
+              if Hashtbl.mem model i then begin
+                (* duplicate annotation of a live block must be rejected *)
+                try
+                  Private_log.add_block p ~addr:lo ~size;
+                  ok := false
+                with Invalid_argument _ -> ()
+              end
+              else begin
+                Private_log.add_block p ~addr:lo ~size;
+                Hashtbl.replace model i ()
+              end
+          | 1 ->
+              if Hashtbl.mem model i then begin
+                (* a partially overlapping annotation is also an error *)
+                try
+                  Private_log.add_block p ~addr:(lo + 2) ~size;
+                  ok := false
+                with Invalid_argument _ -> ()
+              end
+          | 2 ->
+              Private_log.remove_block p ~addr:lo ~size;
+              Hashtbl.remove model i
+          | _ -> (
+              (* zero-length annotations are rejected up front *)
+              try
+                Private_log.add_block p ~addr:lo ~size:0;
+                ok := false
+              with Invalid_argument _ -> ()));
+          if Private_log.size p <> Hashtbl.length model then ok := false)
+        script;
+      for i = 0 to 39 do
+        let lo, hi = block_of i in
+        let expect = Hashtbl.mem model i in
+        if Private_log.contains p ~addr:lo ~size:(hi - lo) <> expect then
+          ok := false;
+        if Private_log.contains p ~addr:lo ~size:1 <> expect then ok := false;
+        (* one past the block is never annotated *)
+        if Private_log.contains p ~addr:hi ~size:1 then ok := false
+      done;
+      !ok)
+
+(* The imprecise backends must stay conservative: claiming a block is
+   annotated when the model disagrees would let barriers skip real
+   shared accesses. *)
+let prop_private_log_conservative backend =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "Private_log conservative (%s)"
+         (Alloc_log.backend_name backend))
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 80) (pair bool (int_range 0 39)))
+    (fun script ->
+      let p = Private_log.create ~backend () in
+      let model = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun (add, i) ->
+          let lo, hi = block_of i in
+          let size = hi - lo in
+          if add then begin
+            if not (Hashtbl.mem model i) then begin
+              Private_log.add_block p ~addr:lo ~size;
+              Hashtbl.replace model i ()
+            end
+          end
+          else begin
+            Private_log.remove_block p ~addr:lo ~size;
+            Hashtbl.remove model i
+          end)
+        script;
+      for i = 0 to 39 do
+        let lo, hi = block_of i in
+        if
+          Private_log.contains p ~addr:lo ~size:(hi - lo)
+          && not (Hashtbl.mem model i)
+        then ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Site *)
 
@@ -658,7 +777,7 @@ let test_site_by_name () =
   Site.set_captured_by_name "test.site.nonexistent";
   Site.reset_verdicts ()
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "core"
@@ -738,7 +857,17 @@ let () =
         [
           Alcotest.test_case "annotate" `Quick test_private_log;
           Alcotest.test_case "persists" `Quick test_private_log_persists;
+          Alcotest.test_case "zero-size rejected" `Quick
+            test_private_log_zero_size;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_private_log_overlap_rejected;
         ] );
+      qsuite "private_log-props"
+        [
+          prop_private_log_model;
+          prop_private_log_conservative Alloc_log.Array;
+          prop_private_log_conservative Alloc_log.Filter;
+        ];
       ( "site",
         [
           Alcotest.test_case "declare/meta" `Quick test_site_declare_meta;

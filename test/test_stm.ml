@@ -809,7 +809,7 @@ let config_cases name f =
         (fun () -> f cfg))
     all_configs
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "stm"
@@ -884,7 +884,7 @@ let () =
           Alcotest.test_case "snapshot extension" `Quick
             test_tv_snapshot_extension;
         ]
-        @ List.map QCheck_alcotest.to_alcotest [ prop_tvalidate_model ] );
+        @ List.map Qc.to_alcotest [ prop_tvalidate_model ] );
       qsuite "invariants" (List.map prop_sim_invariant all_configs);
       qsuite "torture" (List.map prop_stm_torture all_configs);
     ]

@@ -66,6 +66,37 @@ let test_stack_live_range () =
   check "straddling not captured" false
     (Tstack.in_live_range s ~from_sp:mark a (mark - a + 1))
 
+(* The range check is [sp, from_sp): both boundaries exact, and popping
+   a frame immediately retires its addresses. *)
+let test_stack_live_range_boundaries () =
+  let m = Memory.create ~words:256 in
+  let s = Tstack.create m ~base:10 ~words:100 in
+  let _ = Tstack.alloca s 10 in
+  let start_sp = Tstack.save s in
+  let _ = Tstack.alloca s 8 in
+  let sp = Tstack.sp s in
+  check "word at sp live" true (Tstack.in_live_range s ~from_sp:start_sp sp 1);
+  check "whole txn-local range live" true
+    (Tstack.in_live_range s ~from_sp:start_sp sp (start_sp - sp));
+  check "word below sp not live" false
+    (Tstack.in_live_range s ~from_sp:start_sp (sp - 1) 1);
+  check "word at start_sp not live" false
+    (Tstack.in_live_range s ~from_sp:start_sp start_sp 1);
+  check "last live word" true
+    (Tstack.in_live_range s ~from_sp:start_sp (start_sp - 1) 1);
+  check "one past start_sp excluded" false
+    (Tstack.in_live_range s ~from_sp:start_sp sp (start_sp - sp + 1));
+  (* Pop the frame: the same addresses must stop being live at once. *)
+  Tstack.restore s start_sp;
+  check "popped block no longer live" false
+    (Tstack.in_live_range s ~from_sp:start_sp sp 1);
+  check "empty range after pop" false
+    (Tstack.in_live_range s ~from_sp:start_sp (start_sp - 1) 1);
+  (* A fresh push after the pop is live again from the same [from_sp]. *)
+  let b = Tstack.alloca s 4 in
+  check "recycled block live again" true
+    (Tstack.in_live_range s ~from_sp:start_sp b 4)
+
 let test_stack_bad_restore () =
   let m = Memory.create ~words:256 in
   let s = Tstack.create m ~base:10 ~words:100 in
@@ -188,7 +219,7 @@ let prop_free_then_alloc_live_count =
       List.iter (Alloc.free a) ps;
       ok1 && Alloc.live_blocks a = 0 && Alloc.live_words a = 0)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "tmem"
@@ -205,6 +236,8 @@ let () =
           Alcotest.test_case "save/restore" `Quick test_stack_save_restore;
           Alcotest.test_case "overflow" `Quick test_stack_overflow;
           Alcotest.test_case "live range" `Quick test_stack_live_range;
+          Alcotest.test_case "live range boundaries" `Quick
+            test_stack_live_range_boundaries;
           Alcotest.test_case "bad restore" `Quick test_stack_bad_restore;
         ] );
       ( "alloc",

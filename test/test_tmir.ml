@@ -930,7 +930,7 @@ let prop_configs_agree =
               Config.compiler;
             ])
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "tmir"

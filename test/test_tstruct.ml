@@ -483,7 +483,7 @@ let test_concurrent_queue () =
   check_int "consumers drained everything" 120
     (popped.(4) + popped.(5) + popped.(6) + popped.(7))
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "tstruct"

@@ -136,7 +136,7 @@ let test_stats_singleton () =
   feq "mean" 42. (Stats.mean s);
   feq "stddev" 0. (Stats.stddev s)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
   Alcotest.run "util"
