@@ -3,9 +3,13 @@
    Sweeps workloads (micro workloads and/or registered STAMP apps) across
    STM configurations and exploration strategies, checking every explored
    schedule with the opacity oracle.  Exit status 0 means every schedule
-   passed (or, with --inject-bug, that the injected bug was caught). *)
+   passed — or, in fault-injection mode (--fault / --inject-bug), that
+   the injected fault met its expectation: Contained faults must produce
+   zero violations, Flagged faults must be detected by the oracle without
+   any exception escaping a fiber. *)
 
 module Config = Captured_stm.Config
+module Fault = Captured_stm.Fault
 module Strategy = Captured_check.Strategy
 module Harness = Captured_check.Harness
 module Oracle = Captured_check.Oracle
@@ -56,12 +60,30 @@ let report_json (r : Harness.report) union =
 
 let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
     strategies_csv runs seed max_steps persist pct_depth dfs_preemptions
-    min_distinct inject_bug json smoke =
+    min_distinct fault_name inject_bug json smoke =
   let runs = if smoke && runs = 0 then 600 else if runs = 0 then 400 else runs
   and min_distinct = if smoke && min_distinct = 0 then 1000 else min_distinct in
+  match
+    match (fault_name, inject_bug) with
+    | "", false -> Ok None
+    | "", true -> Ok (Some Fault.Skip_validation)
+    | name, _ -> (
+        match Fault.of_name name with
+        | Some f -> Ok (Some f)
+        | None ->
+            Error
+              (Printf.sprintf "unknown fault %S (known: %s)" name
+                 (String.concat ", " Fault.names)))
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok fault ->
+  (* The zombie workload's spin is bounded only by correct validation —
+     the one thing the injected faults deliberately break — so fault
+     sweeps leave it out of the default set. *)
   let workload_names =
     if workloads_csv = "" && apps_csv = "" then
       [ "counter"; "bank"; "publish"; "scoped" ]
+      @ (if fault = None then [ "zombie" ] else [])
     else split_csv workloads_csv
   in
   let resolve name =
@@ -107,6 +129,8 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
           else begin
             let failures = ref 0
             and caught = ref 0
+            and crashed = ref 0
+            and hung = ref 0
             and total_runs = ref 0
             and total_distinct = ref 0
             and shallow = ref [] in
@@ -118,7 +142,7 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
                       base
                       |> Config.with_fastpath ~on:fp
                       |> Config.with_tvalidate ~on:tv
-                      |> Config.with_skip_validation ~on:inject_bug
+                      |> Config.with_fault fault
                     in
                     let seen = Hashtbl.create (8 * runs) in
                     List.iter
@@ -128,8 +152,23 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
                             ~seed ~max_steps ~seen ()
                         in
                         total_runs := !total_runs + r.Harness.runs;
+                        (match r.Harness.first with
+                        | Some f
+                          when f.Harness.violation.Oracle.kind
+                               = "fiber-exception" ->
+                            incr crashed
+                        | _ -> ());
+                        if r.Harness.truncated > 0 then begin
+                          incr hung;
+                          if not json then
+                            Printf.printf
+                              "FAIL %s %s %s: %d truncated runs (possible \
+                               livelock; raise --max-steps if legitimate)\n"
+                              w.Workloads.name (Config.name config)
+                              r.Harness.strategy r.Harness.truncated
+                        end;
                         if r.Harness.violations > 0 then begin
-                          if inject_bug then begin
+                          if fault <> None then begin
                             incr caught;
                             match r.Harness.first with
                             | Some f ->
@@ -147,7 +186,7 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
                       strategies;
                     let union = Hashtbl.length seen in
                     total_distinct := !total_distinct + union;
-                    if (not inject_bug) && union < min_distinct then begin
+                    if fault = None && union < min_distinct then begin
                       incr failures;
                       if not json then
                         Printf.printf
@@ -162,35 +201,68 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
                 "total: %d runs, %d distinct schedules across %d workload×config cells\n"
                 !total_runs !total_distinct
                 (List.length workloads * List.length modes);
-            if inject_bug then
-              if !caught = 0 then
-                `Error
-                  ( false,
-                    "injected validation-skip bug was NOT caught by any \
-                     strategy" )
-              else begin
-                if not json then
-                  List.iter
-                    (fun (w, n) ->
-                      Printf.printf
-                        "caught injected bug on %s (minimized to %d \
-                         interventions)\n"
-                        w n)
-                    !shallow;
-                `Ok ()
-              end
-            else if !failures > 0 then
+            if !hung > 0 then
               `Error
-                (false, Printf.sprintf "%d failing cells (see above)" !failures)
-            else `Ok ()
+                ( false,
+                  Printf.sprintf
+                    "%d cells truncated runs (possible livelock)" !hung )
+            else
+              match fault with
+              | Some f -> (
+                  let fname = Fault.name f in
+                  match Fault.expectation f with
+                  | Fault.Contained ->
+                      if !caught > 0 then
+                        `Error
+                          ( false,
+                            Printf.sprintf
+                              "fault %s escaped containment: violations in \
+                               %d strategy runs"
+                              fname !caught )
+                      else `Ok ()
+                  | Fault.Flagged ->
+                      if !crashed > 0 then
+                        `Error
+                          ( false,
+                            Printf.sprintf
+                              "fault %s: exceptions escaped fibers in %d \
+                               runs (sandbox failed)"
+                              fname !crashed )
+                      else if !caught = 0 then
+                        `Error
+                          ( false,
+                            Printf.sprintf
+                              "injected fault %s was NOT flagged by any \
+                               strategy"
+                              fname )
+                      else begin
+                        if not json then
+                          List.iter
+                            (fun (w, n) ->
+                              Printf.printf
+                                "flagged injected fault on %s (minimized to \
+                                 %d interventions)\n"
+                                w n)
+                            !shallow;
+                        `Ok ()
+                      end)
+              | None ->
+                  if !failures > 0 then
+                    `Error
+                      ( false,
+                        Printf.sprintf "%d failing cells (see above)"
+                          !failures )
+                  else `Ok ()
           end))
 
 open Cmdliner
 
 let workloads_arg =
   let doc =
-    "Comma-separated micro workloads (counter, bank, publish, scoped). \
-     Default: all four (unless $(b,--apps) is given alone)."
+    "Comma-separated micro workloads (counter, bank, publish, scoped, \
+     zombie).  Default: all five — fault sweeps drop zombie, whose \
+     termination depends on the validation machinery faults break \
+     (unless $(b,--apps) is given alone)."
   in
   Arg.(value & opt string "" & info [ "workloads"; "w" ] ~docv:"NAMES" ~doc)
 
@@ -252,10 +324,20 @@ let min_distinct_arg =
   in
   Arg.(value & opt int 0 & info [ "min-distinct" ] ~docv:"N" ~doc)
 
+let fault_arg =
+  let doc =
+    "Inject a structured fault (skip-validation, stale-read, \
+     delayed-unlock, spurious-abort, alloc-log-drop, clock-stall) and \
+     judge the sweep by the fault's expectation: $(i,contained) faults \
+     must produce zero violations, $(i,flagged) faults must be detected \
+     by the oracle with no exception escaping a fiber."
+  in
+  Arg.(value & opt string "" & info [ "fault" ] ~docv:"NAME" ~doc)
+
 let inject_bug_arg =
   let doc =
-    "Canary mode: inject the validation-skipping bug and succeed only if \
-     the oracle catches it."
+    "Canary mode: shorthand for $(b,--fault skip-validation) — succeed \
+     only if the oracle catches the validation-skipping bug."
   in
   Arg.(value & flag & info [ "inject-bug" ] ~doc)
 
@@ -287,6 +369,8 @@ let cmd =
       `Pre "  stamp_check --smoke --seed 1";
       `P "Check the checker catches an injected lost-update bug:";
       `Pre "  stamp_check --inject-bug -w counter -s random,dfs";
+      `P "Sweep one structured fault (what the CI fault matrix runs):";
+      `Pre "  stamp_check --fault stale-read --seed 1";
       `P "Sweep a STAMP app:";
       `Pre "  stamp_check --apps vacation-low -n 100 --min-distinct 0";
     ]
@@ -298,6 +382,6 @@ let cmd =
         (const sweep $ workloads_arg $ apps_arg $ threads_arg $ analysis_arg
        $ modes_arg $ strategies_arg $ runs_arg $ seed_arg $ max_steps_arg
        $ persist_arg $ pct_depth_arg $ dfs_preemptions_arg $ min_distinct_arg
-       $ inject_bug_arg $ json_arg $ smoke_arg))
+       $ fault_arg $ inject_bug_arg $ json_arg $ smoke_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,8 @@
      stamp_run analyze bayes *)
 
 module Config = Captured_stm.Config
+module Cm = Captured_stm.Cm
+module Fault = Captured_stm.Fault
 module Engine = Captured_stm.Engine
 module Stats = Captured_stm.Stats
 module Alloc_log = Captured_core.Alloc_log
@@ -53,7 +55,10 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
      \"overflows\":%d,\"capture_check_cycles\":%d,\"validations\":%d,\
      \"validations_skipped\":%d,\"snapshot_extensions\":%d,\
      \"readonly_fast_commits\":%d,\"clock_advances\":%d,\
-     \"validation_cycles\":%d,\"makespan\":%d,\
+     \"validation_cycles\":%d,\"spin_aborts\":%d,\"backoff_cycles\":%d,\
+     \"fuel_exhaustions\":%d,\"sandbox_aborts\":%d,\"sandbox_bounds\":%d,\
+     \"faults_injected\":%d,\"cm_max_consec_aborts\":%d,\
+     \"cm_starvation_events\":%d,\"makespan\":%d,\
      \"wall_ms\":%.3f}\n"
     app config threads
     (if native then "native" else "sim")
@@ -68,7 +73,10 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
     s.Stats.capture_log_overflows s.Stats.capture_check_cycles
     s.Stats.validations s.Stats.validations_skipped
     s.Stats.snapshot_extensions s.Stats.readonly_fast_commits
-    s.Stats.clock_advances s.Stats.validation_cycles
+    s.Stats.clock_advances s.Stats.validation_cycles s.Stats.spin_aborts
+    s.Stats.backoff_cycles s.Stats.fuel_exhaustions s.Stats.sandbox_aborts
+    s.Stats.sandbox_bounds s.Stats.faults_injected
+    s.Stats.cm_max_consec_aborts s.Stats.cm_starvation_events
     r.Engine.makespan
     (1000. *. r.Engine.wall)
 
@@ -106,11 +114,39 @@ let print_result (r : Engine.result) ~native =
   Printf.printf "  ro fast commits:  %d\n" s.Stats.readonly_fast_commits;
   Printf.printf "  clock advances:   %d\n" s.Stats.clock_advances;
   Printf.printf "  cycles:           %d\n" s.Stats.validation_cycles;
+  Printf.printf "contention:         spin-aborts %d / backoff-cycles %d / \
+                 max-consec-aborts %d\n"
+    s.Stats.spin_aborts s.Stats.backoff_cycles s.Stats.cm_max_consec_aborts;
+  Printf.printf "  starvation:       %d\n" s.Stats.cm_starvation_events;
+  Printf.printf "sandbox:            fuel-exhaustions %d / aborts %d / \
+                 bounds %d\n"
+    s.Stats.fuel_exhaustions s.Stats.sandbox_aborts s.Stats.sandbox_bounds;
+  if s.Stats.faults_injected > 0 then
+    Printf.printf "faults injected:    %d\n" s.Stats.faults_injected;
   if native then Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall)
   else Printf.printf "virtual makespan:   %d cycles\n" r.Engine.makespan
 
+let cm_of_name name =
+  match Cm.policy_of_name name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown contention-management policy %s (known: %s)"
+           name
+           (String.concat " " (List.map Cm.policy_name Cm.all_policies)))
+
+let fault_of_name = function
+  | "" -> Ok None
+  | name -> (
+      match Fault.of_name name with
+      | Some f -> Ok (Some f)
+      | None ->
+          Error
+            (Printf.sprintf "unknown fault %s (known: %s)" name
+               (String.concat " " Fault.names)))
+
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic fastpath tvalidate json =
+    pessimistic fastpath tvalidate cm_name fuel fault_name json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
@@ -118,6 +154,14 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
     let config = if pessimistic then Config.pessimistic config else config in
     let config = if fastpath then Config.with_fastpath config else config in
     let config = if tvalidate then Config.with_tvalidate config else config in
+    let* cm = cm_of_name cm_name in
+    let config = Config.with_cm cm config in
+    let* config =
+      if fuel < 0 then Error "negative --fuel"
+      else Ok (Config.with_fuel fuel config)
+    in
+    let* fault = fault_of_name fault_name in
+    let config = Config.with_fault fault config in
     let* scale = scale_of_name scale_name in
     match Registry.find app_name with
     | None ->
@@ -207,6 +251,27 @@ let tvalidate_arg =
                  snapshot checks, snapshot extension, read-only commit \
                  fast path).")
 
+let cm_arg =
+  Arg.(value & opt string "backoff"
+       & info [ "cm" ] ~docv:"POLICY"
+           ~doc:"Contention-management policy: backoff | karma | timestamp.")
+
+let fuel_arg =
+  Arg.(value & opt int 0
+       & info [ "fuel" ] ~docv:"N"
+           ~doc:"Validation fuel per transaction attempt (0 = disabled): \
+                 every transactional operation burns one unit and \
+                 exhaustion forces a revalidation, bounding zombie \
+                 execution.")
+
+let fault_arg =
+  Arg.(value & opt string ""
+       & info [ "fault" ] ~docv:"NAME"
+           ~doc:"Inject a structured fault (skip-validation | stale-read | \
+                 delayed-unlock | spurious-abort | alloc-log-drop | \
+                 clock-stall).  Testing only: verification may fail, \
+                 which is the point.")
+
 let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit one JSON object instead of the text report.")
@@ -214,7 +279,8 @@ let json_arg =
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
-             $ fastpath_arg $ tvalidate_arg $ json_arg))
+             $ fastpath_arg $ tvalidate_arg $ cm_arg $ fuel_arg $ fault_arg
+             $ json_arg))
 
 let cmds =
   [

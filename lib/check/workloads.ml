@@ -181,12 +181,74 @@ let scoped ~nthreads ~incs =
         { App.world; body; verify });
   }
 
+(* Zombie loop: a reader spins on a condition only an inconsistent
+   snapshot can satisfy.  The writer bumps [a] and [b] together in one
+   transaction, so every consistent view has a = b; a reader that
+   observes a <> b is a zombie and enters an unbounded [tx_work] loop
+   that the periodic validate_every guard never reaches (it only runs
+   in read/write barriers).  Only the validation-fuel budget bounds the
+   spin, which is what this workload proves: [prepare] arms a small
+   budget and every explored schedule must terminate.  Fault sweeps
+   exclude this workload — the injected faults break exactly the
+   validation machinery the fuel mechanism relies on. *)
+let zombie_loop ~nthreads ~rounds =
+  {
+    name = Printf.sprintf "zombie-%dx%d" nthreads rounds;
+    nthreads;
+    prepare =
+      (fun config ->
+        let config =
+          if config.Config.fuel > 0 then config
+          else Config.with_fuel 384 config
+        in
+        let world = small_world ~nthreads config in
+        let arena = Engine.global_arena world in
+        let a = Alloc.alloc arena 1 in
+        (* Spacer: keep [a] and [b] on different conflict-detection
+           lines (hence different orecs), so the zombie's second read is
+           a genuinely separate orec observation. *)
+        let _spacer = Alloc.alloc arena 8 in
+        let b = Alloc.alloc arena 1 in
+        let body th =
+          if Txn.thread_id th = 0 then
+            for _ = 1 to rounds do
+              Txn.atomic th (fun tx ->
+                  Txn.write tx a (Txn.read tx a + 1);
+                  Txn.tx_work tx 30;
+                  Txn.write tx b (Txn.read tx b + 1))
+            done
+          else
+            for _ = 1 to rounds do
+              Txn.atomic th (fun tx ->
+                  let x = Txn.read tx a in
+                  Txn.tx_work tx 10;
+                  let y = Txn.read tx b in
+                  if x <> y then
+                    (* Unreachable from a consistent snapshot. *)
+                    while true do
+                      Txn.tx_work tx 25
+                    done)
+            done
+        in
+        let verify () =
+          let mem = Engine.memory world in
+          let va = Memory.get mem a and vb = Memory.get mem b in
+          if va = rounds && vb = rounds then Ok ()
+          else
+            Error
+              (Printf.sprintf "zombie cells (%d, %d), expected (%d, %d)" va vb
+                 rounds rounds)
+        in
+        { App.world; body; verify });
+  }
+
 let micros ~nthreads =
   [
     counter ~nthreads ~incs:4;
     bank ~nthreads ~accounts:4 ~transfers:3;
     publish ~nthreads ~nodes:3;
     scoped ~nthreads ~incs:2;
+    zombie_loop ~nthreads ~rounds:3;
   ]
 
 (* STAMP app adapter: same verdict-loading dispatch as [App.run]. *)

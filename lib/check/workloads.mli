@@ -20,8 +20,13 @@ val publish : nthreads:int -> nodes:int -> t
 val scoped : nthreads:int -> incs:int -> t
 (** Closed nesting with partial aborts. *)
 
+val zombie_loop : nthreads:int -> rounds:int -> t
+(** A reader spins forever on a condition only an inconsistent snapshot
+    satisfies; the validation-fuel budget (armed by [prepare] when the
+    config leaves it off) must terminate it in every schedule. *)
+
 val micros : nthreads:int -> t list
-(** The four micro workloads at smoke-test sizes. *)
+(** The five micro workloads at smoke-test sizes. *)
 
 val of_app : ?scale:App.scale -> App.t -> nthreads:int -> t
 (** A registered STAMP app as a workload ([Test] scale by default);

@@ -25,7 +25,9 @@ type t = {
   filter_buckets : int;
   spin_limit : int;
   validate_every : int;
-  bug_skip_validation : bool;
+  cm : Cm.policy;
+  fuel : int;
+  fault : Fault.kind option;
 }
 
 let full_scope =
@@ -54,7 +56,9 @@ let default =
     filter_buckets = 4096;
     spin_limit = 32;
     validate_every = 512;
-    bug_skip_validation = false;
+    cm = Cm.Backoff;
+    fuel = 0;
+    fault = None;
   }
 
 let baseline = default
@@ -69,7 +73,19 @@ let runtime_hybrid ?(scope = full_scope) backend =
 let pessimistic t = { t with pessimistic_reads = true }
 let with_fastpath ?(on = true) t = { t with fastpath = on }
 let with_tvalidate ?(on = true) t = { t with tvalidate = on }
-let with_skip_validation ?(on = true) t = { t with bug_skip_validation = on }
+let with_cm policy t = { t with cm = policy }
+let with_fuel fuel t =
+  if fuel < 0 then invalid_arg "Config.with_fuel: negative budget";
+  { t with fuel }
+
+let with_fault fault t = { t with fault }
+let has_fault t kind = t.fault = Some kind
+
+let with_skip_validation ?(on = true) t =
+  if on then { t with fault = Some Fault.Skip_validation }
+  else if t.fault = Some Fault.Skip_validation then { t with fault = None }
+  else t
+
 let audit = { default with audit = true }
 
 let name t =
@@ -89,7 +105,13 @@ let name t =
     (if t.fastpath then "+fp" else "")
     ^ (if t.tvalidate then "+tv" else "")
     ^ (if t.pessimistic_reads then "+pessimistic" else "")
-    ^ if t.bug_skip_validation then "+bug:noval" else ""
+    ^ (match t.cm with
+      | Cm.Backoff -> ""
+      | p -> "+cm:" ^ Cm.policy_name p)
+    ^ (if t.fuel > 0 then Printf.sprintf "+fuel:%d" t.fuel else "")
+    ^ (match t.fault with
+      | None -> ""
+      | Some f -> "+fault:" ^ Fault.name f)
   in
   match t.analysis with
   | Baseline -> (if t.audit then "audit" else "baseline") ^ suffix

@@ -68,11 +68,20 @@ type t = {
   spin_limit : int;  (** lock-wait spins before self-abort. *)
   validate_every : int;
       (** Barriers between incremental validations (zombie guard). *)
-  bug_skip_validation : bool;
-      (** Fault injection for the schedule-exploration checker
-          ({!Captured_check}): read-set validation always reports success
-          and the per-read timestamp check is skipped, so lost updates
-          slip through.  Never enable outside tests. *)
+  cm : Cm.policy;
+      (** Contention-management policy for the retry loop ([+cm:<name>]
+          suffix; [Backoff] — the default — is suffix-free and reproduces
+          the pre-CM behaviour bit for bit). *)
+  fuel : int;
+      (** Validation fuel per transaction attempt: every transactional
+          operation — including elided/owned accesses and [tx_work],
+          which the periodic [validate_every] guard never sees — burns
+          one unit, and exhaustion forces a revalidation (then refills).
+          Bounds how long a zombie can run regardless of what it does.
+          [0] (default) disables the budget; [+fuel:<n>] suffix. *)
+  fault : Fault.kind option;
+      (** Injected fault for the robustness layer / checker self-tests
+          ([+fault:<name>] suffix).  Never enable outside tests. *)
 }
 
 val full_scope : scope
@@ -105,8 +114,24 @@ val with_fastpath : ?on:bool -> t -> t
     validation (global version clock; [+tv] name suffix). *)
 val with_tvalidate : ?on:bool -> t -> t
 
-(** [with_skip_validation t] injects the validation-skipping bug (testing
-    the checker's detection power only; [+bug:noval] name suffix). *)
+(** [with_cm policy t] selects the contention-management policy
+    ([+cm:<name>] suffix for non-default policies). *)
+val with_cm : Cm.policy -> t -> t
+
+(** [with_fuel n t] arms the per-attempt validation-fuel budget
+    ([+fuel:<n>] suffix; [n = 0] disables).  Raises [Invalid_argument] on
+    negative [n]. *)
+val with_fuel : int -> t -> t
+
+(** [with_fault f t] injects fault [f] ([+fault:<name>] suffix). *)
+val with_fault : Fault.kind option -> t -> t
+
+(** [has_fault t k] — is fault [k] the one injected in [t]? *)
+val has_fault : t -> Fault.kind -> bool
+
+(** [with_skip_validation t] injects the validation-skipping fault —
+    kept as the checker's historical canary spelling of
+    [with_fault (Some Fault.Skip_validation)]. *)
 val with_skip_validation : ?on:bool -> t -> t
 val audit : t
 (** Baseline + audit counting (Figure 8 runs). *)

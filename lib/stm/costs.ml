@@ -42,3 +42,15 @@ let capture_promote = 48
 let backoff ~attempt ~jitter =
   let shift = min attempt 10 in
   (64 lsl shift) + (jitter land 63) * attempt
+
+(* Contention management (Cm): Karma converts this much logged work
+   (read-set + undo entries) into one attempt's worth of backoff
+   discount; Timestamp replaces the exponential curve with this linear
+   per-abort unit, scaled down by ticket age. *)
+let karma_per_discount = 32
+let cm_linear_backoff = 96
+
+(* Fault injection: extra cycles a Delayed_unlock commit burns while
+   still holding its orecs — deliberately beyond the default lock-wait
+   budget (spin_limit * lock_spin = 128) so waiters spin out. *)
+let fault_unlock_delay = 160

@@ -65,4 +65,16 @@ val capture_promote : int
 
 val backoff : attempt:int -> jitter:int -> int
 (** Exponential backoff cycles for retry [attempt] (1-based); [jitter] in
-    [0, 63] decorrelates threads. *)
+    [0, 63] decorrelates threads.  Monotone in [attempt] (capped at 10
+    doublings), adds at most [63 * attempt] jitter cycles over the
+    jitter-free value, never negative. *)
+
+val karma_per_discount : int
+(** {!Cm.Karma}: logged work per one-attempt backoff discount. *)
+
+val cm_linear_backoff : int
+(** {!Cm.Timestamp}: linear per-consecutive-abort backoff unit. *)
+
+val fault_unlock_delay : int
+(** {!Fault.Delayed_unlock}: cycles a commit holds its locks beyond the
+    release point. *)

@@ -14,6 +14,7 @@ type world = {
   global_arena : Alloc.t;
   stacks : Tstack.t array;
   arenas : Alloc.t array;
+  cm_shared : Cm.shared;
 }
 
 let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
@@ -40,7 +41,16 @@ let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
           ~base:(1 + global_words + (nthreads * stack_words) + (i * arena_words))
           ~words:arena_words)
   in
-  { memory; orecs; config; nthreads; global_arena; stacks; arenas }
+  {
+    memory;
+    orecs;
+    config;
+    nthreads;
+    global_arena;
+    stacks;
+    arenas;
+    cm_shared = Cm.create_shared ();
+  }
 
 let memory w = w.memory
 let global_arena w = w.global_arena
@@ -65,7 +75,7 @@ let thread_seed seed tid =
 let make_thread w ~tid ~platform ~seed =
   Txn.create_thread ~tid ~platform ~memory:w.memory ~stack:w.stacks.(tid)
     ~arena:w.arenas.(tid) ~orecs:w.orecs ~config:w.config
-    ~seed:(thread_seed seed tid)
+    ~cm_shared:w.cm_shared ~seed:(thread_seed seed tid) ()
 
 let collect threads makespan wall =
   let per_thread = Array.map Txn.thread_stats threads in

@@ -1,0 +1,88 @@
+(* Structured fault injection.
+
+   Each kind names one way the STM could be broken — by a bug in this
+   code, by a port to weaker hardware, or by a paper optimisation applied
+   one step too far.  A configuration carries at most one injected fault;
+   the barriers and commit path probe [rate]-percent draws from the
+   owning thread's PRNG at the matching site, so a fault's firing pattern
+   is a pure function of (config, seed, schedule) and any misbehaviour it
+   causes replays deterministically under the schedule-exploration
+   checker.
+
+   [expectation] is the contract the robustness layer signs per fault:
+   [Contained] faults are absorbed by the sandbox/retry machinery (the
+   run stays correct, merely slower); [Flagged] faults genuinely break
+   opacity and the checker's oracle must report them. *)
+
+type kind =
+  | Skip_validation
+  | Stale_read
+  | Delayed_unlock
+  | Spurious_abort
+  | Alloc_log_drop
+  | Clock_stall
+
+let all =
+  [
+    Skip_validation;
+    Stale_read;
+    Delayed_unlock;
+    Spurious_abort;
+    Alloc_log_drop;
+    Clock_stall;
+  ]
+
+let name = function
+  | Skip_validation -> "skip-validation"
+  | Stale_read -> "stale-read"
+  | Delayed_unlock -> "delayed-unlock"
+  | Spurious_abort -> "spurious-abort"
+  | Alloc_log_drop -> "alloc-log-drop"
+  | Clock_stall -> "clock-stall"
+
+let names = List.map name all
+
+let of_name s = List.find_opt (fun k -> name k = s) all
+
+type expectation = Contained | Flagged
+
+let expectation = function
+  | Skip_validation | Stale_read | Clock_stall -> Flagged
+  | Delayed_unlock | Spurious_abort | Alloc_log_drop -> Contained
+
+(* Percent chance per opportunity.  [Skip_validation] is unconditional —
+   it predates this registry as [bug_skip_validation] and the canary
+   tests rely on every validation lying.  [Spurious_abort]'s site is
+   every barrier, so its rate is kept low enough that transactions still
+   commit within a few attempts. *)
+let rate = function
+  | Skip_validation -> 100
+  | Stale_read -> 50
+  | Delayed_unlock -> 50
+  | Spurious_abort -> 4
+  | Alloc_log_drop -> 50
+  | Clock_stall -> 50
+
+let describe = function
+  | Skip_validation ->
+      "read-set validation always reports success; per-read timestamp \
+       checks are skipped (lost updates slip through)"
+  | Stale_read ->
+      "a read barrier occasionally opens a window between value load and \
+       version log and trusts the post-window version (TOCTOU: a stale \
+       value can pass commit validation)"
+  | Delayed_unlock ->
+      "a writing commit occasionally burns extra cycles before releasing \
+       its orecs (waiters spin out and self-abort; correctness is \
+       unaffected)"
+  | Spurious_abort ->
+      "barriers occasionally raise a conflict out of thin air (retry \
+       machinery must absorb it)"
+  | Alloc_log_drop ->
+      "transactional allocations are occasionally left out of the capture \
+       log (elision lost, accesses fall back to full barriers — the \
+       conservative direction)"
+  | Clock_stall ->
+      "a writing commit occasionally stamps its orecs with an un-advanced \
+       clock value (under +tv, O(1) snapshot checks wrongly accept lines \
+       changed since the snapshot)"

@@ -1,0 +1,41 @@
+(** Structured fault injection for the robustness layer and the
+    schedule-exploration checker.
+
+    A {!Config.t} carries at most one injected fault ([Config.fault]);
+    the STM probes the owning thread's PRNG at the fault's site, so
+    misbehaviour is deterministic in (config, seed, schedule) and
+    replayable.  Never enable outside tests. *)
+
+type kind =
+  | Skip_validation
+      (** Validation always succeeds; per-read timestamp checks skipped.
+          The original [bug_skip_validation] checker canary. *)
+  | Stale_read
+      (** Read barrier occasionally trusts a post-window orec version for
+          a pre-window value (TOCTOU). *)
+  | Delayed_unlock
+      (** Commit occasionally holds write locks for extra cycles. *)
+  | Spurious_abort  (** Barriers occasionally conflict for no reason. *)
+  | Alloc_log_drop
+      (** Allocations occasionally left out of the capture log. *)
+  | Clock_stall
+      (** Commit occasionally stamps orecs without advancing the global
+          version clock (breaks +tv snapshot checks). *)
+
+val all : kind list
+val name : kind -> string
+val names : string list
+val of_name : string -> kind option
+
+(** What the robustness layer promises per fault: [Contained] faults are
+    absorbed (runs stay correct — abort+retry, degraded elision, or
+    wasted cycles only); [Flagged] faults break opacity and the checker
+    oracle must report them. *)
+type expectation = Contained | Flagged
+
+val expectation : kind -> expectation
+
+val rate : kind -> int
+(** Percent chance per opportunity (100 for {!Skip_validation}). *)
+
+val describe : kind -> string

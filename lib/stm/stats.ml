@@ -40,6 +40,14 @@ type t = {
   mutable readonly_fast_commits : int;
   mutable clock_advances : int;
   mutable validation_cycles : int;
+  mutable spin_aborts : int;
+  mutable backoff_cycles : int;
+  mutable fuel_exhaustions : int;
+  mutable sandbox_aborts : int;
+  mutable sandbox_bounds : int;
+  mutable faults_injected : int;
+  mutable cm_max_consec_aborts : int;
+  mutable cm_starvation_events : int;
 }
 
 let create () =
@@ -85,6 +93,14 @@ let create () =
     readonly_fast_commits = 0;
     clock_advances = 0;
     validation_cycles = 0;
+    spin_aborts = 0;
+    backoff_cycles = 0;
+    fuel_exhaustions = 0;
+    sandbox_aborts = 0;
+    sandbox_bounds = 0;
+    faults_injected = 0;
+    cm_max_consec_aborts = 0;
+    cm_starvation_events = 0;
   }
 
 let reset t =
@@ -128,7 +144,15 @@ let reset t =
   t.snapshot_extensions <- 0;
   t.readonly_fast_commits <- 0;
   t.clock_advances <- 0;
-  t.validation_cycles <- 0
+  t.validation_cycles <- 0;
+  t.spin_aborts <- 0;
+  t.backoff_cycles <- 0;
+  t.fuel_exhaustions <- 0;
+  t.sandbox_aborts <- 0;
+  t.sandbox_bounds <- 0;
+  t.faults_injected <- 0;
+  t.cm_max_consec_aborts <- 0;
+  t.cm_starvation_events <- 0
 
 let merge acc x =
   acc.commits <- acc.commits + x.commits;
@@ -178,7 +202,16 @@ let merge acc x =
   acc.readonly_fast_commits <-
     acc.readonly_fast_commits + x.readonly_fast_commits;
   acc.clock_advances <- acc.clock_advances + x.clock_advances;
-  acc.validation_cycles <- acc.validation_cycles + x.validation_cycles
+  acc.validation_cycles <- acc.validation_cycles + x.validation_cycles;
+  acc.spin_aborts <- acc.spin_aborts + x.spin_aborts;
+  acc.backoff_cycles <- acc.backoff_cycles + x.backoff_cycles;
+  acc.fuel_exhaustions <- acc.fuel_exhaustions + x.fuel_exhaustions;
+  acc.sandbox_aborts <- acc.sandbox_aborts + x.sandbox_aborts;
+  acc.sandbox_bounds <- acc.sandbox_bounds + x.sandbox_bounds;
+  acc.faults_injected <- acc.faults_injected + x.faults_injected;
+  (* A per-thread maximum, not a flow count: merging takes the max. *)
+  acc.cm_max_consec_aborts <- max acc.cm_max_consec_aborts x.cm_max_consec_aborts;
+  acc.cm_starvation_events <- acc.cm_starvation_events + x.cm_starvation_events
 
 let sum xs =
   let acc = create () in

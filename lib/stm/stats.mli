@@ -77,6 +77,31 @@ type t = {
           read-set scans, per-read timestamp compares, clock compares and
           snapshot-extension bookkeeping — the quantity timestamp-based
           validation exists to shrink. *)
+  (* robustness layer: sandbox, contention management, fault injection *)
+  mutable spin_aborts : int;
+      (** Conflict aborts caused by a lock-wait spin exhausting its limit
+          (previously folded into [aborts], which still includes them). *)
+  mutable backoff_cycles : int;
+      (** Total simulated cycles burnt between a conflict abort and its
+          retry, whatever the contention-management policy. *)
+  mutable fuel_exhaustions : int;
+      (** Validation-fuel budgets that ran dry, forcing a revalidation
+          ([Config.fuel]; counts forced checks, not aborts). *)
+  mutable sandbox_aborts : int;
+      (** Exceptions raised inside an attempt that post-hoc validation
+          proved to be zombie fallout — silently converted to
+          abort+retry instead of propagating. *)
+  mutable sandbox_bounds : int;
+      (** Out-of-range addresses caught by the barrier bounds guard
+          before touching memory (zombie-computed garbage pointers). *)
+  mutable faults_injected : int;
+      (** Times the configured {!Fault.kind} actually fired. *)
+  mutable cm_max_consec_aborts : int;
+      (** Longest run of consecutive conflict aborts by any single
+          transaction (merged across threads with [max], not [+]). *)
+  mutable cm_starvation_events : int;
+      (** Transactions the [Timestamp] policy declared starving (past the
+          consecutive-abort threshold). *)
 }
 
 val create : unit -> t

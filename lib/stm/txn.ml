@@ -68,6 +68,7 @@ type thread = {
   stats : Stats.t;
   private_log : Private_log.t;
   prng : Prng.t;
+  cm : Cm.t;
   (* O(1) "do I own this orec / have I read it" maps, epoch-invalidated per
      transaction attempt. *)
   owned_epoch : int array;
@@ -98,6 +99,8 @@ and tx = {
   mutable live : bool;
   mutable attempts : int;
   mutable ops_since_validate : int;
+  (* Validation fuel left this attempt (0 when the budget is disabled). *)
+  mutable fuel : int;
   (* Snapshot timestamp (tvalidate): the read set is known consistent at
      the instant the global clock held this value. *)
   mutable start_ts : int;
@@ -115,8 +118,12 @@ and scope = {
 (* ------------------------------------------------------------------ *)
 (* Thread construction                                                 *)
 
-let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config ~seed =
+let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
+    ?cm_shared ~seed () =
   let n = Orec.count orecs in
+  let cm_shared =
+    match cm_shared with Some s -> s | None -> Cm.create_shared ()
+  in
   {
     tid;
     platform;
@@ -128,6 +135,7 @@ let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config ~seed =
     stats = Stats.create ();
     private_log = Private_log.create ();
     prng = Prng.create seed;
+    cm = Cm.create ~policy:config.Config.cm ~shared:cm_shared;
     owned_epoch = Array.make n 0;
     owned_prev = Array.make n 0;
     read_seen_epoch = Array.make n 0;
@@ -217,6 +225,7 @@ let make_tx th =
     live = false;
     attempts = 0;
     ops_since_validate = 0;
+    fuel = 0;
     start_ts = 0;
   }
 
@@ -242,12 +251,28 @@ let charge_validation th cost =
   th.platform.consume cost;
   th.stats.validation_cycles <- th.stats.validation_cycles + cost
 
+(* [fault_fires th k] — true when [k] is the configured injected fault
+   and its per-opportunity PRNG draw fires.  Configurations without fault
+   [k] make no draw, so their streams (and schedules) are untouched. *)
+let fault_fires th kind =
+  match th.config.Config.fault with
+  | Some k when k = kind ->
+      let fired = Prng.chance th.prng ~percent:(Fault.rate kind) in
+      if fired then
+        th.stats.faults_injected <- th.stats.faults_injected + 1;
+      fired
+  | _ -> false
+
 let validate tx =
   let th = tx.thread in
   th.stats.validations <- th.stats.validations + 1;
   charge_validation th (Costs.validate_per_read * tx.n_reads);
   (* Injected fault (checker self-test): report success without looking. *)
-  th.config.Config.bug_skip_validation
+  (Config.has_fault th.config Fault.Skip_validation
+  && begin
+       th.stats.faults_injected <- th.stats.faults_injected + 1;
+       true
+     end)
   ||
   let rec go k =
     if k >= tx.n_reads then true
@@ -283,6 +308,45 @@ let maybe_validate tx =
         th.stats.validations_skipped <- th.stats.validations_skipped + 1
     end
     else if not (validate tx) then raise Retry_conflict
+  end
+
+(* Validation fuel: a hard bound on un-revalidated execution.  The
+   periodic [validate_every] guard above only runs on instrumented
+   barrier slow paths; owned reads, capture-elided accesses and
+   [tx_work] never reach it, so a zombie spinning in those is otherwise
+   immortal.  Every transactional operation burns one unit; an empty
+   tank forces a revalidation — the same check [maybe_validate] would do
+   — and refills. *)
+let burn_fuel tx =
+  if tx.fuel > 0 then begin
+    tx.fuel <- tx.fuel - 1;
+    if tx.fuel = 0 then begin
+      let th = tx.thread in
+      tx.fuel <- th.config.Config.fuel;
+      th.stats.fuel_exhaustions <- th.stats.fuel_exhaustions + 1;
+      if th.config.Config.tvalidate then begin
+        charge_validation th Costs.tvalidate_check;
+        if Orec.clock th.orecs > tx.start_ts then extend_snapshot tx
+        else
+          th.stats.validations_skipped <- th.stats.validations_skipped + 1
+      end
+      else if not (validate tx) then raise Retry_conflict
+    end
+  end
+
+(* Zombie pointer sandbox: a transaction on an invalid snapshot can
+   compute garbage addresses (e.g. chase a next-pointer a concurrent
+   commit redirected into a freed block).  Catch them at the barrier,
+   before memory is touched: if the snapshot is still valid the error is
+   the program's own and propagates; if not, it is phantom fallout —
+   silently abort and retry. *)
+let sandbox_bounds tx addr =
+  let th = tx.thread in
+  if addr < 1 || addr >= Memory.size th.memory then begin
+    th.stats.sandbox_bounds <- th.stats.sandbox_bounds + 1;
+    if validate tx then
+      invalid_arg (Printf.sprintf "Txn: address %d outside memory" addr)
+    else raise Retry_conflict
   end
 
 (* ------------------------------------------------------------------ *)
@@ -417,7 +481,11 @@ let rec full_read_loop tx oi addr spins =
   if Orec.is_locked w1 then begin
     th.stats.lock_waits <- th.stats.lock_waits + 1;
     note_lock_wait addr;
-    if spins >= th.config.Config.spin_limit then raise Retry_conflict
+    if spins >= Cm.spin_patience th.cm ~default:th.config.Config.spin_limit
+    then begin
+      th.stats.spin_aborts <- th.stats.spin_aborts + 1;
+      raise Retry_conflict
+    end
     else begin
       th.platform.consume Costs.lock_spin;
       th.platform.yield ();
@@ -426,6 +494,26 @@ let rec full_read_loop tx oi addr spins =
   end
   else begin
     let v = Memory.get th.memory addr in
+    if
+      th.read_seen_epoch.(oi) <> th.epoch
+      && fault_fires th Fault.Stale_read
+    then begin
+      (* Injected TOCTOU: open a scheduling window after the value load,
+         then log whatever version the orec holds on the other side —
+         skipping the w1=w2 sandwich and the +tv snapshot check.  If a
+         commit lands in the window, [v] is stale yet the logged word is
+         current, so commit-time validation passes a broken snapshot. *)
+      th.platform.consume 1;
+      let w2 = Orec.get th.orecs oi in
+      if Orec.is_locked w2 then full_read_loop tx oi addr (spins + 1)
+      else begin
+        th.read_seen_epoch.(oi) <- th.epoch;
+        th.read_seen_word.(oi) <- w2;
+        push_read tx oi w2;
+        v
+      end
+    end
+    else begin
     let w2 = Orec.get th.orecs oi in
     if w1 = w2 then begin
       (* Dedup: log each orec once; observing a *different* version than
@@ -451,7 +539,7 @@ let rec full_read_loop tx oi addr spins =
           && begin
                charge_validation th Costs.ts_read_check;
                Orec.version_of w1 > tx.start_ts
-               && not th.config.Config.bug_skip_validation
+               && not (Config.has_fault th.config Fault.Skip_validation)
              end
         in
         if extend then begin
@@ -467,6 +555,7 @@ let rec full_read_loop tx oi addr spins =
       end
     end
     else full_read_loop tx oi addr (spins + 1)
+    end
   end
 
 (* Forward declaration dance: the pessimistic read acquires exactly like a
@@ -476,7 +565,11 @@ let rec acquire_loop tx oi spins =
   let w = Orec.get th.orecs oi in
   if Orec.is_locked w then begin
     th.stats.lock_waits <- th.stats.lock_waits + 1;
-    if spins >= th.config.Config.spin_limit then raise Retry_conflict
+    if spins >= Cm.spin_patience th.cm ~default:th.config.Config.spin_limit
+    then begin
+      th.stats.spin_aborts <- th.stats.spin_aborts + 1;
+      raise Retry_conflict
+    end
     else begin
       th.platform.consume Costs.lock_spin;
       th.platform.yield ();
@@ -514,6 +607,9 @@ let read ?(site = Site.anonymous_read) tx addr =
   let th = tx.thread in
   let st = th.stats in
   st.reads <- st.reads + 1;
+  burn_fuel tx;
+  sandbox_bounds tx addr;
+  if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:false;
   match !tracer with
   | None -> (
@@ -595,6 +691,9 @@ let write ?(site = Site.anonymous_write) tx addr v =
   let th = tx.thread in
   let st = th.stats in
   st.writes <- st.writes + 1;
+  burn_fuel tx;
+  sandbox_bounds tx addr;
+  if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:true;
   let cls =
     match try_elide tx addr 1 ~site ~is_write:true with
@@ -648,8 +747,15 @@ let log_alloc tx addr size =
   scope.allocs <- (addr, size) :: scope.allocs;
   (match scope.capture_log with
   | Some log ->
-      tx.thread.platform.consume (Alloc_log.add_cost log ~lo:addr ~hi:(addr + size));
-      capture_log_add tx.thread log ~lo:addr ~hi:(addr + size)
+      (* Injected fault: the allocation never reaches the capture log, so
+         later accesses to the block miss the elision check and take full
+         barriers — lost performance, never lost safety. *)
+      if fault_fires tx.thread Fault.Alloc_log_drop then ()
+      else begin
+        tx.thread.platform.consume
+          (Alloc_log.add_cost log ~lo:addr ~hi:(addr + size));
+        capture_log_add tx.thread log ~lo:addr ~hi:(addr + size)
+      end
   | None -> ());
   match scope.audit_log with
   | Some log -> ignore (Alloc_log.add log ~lo:addr ~hi:(addr + size) : Alloc_log.added)
@@ -657,6 +763,7 @@ let log_alloc tx addr size =
 
 let alloc tx n =
   let th = tx.thread in
+  burn_fuel tx;
   th.platform.consume Costs.alloc;
   th.stats.tx_allocs <- th.stats.tx_allocs + 1;
   let addr = Alloc.alloc th.arena n in
@@ -686,6 +793,7 @@ let unlog_alloc scope addr =
 
 let free tx addr =
   let th = tx.thread in
+  burn_fuel tx;
   th.platform.consume Costs.free;
   th.stats.tx_frees <- th.stats.tx_frees + 1;
   let scope = innermost tx in
@@ -701,6 +809,7 @@ let free tx addr =
 
 let alloca tx n =
   let th = tx.thread in
+  burn_fuel tx;
   th.platform.consume Costs.alloca;
   let addr = Tstack.alloca th.stack n in
   emit th.tid (Ev_alloca { addr; size = n });
@@ -769,6 +878,8 @@ let begin_top tx =
   tx.n_undo <- 0;
   tx.n_acq <- 0;
   tx.ops_since_validate <- 0;
+  tx.fuel <- th.config.Config.fuel;
+  if tx.attempts = 0 then Cm.note_begin th.cm;
   tx.start_ts <-
     (if th.config.Config.tvalidate then Orec.clock th.orecs else 0);
   Waw.clear tx.waw;
@@ -821,6 +932,7 @@ let commit_epilogue tx =
   tx.scopes <- [];
   tx.live <- false;
   tx.attempts <- 0;
+  Cm.on_complete th.cm;
   th.stats.commits <- th.stats.commits + 1
 
 let commit_top tx =
@@ -838,8 +950,16 @@ let commit_top tx =
        th.platform.consume
          (Costs.commit_base + Costs.clock_advance
          + (Costs.commit_per_orec * tx.n_acq));
-       let wv = Orec.advance_clock th.orecs in
-       th.stats.clock_advances <- th.stats.clock_advances + 1;
+       let wv =
+         (* Injected fault: stamp with the clock's current value without
+            advancing it — released orecs look no newer than the last
+            real commit, so O(1) snapshot checks wrongly accept them. *)
+         if fault_fires th Fault.Clock_stall then Orec.clock th.orecs
+         else begin
+           th.stats.clock_advances <- th.stats.clock_advances + 1;
+           Orec.advance_clock th.orecs
+         end
+       in
        if wv - 1 = tx.start_ts then begin
          (* No commit landed since the snapshot: the read set is still
             current by construction; the O(n_reads) scan is one compare. *)
@@ -850,6 +970,8 @@ let commit_top tx =
          th.platform.consume (Costs.commit_per_read * tx.n_reads);
          if not (validate tx) then raise Retry_conflict
        end;
+       if fault_fires th Fault.Delayed_unlock then
+         th.platform.consume Costs.fault_unlock_delay;
        release_all_stamped tx ~ts:wv
      end
    end
@@ -859,6 +981,8 @@ let commit_top tx =
        + (Costs.commit_per_read * tx.n_reads)
        + (Costs.commit_per_orec * tx.n_acq));
      if not (validate tx) then raise Retry_conflict;
+     if tx.n_acq > 0 && fault_fires th Fault.Delayed_unlock then
+       th.platform.consume Costs.fault_unlock_delay;
      release_all tx ~commit:true
    end);
   commit_epilogue tx;
@@ -927,9 +1051,14 @@ let abort_scope tx =
 (* ------------------------------------------------------------------ *)
 (* The atomic runner                                                   *)
 
-let backoff th attempt =
+(* Post-abort wait, delegated to the contention manager.  The jitter is
+   drawn here — one [Prng.int] per abort, exactly as the pre-CM loop did
+   — so the default [Backoff] policy replays the original schedules bit
+   for bit. *)
+let backoff th attempt ~work =
   let jitter = Prng.int th.prng 64 in
-  let cycles = Costs.backoff ~attempt ~jitter in
+  let cycles = Cm.on_abort th.cm th.stats ~attempt ~work ~jitter in
+  th.stats.backoff_cycles <- th.stats.backoff_cycles + cycles;
   th.platform.consume cycles;
   th.platform.yield ()
 
@@ -972,21 +1101,29 @@ let atomic th f =
         | exception Retry_conflict -> Conflict
         | exception User_abort -> Userabort
         | exception e ->
-            (* A zombie transaction (invalid reads) can raise anything;
-               re-validate to tell a real error from conflict fallout. *)
-            if validate tx then Failed e else Conflict
+            (* Zombie sandbox: a transaction on an invalid snapshot can
+               raise anything; re-validate to tell a real error from
+               conflict fallout, and swallow the phantom. *)
+            if validate tx then Failed e
+            else begin
+              th.stats.sandbox_aborts <- th.stats.sandbox_aborts + 1;
+              Conflict
+            end
       in
       match outcome with
       | Committed r -> r
       | Conflict ->
+          let work = tx.n_reads + tx.n_undo + tx.n_acq in
           abort_top tx ~user:false;
-          backoff th n;
+          backoff th n ~work;
           attempt (n + 1)
       | Userabort ->
           abort_top tx ~user:true;
+          Cm.on_complete th.cm;
           raise User_abort
       | Failed e ->
           abort_top tx ~user:false;
+          Cm.on_complete th.cm;
           raise e
     in
     attempt 1
@@ -1020,7 +1157,9 @@ let raw_free th addr =
 
 let work th cycles = th.platform.consume cycles
 let yield_hint th = th.platform.yield ()
-let tx_work tx cycles = tx.thread.platform.consume cycles
+let tx_work tx cycles =
+  burn_fuel tx;
+  tx.thread.platform.consume cycles
 
 let thread_stats th = th.stats
 let thread_id th = th.tid

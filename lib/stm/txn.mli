@@ -43,8 +43,13 @@ val create_thread :
   arena:Captured_tmem.Alloc.t ->
   orecs:Orec.t ->
   config:Config.t ->
+  ?cm_shared:Cm.shared ->
   seed:int ->
+  unit ->
   thread
+(** [cm_shared] links this thread's contention manager to its world's
+    ticket source; omitted, the thread gets a private one (fine for
+    single-thread use). *)
 
 (** {2 Atomic blocks} *)
 

@@ -4,7 +4,11 @@
    injected-bug canary (caught, minimized, replayable). *)
 
 module Config = Captured_stm.Config
+module Fault = Captured_stm.Fault
+module Engine = Captured_stm.Engine
 module Txn = Captured_stm.Txn
+module Alloc = Captured_tmem.Alloc
+module App = Captured_apps.App
 module Alloc_log = Captured_core.Alloc_log
 module History = Captured_check.History
 module Oracle = Captured_check.Oracle
@@ -319,6 +323,139 @@ let test_injected_bug_caught_by_dfs () =
   in
   Alcotest.(check bool) "dfs finds it" true (r.Harness.violations > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Zombie loop: the trap genuinely fires, and fuel still terminates it *)
+
+let all_strategies =
+  [
+    Strategy.Random { persist = 85 };
+    Strategy.Pct { depth = 3 };
+    Strategy.Dfs { preemptions = 2 };
+  ]
+
+let test_zombie_trap_fires_and_terminates () =
+  (* The micros sweep already proves zombie runs terminate; this probe
+     (same shape, plus an OCaml-side flag set on trap entry) proves the
+     inconsistent read is actually reached — without that, termination
+     would be vacuous. *)
+  let trapped = ref false in
+  let workload =
+    {
+      Workloads.name = "zombie-probe";
+      nthreads = 2;
+      prepare =
+        (fun config ->
+          let config = Config.with_fuel 256 config in
+          let world =
+            Engine.create ~global_words:1024 ~stack_words:256
+              ~arena_words:1024 ~nthreads:2
+              { config with Config.orec_bits = 10 }
+          in
+          let arena = Engine.global_arena world in
+          let a = Alloc.alloc arena 1 in
+          let _spacer = Alloc.alloc arena 8 in
+          let b = Alloc.alloc arena 1 in
+          let rounds = 3 in
+          let body th =
+            if Txn.thread_id th = 0 then
+              for _ = 1 to rounds do
+                Txn.atomic th (fun tx ->
+                    Txn.write tx a (Txn.read tx a + 1);
+                    Txn.tx_work tx 30;
+                    Txn.write tx b (Txn.read tx b + 1))
+              done
+            else
+              for _ = 1 to rounds do
+                Txn.atomic th (fun tx ->
+                    let x = Txn.read tx a in
+                    Txn.tx_work tx 10;
+                    let y = Txn.read tx b in
+                    if x <> y then begin
+                      trapped := true;
+                      while true do
+                        Txn.tx_work tx 25
+                      done
+                    end)
+              done
+          in
+          let verify () =
+            let m = Captured_stm.Engine.memory world in
+            if
+              Captured_tmem.Memory.get m a = rounds
+              && Captured_tmem.Memory.get m b = rounds
+            then Ok ()
+            else Error "zombie cells diverged"
+          in
+          { App.world; body; verify })
+    }
+  in
+  List.iter
+    (fun strategy ->
+      let r =
+        Harness.explore ~workload ~config:tree ~strategy ~runs:200 ~seed:3 ()
+      in
+      if r.Harness.violations > 0 then
+        Alcotest.failf "%s" (Harness.report_to_string r);
+      Alcotest.(check int) "no truncations" 0 r.Harness.truncated)
+    all_strategies;
+  Alcotest.(check bool) "trap entered at least once" true !trapped
+
+(* ------------------------------------------------------------------ *)
+(* Structured faults: contained ones stay silent, flagged ones are     *)
+(* detected by the oracle                                              *)
+
+let test_contained_faults_stay_contained () =
+  List.iter
+    (fun fault ->
+      if Fault.expectation fault = Fault.Contained then
+        let config = Config.with_fault (Some fault) tree in
+        List.iter
+          (fun workload ->
+            let r =
+              Harness.explore ~workload ~config
+                ~strategy:(Strategy.Random { persist = 85 })
+                ~runs:80 ~seed:3 ()
+            in
+            if r.Harness.violations > 0 then
+              Alcotest.failf "fault %s escaped: %s" (Fault.name fault)
+                (Harness.report_to_string r))
+          [
+            Workloads.counter ~nthreads:2 ~incs:3;
+            Workloads.publish ~nthreads:2 ~nodes:3;
+          ])
+    Fault.all
+
+let test_stale_read_flagged () =
+  let config = Config.with_fault (Some Fault.Stale_read) tree in
+  let r =
+    Harness.explore
+      ~workload:(Workloads.counter ~nthreads:2 ~incs:3)
+      ~config
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:300 ~seed:3 ()
+  in
+  Alcotest.(check bool) "stale reads flagged" true (r.Harness.violations > 0);
+  (* Detected by the oracle, not by an exception escaping a fiber. *)
+  match r.Harness.first with
+  | Some f ->
+      Alcotest.(check bool)
+        "not a crash" true
+        (f.Harness.violation.Oracle.kind <> "fiber-exception")
+  | None -> Alcotest.fail "no first violation recorded"
+
+let test_clock_stall_flagged_under_tv () =
+  let config =
+    Config.with_fault (Some Fault.Clock_stall) (Config.with_tvalidate tree)
+  in
+  let r =
+    Harness.explore
+      ~workload:(Workloads.counter ~nthreads:2 ~incs:3)
+      ~config
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:300 ~seed:3 ()
+  in
+  Alcotest.(check bool) "clock stall flagged" true (r.Harness.violations > 0)
+
 let test_clean_config_no_false_positive () =
   (* Identical exploration without the bug: silence. *)
   let workload = Workloads.counter ~nthreads:2 ~incs:3 in
@@ -366,5 +503,16 @@ let () =
             test_injected_bug_caught_by_dfs;
           Alcotest.test_case "no false positive" `Quick
             test_clean_config_no_false_positive;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "zombie trap fires and terminates" `Quick
+            test_zombie_trap_fires_and_terminates;
+          Alcotest.test_case "contained faults stay contained" `Quick
+            test_contained_faults_stay_contained;
+          Alcotest.test_case "stale-read flagged" `Quick
+            test_stale_read_flagged;
+          Alcotest.test_case "clock-stall flagged under tv" `Quick
+            test_clock_stall_flagged_under_tv;
         ] );
     ]

@@ -222,6 +222,112 @@ let test_costs_relative_magnitudes () =
   check "backoff capped" true
     (Costs.backoff ~attempt:60 ~jitter:0 = Costs.backoff ~attempt:11 ~jitter:0)
 
+(* The documented contract of Costs.backoff, as properties: monotone in
+   the attempt number, jitter adds at most [63 * attempt] over the
+   jitter-free value, and the result is never negative. *)
+let backoff_args =
+  QCheck.(pair (int_range 1 100) (int_range 0 1_000_000))
+
+let prop_backoff_monotone =
+  QCheck.Test.make ~name:"Costs.backoff monotone in attempt" ~count:500
+    backoff_args (fun (attempt, jitter) ->
+      Costs.backoff ~attempt:(attempt + 1) ~jitter
+      >= Costs.backoff ~attempt ~jitter)
+
+let prop_backoff_jitter_bounded =
+  QCheck.Test.make ~name:"Costs.backoff jitter within 63*attempt" ~count:500
+    backoff_args (fun (attempt, jitter) ->
+      let d =
+        Costs.backoff ~attempt ~jitter - Costs.backoff ~attempt ~jitter:0
+      in
+      0 <= d && d <= 63 * attempt)
+
+let prop_backoff_non_negative =
+  QCheck.Test.make ~name:"Costs.backoff never negative" ~count:500
+    QCheck.(pair (int_range 0 1000) small_nat)
+    (fun (attempt, jitter) -> Costs.backoff ~attempt ~jitter >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Contention management *)
+
+let mk_cm policy = Cm.create ~policy ~shared:(Cm.create_shared ())
+
+let test_cm_backoff_bit_identical () =
+  (* The default policy must reproduce the pre-CM retry loop exactly:
+     same cycles for every (attempt, jitter) the old code could see. *)
+  let cm = mk_cm Cm.Backoff in
+  let st = Stats.create () in
+  for attempt = 1 to 15 do
+    List.iter
+      (fun jitter ->
+        check_int
+          (Printf.sprintf "attempt=%d jitter=%d" attempt jitter)
+          (Costs.backoff ~attempt ~jitter)
+          (Cm.on_abort cm st ~attempt ~work:3 ~jitter))
+      [ 0; 17; 63 ]
+  done
+
+let test_cm_karma_discounts () =
+  let cm = mk_cm Cm.Karma in
+  let st = Stats.create () in
+  (* First abort with no work invested: full exponential delay. *)
+  let first = Cm.on_abort cm st ~attempt:6 ~work:0 ~jitter:0 in
+  check_int "no karma yet" (Costs.backoff ~attempt:6 ~jitter:0) first;
+  (* 200 work units credited at abort time shorten the delay. *)
+  let second = Cm.on_abort cm st ~attempt:6 ~work:200 ~jitter:0 in
+  check "credited work discounts" true (second < first);
+  (* Completion resets the credit. *)
+  Cm.on_complete cm;
+  check_int "reset after completion"
+    (Costs.backoff ~attempt:6 ~jitter:0)
+    (Cm.on_abort cm st ~attempt:6 ~work:0 ~jitter:0)
+
+let test_cm_timestamp_starvation () =
+  let shared = Cm.create_shared () in
+  let old = Cm.create ~policy:Cm.Timestamp ~shared in
+  Cm.note_begin old;
+  let st = Stats.create () in
+  (* Under the starvation threshold: linear backoff, no events. *)
+  let d1 = Cm.on_abort old st ~attempt:1 ~work:3 ~jitter:0 in
+  check "pre-threshold delay positive" true (d1 >= 1);
+  check_int "no starvation yet" 0 st.Stats.cm_starvation_events;
+  (* Drive past the threshold: the manager flips to starving, records
+     the event and retries near-immediately with extended patience. *)
+  for attempt = 2 to 12 do
+    ignore (Cm.on_abort old st ~attempt ~work:3 ~jitter:0 : int)
+  done;
+  check_int "one starvation event" 1 st.Stats.cm_starvation_events;
+  check_int "max consecutive aborts tracked" 12 st.Stats.cm_max_consec_aborts;
+  let starved = Cm.on_abort old st ~attempt:13 ~work:3 ~jitter:7 in
+  check "starving retry is near-immediate" true (starved <= 64);
+  check "starving spins longer" true
+    (Cm.spin_patience old ~default:32 > 32);
+  Cm.on_complete old;
+  check_int "patience resets" 32 (Cm.spin_patience old ~default:32)
+
+let test_cm_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Cm.policy_of_name (Cm.policy_name p) with
+      | Some p' -> check (Cm.policy_name p) true (p = p')
+      | None -> Alcotest.failf "policy %s does not round-trip" (Cm.policy_name p))
+    Cm.all_policies;
+  check "unknown rejected" true (Cm.policy_of_name "bogus" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Fault registry *)
+
+let test_fault_names_roundtrip () =
+  List.iter
+    (fun f ->
+      match Fault.of_name (Fault.name f) with
+      | Some f' -> check (Fault.name f) true (f = f')
+      | None -> Alcotest.failf "fault %s does not round-trip" (Fault.name f))
+    Fault.all;
+  check "unknown rejected" true (Fault.of_name "bogus" = None);
+  check "rates sane" true
+    (List.for_all (fun f -> Fault.rate f > 0 && Fault.rate f <= 100) Fault.all)
+
 let () =
   Alcotest.run "engine"
     [
@@ -263,5 +369,25 @@ let () =
           Alcotest.test_case "abort ratio" `Quick test_abort_ratio;
         ] );
       ( "costs",
-        [ Alcotest.test_case "magnitudes" `Quick test_costs_relative_magnitudes ] );
+        Alcotest.test_case "magnitudes" `Quick test_costs_relative_magnitudes
+        :: List.map Qc.to_alcotest
+             [
+               prop_backoff_monotone;
+               prop_backoff_jitter_bounded;
+               prop_backoff_non_negative;
+             ] );
+      ( "cm",
+        [
+          Alcotest.test_case "backoff bit-identical" `Quick
+            test_cm_backoff_bit_identical;
+          Alcotest.test_case "karma discounts" `Quick test_cm_karma_discounts;
+          Alcotest.test_case "timestamp starvation" `Quick
+            test_cm_timestamp_starvation;
+          Alcotest.test_case "policy names" `Quick test_cm_names_roundtrip;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "registry round-trip" `Quick
+            test_fault_names_roundtrip;
+        ] );
     ]

@@ -800,6 +800,208 @@ let prop_stm_torture cfg =
       in
       !total = 100 * cells && List.for_all (( = ) 0) leaks)
 
+(* ------------------------------------------------------------------ *)
+(* Robustness: validation fuel, zombie sandbox, fault injection        *)
+
+let test_fuel_forces_validation () =
+  (* [tx_work] never reaches the periodic validate_every guard, so only
+     the fuel budget can interrupt it: 100 units on a 16-unit tank must
+     force several revalidations (all passing — the txn is valid). *)
+  let w = mk_world (Config.with_fuel 16 Config.baseline) in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx cell 1;
+      for _ = 1 to 100 do
+        Txn.tx_work tx 1
+      done);
+  let s = Txn.thread_stats th in
+  check "several exhaustions" true (s.Stats.fuel_exhaustions >= 5);
+  check_int "still commits" 1 s.Stats.commits;
+  check_int "value intact" 1 (Memory.get (Engine.memory w) cell)
+
+let test_fuel_disabled_by_default () =
+  let w = mk_world Config.baseline in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      for _ = 1 to 200 do
+        Txn.tx_work tx 1
+      done);
+  check_int "no exhaustions" 0 (Txn.thread_stats th).Stats.fuel_exhaustions
+
+let test_sandbox_bounds_error_propagates () =
+  (* In a transaction whose snapshot is valid, a wild address is the
+     program's own bug: the barrier reports it instead of touching
+     memory, and the transaction rolls back. *)
+  let w = mk_world Config.baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 5;
+  let th = Engine.setup_thread w in
+  let boom addr =
+    match Txn.atomic th (fun tx -> Txn.write tx cell 99; Txn.read tx addr) with
+    | _ -> Alcotest.fail "wild access did not raise"
+    | exception Invalid_argument _ -> ()
+  in
+  boom 0;
+  boom (Memory.size (Engine.memory w) + 3);
+  check "bounds hits counted" true
+    ((Txn.thread_stats th).Stats.sandbox_bounds >= 2);
+  check_int "writes rolled back" 5 (Memory.get (Engine.memory w) cell)
+
+let test_phantom_exception_sandboxed () =
+  (* The writer keeps a = b atomically, so a <> b is visible only to
+     zombies; the exception a reader raises on that impossible state
+     must be validated away (silent abort + retry), never escape.  An
+     escape would surface as Sched.Fiber_failure from run_sim and fail
+     the test; the sandbox_aborts tally proves phantoms really occurred. *)
+  let sandboxed = ref 0 in
+  for seed = 1 to 30 do
+    let w = mk_world ~nthreads:4 Config.baseline in
+    let arena = Engine.global_arena w in
+    let a = Alloc.alloc arena 1 in
+    let _spacer = Alloc.alloc arena 8 in
+    let b = Alloc.alloc arena 1 in
+    let rounds = 60 in
+    let r =
+      Engine.run_sim ~seed w (fun th ->
+          if Txn.thread_id th = 0 then
+            for _ = 1 to rounds do
+              Txn.atomic th (fun tx ->
+                  Txn.write tx a (Txn.read tx a + 1);
+                  Txn.tx_work tx 20;
+                  Txn.write tx b (Txn.read tx b + 1))
+            done
+          else
+            for _ = 1 to rounds do
+              Txn.atomic th (fun tx ->
+                  let x = Txn.read tx a in
+                  Txn.tx_work tx 5;
+                  let y = Txn.read tx b in
+                  if x <> y then failwith "phantom state")
+            done)
+    in
+    sandboxed := !sandboxed + r.Engine.stats.Stats.sandbox_aborts;
+    check_int
+      (Printf.sprintf "cells equal (seed %d)" seed)
+      (Memory.get (Engine.memory w) a)
+      (Memory.get (Engine.memory w) b)
+  done;
+  check "phantoms occurred and were sandboxed" true (!sandboxed > 0)
+
+let test_fault_spurious_abort_contained () =
+  let cfg = Config.with_fault (Some Fault.Spurious_abort) Config.baseline in
+  let w = mk_world ~nthreads:4 cfg in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let r =
+    Engine.run_sim w (fun th ->
+        for _ = 1 to 30 do
+          Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+        done)
+  in
+  check "fault fired" true (r.Engine.stats.Stats.faults_injected > 0);
+  check_int "still correct" 120 (Memory.get (Engine.memory w) cell)
+
+let test_fault_alloc_log_drop_contained () =
+  (* Dropping capture-log entries costs elision, never correctness. *)
+  let run fault =
+    let cfg =
+      Config.with_fault fault (Config.runtime Alloc_log.Tree)
+    in
+    let w = mk_world ~nthreads:2 cfg in
+    let head = Alloc.alloc (Engine.global_arena w) 1 in
+    let r =
+      Engine.run_sim w (fun th ->
+          for _ = 1 to 20 do
+            Txn.atomic th (fun tx ->
+                let n = Txn.alloc tx 2 in
+                Txn.write tx n (Txn.thread_id th);
+                Txn.write tx (n + 1) (Txn.read tx head);
+                Txn.write tx head n)
+          done)
+    in
+    let m = Engine.memory w in
+    let rec len p acc =
+      if p = 0 then acc else len (Memory.get m (p + 1)) (acc + 1)
+    in
+    (r.Engine.stats, len (Memory.get m head) 0)
+  in
+  let clean, clean_len = run None in
+  let faulty, faulty_len = run (Some Fault.Alloc_log_drop) in
+  check_int "clean list complete" 40 clean_len;
+  check_int "faulty list complete" 40 faulty_len;
+  check "fault fired" true (faulty.Stats.faults_injected > 0);
+  check "dropped entries cost elision" true
+    (faulty.Stats.writes_elided_heap < clean.Stats.writes_elided_heap)
+
+let test_fault_stale_read_potent () =
+  (* The stale-read fault must be able to break snapshot consistency:
+     some seed loses an update (that is what the checker's oracle is
+     expected to flag).  Containment would make the fault sweep
+     vacuous. *)
+  let cfg = Config.with_fault (Some Fault.Stale_read) Config.baseline in
+  let broken = ref 0 and fired = ref 0 in
+  for seed = 1 to 25 do
+    let w = mk_world ~nthreads:4 cfg in
+    let cell = Alloc.alloc (Engine.global_arena w) 1 in
+    let r =
+      Engine.run_sim ~seed w (fun th ->
+          for _ = 1 to 25 do
+            Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+          done)
+    in
+    fired := !fired + r.Engine.stats.Stats.faults_injected;
+    if Memory.get (Engine.memory w) cell <> 100 then incr broken
+  done;
+  check "fault fired" true (!fired > 0);
+  check "lost updates occurred" true (!broken > 0)
+
+let test_cm_policies_correct_under_contention () =
+  List.iter
+    (fun policy ->
+      let cfg = Config.with_cm policy Config.baseline in
+      let w = mk_world ~nthreads:8 cfg in
+      let cell = Alloc.alloc (Engine.global_arena w) 1 in
+      let r =
+        Engine.run_sim w (fun th ->
+            for _ = 1 to 40 do
+              Txn.atomic th (fun tx ->
+                  Txn.write tx cell (Txn.read tx cell + 1))
+            done)
+      in
+      check_int (Cm.policy_name policy) 320 (Memory.get (Engine.memory w) cell);
+      check_int
+        (Cm.policy_name policy ^ " commits")
+        320 r.Engine.stats.Stats.commits)
+    Cm.all_policies
+
+let test_cm_backoff_schedule_unchanged () =
+  (* The Backoff policy (default) must reproduce the pre-CM schedules
+     bit for bit; selecting it explicitly changes nothing either. *)
+  let run cfg =
+    let w = mk_world ~nthreads:4 cfg in
+    let cell = Alloc.alloc (Engine.global_arena w) 1 in
+    let r =
+      Engine.run_sim ~seed:7 w (fun th ->
+          for _ = 1 to 100 do
+            Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+          done)
+    in
+    (r.Engine.makespan, r.Engine.stats.Stats.aborts)
+  in
+  check "explicit backoff identical" true
+    (run Config.baseline = run (Config.with_cm Cm.Backoff Config.baseline))
+
+let test_config_name_suffixes () =
+  let n = Config.name (Config.with_cm Cm.Karma Config.baseline) in
+  check "cm suffix" true (n = "baseline+cm:karma");
+  let n = Config.name (Config.with_fuel 64 Config.baseline) in
+  check "fuel suffix" true (n = "baseline+fuel:64");
+  let n =
+    Config.name (Config.with_fault (Some Fault.Stale_read) Config.baseline)
+  in
+  check "fault suffix" true (n = "baseline+fault:stale-read");
+  check "default suffix-free" true (Config.name Config.baseline = "baseline")
+
 let config_cases name f =
   List.map
     (fun cfg ->
@@ -885,6 +1087,29 @@ let () =
             test_tv_snapshot_extension;
         ]
         @ List.map Qc.to_alcotest [ prop_tvalidate_model ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "fuel forces validation" `Quick
+            test_fuel_forces_validation;
+          Alcotest.test_case "fuel off by default" `Quick
+            test_fuel_disabled_by_default;
+          Alcotest.test_case "sandbox bounds propagate when valid" `Quick
+            test_sandbox_bounds_error_propagates;
+          Alcotest.test_case "phantom exceptions sandboxed" `Quick
+            test_phantom_exception_sandboxed;
+          Alcotest.test_case "spurious-abort contained" `Quick
+            test_fault_spurious_abort_contained;
+          Alcotest.test_case "alloc-log-drop contained" `Quick
+            test_fault_alloc_log_drop_contained;
+          Alcotest.test_case "stale-read potent" `Quick
+            test_fault_stale_read_potent;
+          Alcotest.test_case "cm policies correct" `Quick
+            test_cm_policies_correct_under_contention;
+          Alcotest.test_case "backoff schedule unchanged" `Quick
+            test_cm_backoff_schedule_unchanged;
+          Alcotest.test_case "config name suffixes" `Quick
+            test_config_name_suffixes;
+        ] );
       qsuite "invariants" (List.map prop_sim_invariant all_configs);
       qsuite "torture" (List.map prop_stm_torture all_configs);
     ]
