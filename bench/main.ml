@@ -27,8 +27,10 @@ let only_apps : string list ref = ref []
 let known_sections =
   [
     "fig8"; "fig9"; "table1"; "table2"; "fig10"; "fig11a"; "fig11b"; "micro";
-    "ablation"; "fastpath"; "tvalidate"; "contention";
+    "ablation"; "fastpath"; "tvalidate"; "contention"; "scale";
   ]
+
+let scale_domains : int list ref = ref []
 
 let () =
   let rec parse = function
@@ -52,6 +54,18 @@ let () =
         parse rest
     | "--app" :: spec :: rest ->
         only_apps := String.split_on_char ',' spec;
+        parse rest
+    | "--domains" :: spec :: rest ->
+        (try
+           scale_domains :=
+             List.map int_of_string (String.split_on_char ',' spec)
+         with Failure _ ->
+           Printf.eprintf "error: --domains wants e.g. 1,2,4\n%!";
+           exit 2);
+        if List.exists (fun d -> d < 1) !scale_domains then begin
+          Printf.eprintf "error: --domains entries must be >= 1\n%!";
+          exit 2
+        end;
         parse rest
     | arg :: rest ->
         Printf.eprintf "warning: ignoring argument %s\n%!" arg;
@@ -707,6 +721,92 @@ let contention () =
     Cm.all_policies
 
 (* ------------------------------------------------------------------ *)
+(* Scale: native multicore sweep — real domains, wall clock              *)
+
+let scale_configs =
+  let base = Config.runtime Alloc_log.Tree in
+  [
+    ("base", base);
+    ("fp", Config.with_fastpath base);
+    ("tv", Config.with_tvalidate base);
+    ("fptv", Config.with_fastpath (Config.with_tvalidate base));
+  ]
+
+let scale_json ~app ~config ~domains ~reps ~wall_ms ~throughput ~speedup
+    (r : Engine.result) =
+  let s = r.Engine.stats in
+  Printf.printf
+    "{\"section\":\"scale\",\"app\":\"%s\",\"config\":\"%s\",\"domains\":%d,\
+     \"reps\":%d,\"commits\":%d,\"aborts\":%d,\"abort_ratio\":%.3f,\
+     \"spin_aborts\":%d,\"lock_waits\":%d,\"wall_ms\":%.3f,\
+     \"makespan_ns\":%d,\"throughput_commits_per_s\":%.0f,\
+     \"speedup_vs_1\":%.3f}\n"
+    app config domains reps s.Stats.commits s.Stats.aborts
+    (Stats.abort_ratio s) s.Stats.spin_aborts s.Stats.lock_waits wall_ms
+    r.Engine.makespan throughput speedup
+
+let scale_section () =
+  headline
+    "Scale: native multicore sweep (real domains, wall clock, median of \
+     reps; JSON lines)";
+  let ncores = Domain.recommended_domain_count () in
+  let domain_counts =
+    if !scale_domains <> [] then !scale_domains
+    else begin
+      (* Powers of two up to the host's core count — but always through 4,
+         so the sweep exposes (over)subscription behaviour even on small
+         CI boxes. *)
+      let top = max 4 ncores in
+      let rec up d acc = if d > top then List.rev acc else up (2 * d) (d :: acc) in
+      up 1 []
+    end
+  in
+  Printf.printf "# host cores (recommended domains): %d; sweep: %s\n%!" ncores
+    (String.concat "," (List.map string_of_int domain_counts));
+  if List.exists (fun d -> d > ncores) domain_counts then
+    Printf.printf
+      "# note: points beyond %d domains oversubscribe this host — expect \
+       flat or degraded speedup there\n%!"
+      ncores;
+  let reps = if !quick then 1 else 3 in
+  List.iter
+    (fun app ->
+      let base_tp = ref 0. in
+      List.iter
+        (fun (cfg_name, cfg) ->
+          List.iteri
+            (fun i n ->
+              (* Median over reps; each rep re-prepares the world so runs
+                 are independent. *)
+              let results =
+                List.init reps (fun _ ->
+                    App.run app ~nthreads:n ~scale:(scale ()) ~mode:`Native
+                      cfg)
+              in
+              let wall_of (r : Engine.result) = r.Engine.wall in
+              let med_wall = Ustats.median (List.map wall_of results) in
+              let r =
+                (* Report the stats of the median-wall rep. *)
+                List.find (fun r -> wall_of r = med_wall) results
+              in
+              let throughput =
+                float_of_int r.Engine.stats.Stats.commits /. max 1e-9 med_wall
+              in
+              if i = 0 then base_tp := throughput;
+              let speedup = throughput /. max 1e-9 !base_tp in
+              scale_json ~app:app.App.name ~config:cfg_name ~domains:n ~reps
+                ~wall_ms:(1000. *. med_wall) ~throughput ~speedup r;
+              Printf.printf
+                "# %-14s %-5s %2d dom  commits %6d  abort/commit %5.2f  \
+                 wall %8.2f ms  %9.0f commits/s  speedup %5.2fx\n%!"
+                app.App.name cfg_name n r.Engine.stats.Stats.commits
+                (Stats.abort_ratio r.Engine.stats)
+                (1000. *. med_wall) throughput speedup)
+            domain_counts)
+        scale_configs)
+    apps
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -725,4 +825,5 @@ let () =
   if wants "fastpath" then fastpath ();
   if wants "tvalidate" then tvalidate ();
   if wants "contention" then contention ();
+  if wants "scale" then scale_section ();
   Printf.printf "\ndone.\n"

@@ -59,7 +59,7 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
      \"fuel_exhaustions\":%d,\"sandbox_aborts\":%d,\"sandbox_bounds\":%d,\
      \"faults_injected\":%d,\"cm_max_consec_aborts\":%d,\
      \"cm_starvation_events\":%d,\"makespan\":%d,\
-     \"wall_ms\":%.3f}\n"
+     \"wall_ms\":%.3f,\"per_thread_wall_ms\":[%s]}\n"
     app config threads
     (if native then "native" else "sim")
     s.Stats.commits s.Stats.aborts s.Stats.user_aborts s.Stats.reads
@@ -79,6 +79,11 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
     s.Stats.cm_max_consec_aborts s.Stats.cm_starvation_events
     r.Engine.makespan
     (1000. *. r.Engine.wall)
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun tw -> Printf.sprintf "%.3f" (1000. *. tw))
+             r.Engine.per_thread_wall)))
 
 let print_result (r : Engine.result) ~native =
   let s = r.Engine.stats in
@@ -123,7 +128,17 @@ let print_result (r : Engine.result) ~native =
     s.Stats.fuel_exhaustions s.Stats.sandbox_aborts s.Stats.sandbox_bounds;
   if s.Stats.faults_injected > 0 then
     Printf.printf "faults injected:    %d\n" s.Stats.faults_injected;
-  if native then Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall)
+  if native then begin
+    Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall);
+    Printf.printf "native makespan:    %.3f ms (slowest domain)\n"
+      (float_of_int r.Engine.makespan /. 1e6);
+    Array.iteri
+      (fun tid tw ->
+        Printf.printf "  domain %-2d wall:   %.3f ms (%d commits)\n" tid
+          (1000. *. tw)
+          r.Engine.per_thread.(tid).Stats.commits)
+      r.Engine.per_thread_wall
+  end
   else Printf.printf "virtual makespan:   %d cycles\n" r.Engine.makespan
 
 let cm_of_name name =
@@ -146,7 +161,7 @@ let fault_of_name = function
                (String.concat " " Fault.names)))
 
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic fastpath tvalidate cm_name fuel fault_name json =
+    pessimistic fastpath tvalidate fences cm_name fuel fault_name json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
@@ -154,6 +169,7 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
     let config = if pessimistic then Config.pessimistic config else config in
     let config = if fastpath then Config.with_fastpath config else config in
     let config = if tvalidate then Config.with_tvalidate config else config in
+    let config = if fences then Config.with_fences config else config in
     let* cm = cm_of_name cm_name in
     let config = Config.with_cm cm config in
     let* config =
@@ -251,6 +267,15 @@ let tvalidate_arg =
                  snapshot checks, snapshot extension, read-only commit \
                  fast path).")
 
+let fences_arg =
+  Arg.(value & flag
+       & info [ "fences" ]
+           ~doc:"Debug: full memory fence between the read barrier's data \
+                 load and its confirming orec load.  The STM is argued \
+                 correct without it (DESIGN.md, memory-model section); \
+                 use to separate ordering bugs from logic bugs on native \
+                 runs.")
+
 let cm_arg =
   Arg.(value & opt string "backoff"
        & info [ "cm" ] ~docv:"POLICY"
@@ -279,8 +304,8 @@ let json_arg =
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
-             $ fastpath_arg $ tvalidate_arg $ cm_arg $ fuel_arg $ fault_arg
-             $ json_arg))
+             $ fastpath_arg $ tvalidate_arg $ fences_arg $ cm_arg $ fuel_arg
+             $ fault_arg $ json_arg))
 
 let cmds =
   [

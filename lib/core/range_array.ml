@@ -37,13 +37,15 @@ let remove t ~lo =
     true
   end
 
-let contains t ~lo ~hi =
-  let rec scan i =
-    if i >= t.len then false
-    else if lo >= t.los.(i) && hi <= t.his.(i) then true
-    else scan (i + 1)
-  in
-  hi > lo && scan 0
+(* Top-level recursion: a local [let rec] capturing [t]/[lo]/[hi] would
+   allocate a closure per probe, and this runs on the barrier fast path. *)
+let rec contains_from los his len lo hi i =
+  if i >= len then false
+  else if lo >= Array.unsafe_get los i && hi <= Array.unsafe_get his i then
+    true
+  else contains_from los his len lo hi (i + 1)
+
+let contains t ~lo ~hi = hi > lo && contains_from t.los t.his t.len lo hi 0
 
 let find t ~lo ~hi =
   let rec scan i =

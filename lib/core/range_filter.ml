@@ -45,14 +45,15 @@ let remove t ~lo ~hi =
   done;
   if t.blocks > 0 then t.blocks <- t.blocks - 1
 
-let contains t ~lo ~hi =
-  let rec go addr =
-    if addr >= hi then true
-    else
-      let s = slot_of t addr in
-      if live t s && t.slots.(s) = addr then go (addr + 1) else false
-  in
-  hi > lo && go lo
+(* Top-level recursion: barrier fast path, must not allocate a closure. *)
+let rec contains_from t hi addr =
+  if addr >= hi then true
+  else
+    let s = slot_of t addr in
+    if live t s && t.slots.(s) = addr then contains_from t hi (addr + 1)
+    else false
+
+let contains t ~lo ~hi = hi > lo && contains_from t hi lo
 
 let size t = t.blocks
 

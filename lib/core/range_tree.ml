@@ -124,16 +124,16 @@ let remove t ~lo =
   if !found then t.count <- t.count - 1;
   !found
 
-let contains t ~lo ~hi =
-  let rec go = function
-    | None -> false
-    | Some n ->
-        if hi > n.max_hi then false (* envelope prune: fast miss *)
-        else if lo >= n.lo && hi <= n.hi then true
-        else if lo < n.lo then go n.left
-        else go n.right
-  in
-  hi > lo && go t.root
+(* Top-level recursion: barrier fast path, must not allocate a closure. *)
+let rec contains_node lo hi = function
+  | None -> false
+  | Some n ->
+      if hi > n.max_hi then false (* envelope prune: fast miss *)
+      else if lo >= n.lo && hi <= n.hi then true
+      else if lo < n.lo then contains_node lo hi n.left
+      else contains_node lo hi n.right
+
+let contains t ~lo ~hi = hi > lo && contains_node lo hi t.root
 
 let find t ~lo ~hi =
   let rec go = function

@@ -9,10 +9,16 @@ type t = {
       (** Charge virtual cycles (no-op on the native platform). *)
   yield : unit -> unit;  (** Back off while spinning on a lock. *)
   self : unit -> int;  (** Logical thread id. *)
+  relax : int -> unit;
+      (** Really wait out a backoff of roughly that many cycles.  No-op on
+          the simulator (backoff is charged as virtual time via [consume]);
+          on the native platform short waits spin with [Domain.cpu_relax]
+          and long waits sleep so oversubscribed domains release the core
+          their lock holder may need. *)
 }
 
 (** [native ~tid] is a platform for a real domain: [consume] is free,
-    [yield] is [Domain.cpu_relax]. *)
+    [yield] is [Domain.cpu_relax], [relax] spins/sleeps. *)
 val native : tid:int -> t
 
 (** [simulated ctx] adapts a simulator fiber context. *)

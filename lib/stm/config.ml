@@ -28,6 +28,7 @@ type t = {
   cm : Cm.policy;
   fuel : int;
   fault : Fault.kind option;
+  fences : bool;
 }
 
 let full_scope =
@@ -59,6 +60,7 @@ let default =
     cm = Cm.Backoff;
     fuel = 0;
     fault = None;
+    fences = false;
   }
 
 let baseline = default
@@ -78,6 +80,7 @@ let with_fuel fuel t =
   if fuel < 0 then invalid_arg "Config.with_fuel: negative budget";
   { t with fuel }
 
+let with_fences ?(on = true) t = { t with fences = on }
 let with_fault fault t = { t with fault }
 let has_fault t kind = t.fault = Some kind
 
@@ -109,6 +112,7 @@ let name t =
       | Cm.Backoff -> ""
       | p -> "+cm:" ^ Cm.policy_name p)
     ^ (if t.fuel > 0 then Printf.sprintf "+fuel:%d" t.fuel else "")
+    ^ (if t.fences then "+fence" else "")
     ^ (match t.fault with
       | None -> ""
       | Some f -> "+fault:" ^ Fault.name f)

@@ -82,6 +82,14 @@ type t = {
   fault : Fault.kind option;
       (** Injected fault for the robustness layer / checker self-tests
           ([+fault:<name>] suffix).  Never enable outside tests. *)
+  fences : bool;
+      (** Debug mode: issue a full (SC) memory fence between the data load
+          and the post-read orec check in the optimistic read barrier
+          ([+fence] suffix).  The STM is argued correct {e without} this
+          (DESIGN.md §10: the one racy window is caught by validation); the
+          flag exists to empirically separate "memory-model bug" from
+          "logic bug" when chasing a native-mode failure — if a symptom
+          vanishes under [+fence], suspect the ordering argument. *)
 }
 
 val full_scope : scope
@@ -122,6 +130,10 @@ val with_cm : Cm.policy -> t -> t
     ([+fuel:<n>] suffix; [n = 0] disables).  Raises [Invalid_argument] on
     negative [n]. *)
 val with_fuel : int -> t -> t
+
+(** [with_fences t] enables ([?on:false]: disables) the debug read-barrier
+    fence ([+fence] suffix). *)
+val with_fences : ?on:bool -> t -> t
 
 (** [with_fault f t] injects fault [f] ([+fault:<name>] suffix). *)
 val with_fault : Fault.kind option -> t -> t

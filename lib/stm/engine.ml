@@ -65,21 +65,32 @@ type result = {
   stats : Stats.t;
   makespan : int;
   wall : float;
+  per_thread_wall : float array;
 }
 
+(* Per-thread seed: the root stream with [tid] draws discarded.
+   [Prng.jump] advances the splitmix state by [tid] golden-ratio steps in
+   O(1) — bit-identical to the old discard loop, so recorded schedules
+   replay unchanged, but thread 10k costs the same as thread 0. *)
 let thread_seed seed tid =
   let root = Prng.create seed in
-  let rec skip g n = if n = 0 then Prng.bits g else (ignore (Prng.bits g); skip g (n - 1)) in
-  skip root tid
+  Prng.jump root tid;
+  Prng.bits root
 
 let make_thread w ~tid ~platform ~seed =
   Txn.create_thread ~tid ~platform ~memory:w.memory ~stack:w.stacks.(tid)
     ~arena:w.arenas.(tid) ~orecs:w.orecs ~config:w.config
     ~cm_shared:w.cm_shared ~seed:(thread_seed seed tid) ()
 
-let collect threads makespan wall =
+let collect threads makespan wall per_thread_wall =
   let per_thread = Array.map Txn.thread_stats threads in
-  { per_thread; stats = Stats.sum (Array.to_list per_thread); makespan; wall }
+  {
+    per_thread;
+    stats = Stats.sum (Array.to_list per_thread);
+    makespan;
+    wall;
+    per_thread_wall;
+  }
 
 let run_sim ?quantum ?control ?(seed = 42) w body =
   let threads = Array.make w.nthreads None in
@@ -100,26 +111,46 @@ let run_sim ?quantum ?control ?(seed = 42) w body =
   let threads =
     Array.map (function Some th -> th | None -> assert false) threads
   in
-  collect threads (Sched.makespan sim) wall
+  collect threads (Sched.makespan sim) wall (Array.make w.nthreads 0.)
 
 let run_native ?(seed = 42) w body =
-  let threads =
-    Array.init w.nthreads (fun tid ->
-        make_thread w ~tid ~platform:(Platform.native ~tid) ~seed)
+  let n = w.nthreads in
+  (* Each domain builds its own thread context (descriptor, logs and PRNG
+     land on that domain's minor heap, not the spawner's) and clocks its
+     own work.  Slot [tid] is written by exactly one domain and read only
+     after [Domain.join], which gives the happens-before that makes the
+     collection race-free. *)
+  let slots = Array.make n None in
+  let run tid =
+    let th = make_thread w ~tid ~platform:(Platform.native ~tid) ~seed in
+    let ((), thread_wall) = Clock.time (fun () -> body th) in
+    slots.(tid) <- Some (th, thread_wall)
   in
   let ((), wall) =
     Clock.time (fun () ->
-        if w.nthreads = 1 then body threads.(0)
+        if n = 1 then run 0
         else begin
           let domains =
-            Array.init (w.nthreads - 1) (fun i ->
-                Domain.spawn (fun () -> body threads.(i + 1)))
+            Array.init (n - 1) (fun i -> Domain.spawn (fun () -> run (i + 1)))
           in
-          body threads.(0);
+          run 0;
           Array.iter Domain.join domains
         end)
   in
-  collect threads 0 wall
+  let threads =
+    Array.map
+      (function Some (th, _) -> th | None -> assert false)
+      slots
+  in
+  let per_thread_wall =
+    Array.map (function Some (_, tw) -> tw | None -> assert false) slots
+  in
+  (* Wall-derived makespan (nanoseconds): the slowest domain's own span,
+     the native analogue of the simulator's largest virtual finish time. *)
+  let makespan =
+    int_of_float (1e9 *. Array.fold_left max 0. per_thread_wall)
+  in
+  collect threads makespan wall per_thread_wall
 
 let setup_thread ?(seed = 42) w =
   make_thread w ~tid:0 ~platform:(Platform.native ~tid:0) ~seed

@@ -35,8 +35,13 @@ val clock : world -> int
 type result = {
   per_thread : Stats.t array;
   stats : Stats.t;  (** merged over threads *)
-  makespan : int;  (** virtual cycles (simulated runs; 0 native) *)
-  wall : float;  (** host seconds *)
+  makespan : int;
+      (** simulated runs: virtual cycles (largest per-thread finish);
+          native runs: nanoseconds of the slowest domain's wall span *)
+  wall : float;  (** host seconds, whole run *)
+  per_thread_wall : float array;
+      (** native runs: per-domain wall seconds; all zero on simulated
+          runs (virtual time lives in [makespan]) *)
 }
 
 (** [run_sim ?quantum ?control ?seed world body] executes [body thread]
@@ -53,8 +58,10 @@ val run_sim :
   result
 
 (** [run_native ?seed world body] executes on real domains (thread 0 runs
-    on the calling domain).  With [nthreads = 1] this measures pure
-    single-thread STM cost — the paper's Figure 10 setting. *)
+    on the calling domain; each other thread is built and run inside its
+    own spawned domain).  With [nthreads = 1] this measures pure
+    single-thread STM cost — the paper's Figure 10 setting; with more it
+    is a real parallel run whose stats are collected race-free at join. *)
 val run_native : ?seed:int -> world -> (Txn.thread -> unit) -> result
 
 (** [setup_thread world] builds a thread context bound to thread 0 on the

@@ -1,3 +1,5 @@
+module Padding = Captured_util.Padding
+
 type t = {
   records : int Atomic.t array;
   shift : int; (* take the HIGH bits of the multiplicative hash *)
@@ -5,14 +7,21 @@ type t = {
   version_clock : int Atomic.t;
 }
 
+(* Every atomic here lives alone on its cache line ({!Padding}): a plain
+   [Atomic.make] boxes the int in a one-word block, so [Array.init] would
+   pack eight orecs per 64-byte line and every CAS on one would invalidate
+   the other seven in remote caches — classic false sharing, and the
+   version clock (touched by every tvalidate commit) is the hottest word
+   in the system.  Cost is memory only: 2^bits * 64 B (1 MiB at the
+   default 14 bits), paid once per table. *)
 let create ~bits ~line_words_log2 =
   if bits < 4 || bits > 24 then invalid_arg "Orec.create: bits";
   let n = 1 lsl bits in
   {
-    records = Array.init n (fun _ -> Atomic.make 0);
+    records = Array.init n (fun _ -> Padding.padded_atomic 0);
     shift = 62 - bits;
     line_words_log2;
-    version_clock = Atomic.make 0;
+    version_clock = Padding.padded_atomic 0;
   }
 
 (* Fibonacci hashing: the low product bits are periodic in the address

@@ -7,7 +7,11 @@
 
     Record encoding in one int: even values are versions
     ([version lsl 1]); odd values are locks ([owner lsl 1 lor 1]).
-    Versions only grow, monotonically per record. *)
+    Versions only grow, monotonically per record.
+
+    Each record — and the global version clock — occupies its own cache
+    line ({!Captured_util.Padding}), so CASes on one orec never falsely
+    invalidate neighbouring orecs in other domains' caches. *)
 
 type t
 

@@ -75,6 +75,8 @@ type thread = {
   owned_prev : int array;
   read_seen_epoch : int array;
   read_seen_word : int array;
+  (* Private target for the debug read-barrier fence (Config.fences). *)
+  fence_dummy : int Atomic.t;
   mutable epoch : int;
   mutable active : tx option;
 }
@@ -111,8 +113,16 @@ and scope = {
   undo_mark : int;
   capture_log : Alloc_log.t option;
   audit_log : Alloc_log.t option;
-  mutable allocs : (Memory.addr * int) list; (* newest first *)
-  mutable deferred_frees : Memory.addr list;
+  (* Speculative allocations and deferred frees as grow-only parallel int
+     arrays, oldest-first — list conses here would make [alloc]/[free]
+     allocate on the OCaml heap inside the barrier-free fast path.  All
+     newest-first effects (rollback freeing, deferred-free execution, the
+     [unlog_alloc] scan) walk the arrays [downto]. *)
+  mutable alloc_addrs : int array;
+  mutable alloc_sizes : int array;
+  mutable n_allocs : int;
+  mutable dfree_addrs : int array;
+  mutable n_dfrees : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -140,38 +150,62 @@ let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
     owned_prev = Array.make n 0;
     read_seen_epoch = Array.make n 0;
     read_seen_word = Array.make n 0;
+    fence_dummy = Atomic.make 0;
     epoch = 0;
     active = None;
   }
 
+(* A full (SC) fence: an SC read-modify-write on a thread-private atomic
+   orders everything before it with everything after it.  Debug-only
+   ([Config.fences]); see DESIGN.md §10 for why the STM is correct
+   without it. *)
+let fence th = ignore (Atomic.fetch_and_add th.fence_dummy 1 : int)
+
+(* Barrier memory accesses: [sandbox_bounds] validates every address
+   before the barrier body runs, so the unchecked accessors are in
+   contract; audit mode keeps the checked ones as a cross-check. *)
+let mem_get th addr =
+  if th.config.Config.audit then Memory.get th.memory addr
+  else Memory.unsafe_get th.memory addr
+
+let mem_set th addr v =
+  if th.config.Config.audit then Memory.set th.memory addr v
+  else Memory.unsafe_set th.memory addr v
+
 (* ------------------------------------------------------------------ *)
 (* Growable int-pair logs                                              *)
 
-let push2 xs ys n x y =
-  let cap = Array.length !xs in
-  if n >= cap then begin
-    let xs' = Array.make (2 * cap) 0 and ys' = Array.make (2 * cap) 0 in
-    Array.blit !xs 0 xs' 0 cap;
-    Array.blit !ys 0 ys' 0 cap;
-    xs := xs';
-    ys := ys'
-  end;
-  !xs.(n) <- x;
-  !ys.(n) <- y
+(* Grown pairwise so the arrays stay parallel; the push sites write the
+   new entry directly into the (possibly fresh) arrays — no [ref] cells,
+   these run on the barrier fast path. *)
+let grow2 xs ys =
+  let cap = Array.length xs in
+  let xs' = Array.make (2 * cap) 0 and ys' = Array.make (2 * cap) 0 in
+  Array.blit xs 0 xs' 0 cap;
+  Array.blit ys 0 ys' 0 cap;
+  (xs', ys')
 
 let push_read tx oi word =
-  let xs = ref tx.read_orecs and ys = ref tx.read_words in
-  push2 xs ys tx.n_reads oi word;
-  tx.read_orecs <- !xs;
-  tx.read_words <- !ys;
-  tx.n_reads <- tx.n_reads + 1
+  let n = tx.n_reads in
+  if n >= Array.length tx.read_orecs then begin
+    let xs, ys = grow2 tx.read_orecs tx.read_words in
+    tx.read_orecs <- xs;
+    tx.read_words <- ys
+  end;
+  Array.unsafe_set tx.read_orecs n oi;
+  Array.unsafe_set tx.read_words n word;
+  tx.n_reads <- n + 1
 
 let push_undo tx addr value =
-  let xs = ref tx.undo_addrs and ys = ref tx.undo_vals in
-  push2 xs ys tx.n_undo addr value;
-  tx.undo_addrs <- !xs;
-  tx.undo_vals <- !ys;
-  tx.n_undo <- tx.n_undo + 1;
+  let n = tx.n_undo in
+  if n >= Array.length tx.undo_addrs then begin
+    let xs, ys = grow2 tx.undo_addrs tx.undo_vals in
+    tx.undo_addrs <- xs;
+    tx.undo_vals <- ys
+  end;
+  Array.unsafe_set tx.undo_addrs n addr;
+  Array.unsafe_set tx.undo_vals n value;
+  tx.n_undo <- n + 1;
   tx.thread.stats.undo_entries <- tx.thread.stats.undo_entries + 1
 
 let push_acq tx oi =
@@ -183,6 +217,37 @@ let push_acq tx oi =
   end;
   tx.acq_orecs.(tx.n_acq) <- oi;
   tx.n_acq <- tx.n_acq + 1
+
+(* Scope alloc/deferred-free logs.  Scopes start with this shared empty
+   array (a scope is born on every transaction attempt; most never
+   allocate) and grow on first use. *)
+let empty_ints : int array = [||]
+
+let push_alloc scope addr size =
+  let n = scope.n_allocs in
+  let cap = Array.length scope.alloc_addrs in
+  if n >= cap then begin
+    let cap' = if cap = 0 then 8 else 2 * cap in
+    let a = Array.make cap' 0 and s = Array.make cap' 0 in
+    Array.blit scope.alloc_addrs 0 a 0 cap;
+    Array.blit scope.alloc_sizes 0 s 0 cap;
+    scope.alloc_addrs <- a;
+    scope.alloc_sizes <- s
+  end;
+  scope.alloc_addrs.(n) <- addr;
+  scope.alloc_sizes.(n) <- size;
+  scope.n_allocs <- n + 1
+
+let push_dfree scope addr =
+  let n = scope.n_dfrees in
+  let cap = Array.length scope.dfree_addrs in
+  if n >= cap then begin
+    let a = Array.make (if cap = 0 then 8 else 2 * cap) 0 in
+    Array.blit scope.dfree_addrs 0 a 0 cap;
+    scope.dfree_addrs <- a
+  end;
+  scope.dfree_addrs.(n) <- addr;
+  scope.n_dfrees <- n + 1
 
 (* ------------------------------------------------------------------ *)
 (* Transaction object (one per thread, reused across transactions)     *)
@@ -263,6 +328,14 @@ let fault_fires th kind =
       fired
   | _ -> false
 
+(* Top-level recursion: a local [let rec] would close over the tx and
+   allocate on every validation (which [maybe_validate] runs from the
+   barrier path). *)
+let rec reads_valid th orecs words n k =
+  k >= n
+  || (read_entry_valid th (Array.unsafe_get orecs k) (Array.unsafe_get words k)
+     && reads_valid th orecs words n (k + 1))
+
 let validate tx =
   let th = tx.thread in
   th.stats.validations <- th.stats.validations + 1;
@@ -273,14 +346,7 @@ let validate tx =
        th.stats.faults_injected <- th.stats.faults_injected + 1;
        true
      end)
-  ||
-  let rec go k =
-    if k >= tx.n_reads then true
-    else if read_entry_valid th tx.read_orecs.(k) tx.read_words.(k) then
-      go (k + 1)
-    else false
-  in
-  go 0
+  || reads_valid th tx.read_orecs tx.read_words tx.n_reads 0
 
 (* Snapshot extension (lazy snapshot algorithm): a newer-than-snapshot
    version was observed.  Sample the clock, then fully validate; success
@@ -352,16 +418,23 @@ let sandbox_bounds tx addr =
 (* ------------------------------------------------------------------ *)
 (* Capture analysis in barriers (paper, Figure 2)                      *)
 
-type elision =
-  | Keep of int (* failed-check cycles to charge on top of the barrier *)
-  | Elide_static
-  | Elide_stack of int
-  | Elide_heap of int
-  | Elide_private of int
+(* Elision verdicts, int-encoded — a variant with payloads would allocate
+   a block per barrier invocation.  Low 3 bits: class; rest: the
+   (failed-)check cycles to charge on top of the access. *)
+let keep_code = 0
+let elide_static_code = 1
+let elide_stack_code = 2
+let elide_heap_code = 3
+let elide_private_code = 4
+let elision ~cls ~cost = (cost lsl 3) lor cls
+let elision_class e = e land 7
+let elision_cost e = e asr 3
 
 (* One hierarchical heap capture check: classify the probe, charge the
    tier that answered, and account it.  Without fastpath the hierarchy
-   degenerates to the bare backend probe at its usual price. *)
+   degenerates to the bare backend probe at its usual price.  Result is
+   int-encoded (bit 0: captured; rest: cycles) — a tuple would allocate
+   on the barrier fast path. *)
 let heap_capture_check th log ~lo ~hi =
   let outcome = Alloc_log.probe log ~lo ~hi in
   let st = th.stats in
@@ -392,10 +465,10 @@ let heap_capture_check th log ~lo ~hi =
   st.Stats.capture_check_cycles <- st.Stats.capture_check_cycles + cost;
   let captured =
     match outcome with
-    | Alloc_log.Mru_hit | Alloc_log.Backend_hit -> true
-    | Alloc_log.Summary_reject | Alloc_log.Backend_miss -> false
+    | Alloc_log.Mru_hit | Alloc_log.Backend_hit -> 1
+    | Alloc_log.Summary_reject | Alloc_log.Backend_miss -> 0
   in
-  (captured, cost)
+  (cost lsl 1) lor captured
 
 let private_check th addr size cost =
   if
@@ -403,16 +476,18 @@ let private_check th addr size cost =
     && Private_log.size th.private_log > 0
   then
     let c = cost + Private_log.search_cost th.private_log in
-    if Private_log.contains th.private_log ~addr ~size then Elide_private c
-    else Keep c
-  else Keep cost
+    if Private_log.contains th.private_log ~addr ~size then
+      elision ~cls:elide_private_code ~cost:c
+    else elision ~cls:keep_code ~cost:c
+  else elision ~cls:keep_code ~cost
 
 let try_elide tx addr size ~site ~is_write =
   let th = tx.thread in
   let cfg = th.config in
   match cfg.analysis with
   | Config.Compiler ->
-      if Site.is_captured_static site then Elide_static
+      if Site.is_captured_static site then
+        elision ~cls:elide_static_code ~cost:0
       else private_check th addr size 0
   | Config.Baseline -> private_check th addr size 0
   | Config.Runtime _ ->
@@ -427,16 +502,14 @@ let try_elide tx addr size ~site ~is_write =
         if
           sc.check_stack
           && Tstack.in_live_range th.stack ~from_sp:scope.start_sp addr size
-        then Elide_stack Costs.stack_check
+        then elision ~cls:elide_stack_code ~cost:Costs.stack_check
         else begin
           let cost = if sc.check_stack then Costs.stack_check else 0 in
           match scope.capture_log with
           | Some log when sc.check_heap ->
-              let captured, check_cost =
-                heap_capture_check th log ~lo:addr ~hi:(addr + size)
-              in
-              let cost = cost + check_cost in
-              if captured then Elide_heap cost
+              let r = heap_capture_check th log ~lo:addr ~hi:(addr + size) in
+              let cost = cost + (r lsr 1) in
+              if r land 1 = 1 then elision ~cls:elide_heap_code ~cost
               else private_check th addr size cost
           | Some _ | None -> private_check th addr size cost
         end
@@ -493,7 +566,10 @@ let rec full_read_loop tx oi addr spins =
     end
   end
   else begin
-    let v = Memory.get th.memory addr in
+    let v = mem_get th addr in
+    (* Debug mode: pin the data load before the confirming orec load even
+       under a hypothetically weaker model (see Config.fences). *)
+    if th.config.Config.fences then fence th;
     if
       th.read_seen_epoch.(oi) <> th.epoch
       && fault_fires th Fault.Stale_read
@@ -588,20 +664,29 @@ let full_read tx addr =
   let oi = Orec.index_of th.orecs addr in
   if th.owned_epoch.(oi) = th.epoch then begin
     th.platform.consume Costs.read_owned;
-    Memory.get th.memory addr
+    mem_get th addr
   end
   else if th.config.Config.pessimistic_reads then begin
     (* Two-phase locking: lock the record for reading; no read set, no
        validation, no zombies. *)
     th.platform.consume Costs.pessimistic_read;
     acquire_loop tx oi 0;
-    Memory.get th.memory addr
+    mem_get th addr
   end
   else begin
     th.platform.consume Costs.read_barrier;
     maybe_validate tx;
     full_read_loop tx oi addr 0
   end
+
+(* Event class for an int-encoded elision verdict (traced paths only —
+   constant constructors, so this is allocation-free anyway). *)
+let access_class_of cls =
+  if cls = keep_code then Instrumented
+  else if cls = elide_stack_code then Elided_stack
+  else if cls = elide_heap_code then Elided_heap
+  else if cls = elide_private_code then Elided_private
+  else Elided_static
 
 let read ?(site = Site.anonymous_read) tx addr =
   let th = tx.thread in
@@ -611,53 +696,29 @@ let read ?(site = Site.anonymous_read) tx addr =
   sandbox_bounds tx addr;
   if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:false;
-  match !tracer with
-  | None -> (
-      match try_elide tx addr 1 ~site ~is_write:false with
-      | Elide_static ->
-          st.reads_elided_static <- st.reads_elided_static + 1;
-          th.platform.consume Costs.direct_access;
-          Memory.get th.memory addr
-      | Elide_stack c ->
-          st.reads_elided_stack <- st.reads_elided_stack + 1;
-          th.platform.consume (c + Costs.direct_access);
-          Memory.get th.memory addr
-      | Elide_heap c ->
-          st.reads_elided_heap <- st.reads_elided_heap + 1;
-          th.platform.consume (c + Costs.direct_access);
-          Memory.get th.memory addr
-      | Elide_private c ->
-          st.reads_elided_private <- st.reads_elided_private + 1;
-          th.platform.consume (c + Costs.direct_access);
-          Memory.get th.memory addr
-      | Keep c ->
-          th.platform.consume c;
-          full_read tx addr)
-  | Some f ->
-      let cls, value =
-        match try_elide tx addr 1 ~site ~is_write:false with
-        | Elide_static ->
-            st.reads_elided_static <- st.reads_elided_static + 1;
-            th.platform.consume Costs.direct_access;
-            (Elided_static, Memory.get th.memory addr)
-        | Elide_stack c ->
-            st.reads_elided_stack <- st.reads_elided_stack + 1;
-            th.platform.consume (c + Costs.direct_access);
-            (Elided_stack, Memory.get th.memory addr)
-        | Elide_heap c ->
-            st.reads_elided_heap <- st.reads_elided_heap + 1;
-            th.platform.consume (c + Costs.direct_access);
-            (Elided_heap, Memory.get th.memory addr)
-        | Elide_private c ->
-            st.reads_elided_private <- st.reads_elided_private + 1;
-            th.platform.consume (c + Costs.direct_access);
-            (Elided_private, Memory.get th.memory addr)
-        | Keep c ->
-            th.platform.consume c;
-            (Instrumented, full_read tx addr)
-      in
-      f th.tid (Ev_read { addr; value; cls });
-      value
+  let e = try_elide tx addr 1 ~site ~is_write:false in
+  let cls = elision_class e in
+  let value =
+    if cls = keep_code then begin
+      th.platform.consume (elision_cost e);
+      full_read tx addr
+    end
+    else begin
+      (if cls = elide_stack_code then
+         st.reads_elided_stack <- st.reads_elided_stack + 1
+       else if cls = elide_heap_code then
+         st.reads_elided_heap <- st.reads_elided_heap + 1
+       else if cls = elide_private_code then
+         st.reads_elided_private <- st.reads_elided_private + 1
+       else st.reads_elided_static <- st.reads_elided_static + 1);
+      th.platform.consume (elision_cost e + Costs.direct_access);
+      mem_get th addr
+    end
+  in
+  (match !tracer with
+  | None -> ()
+  | Some f -> f th.tid (Ev_read { addr; value; cls = access_class_of cls }));
+  value
 
 (* ------------------------------------------------------------------ *)
 (* Write barrier                                                       *)
@@ -678,14 +739,14 @@ let full_write tx addr v =
      end
      else begin
        th.platform.consume Costs.undo_log_entry;
-       push_undo tx addr (Memory.get th.memory addr)
+       push_undo tx addr (mem_get th addr)
      end
    end
    else begin
      th.platform.consume Costs.undo_log_entry;
-     push_undo tx addr (Memory.get th.memory addr)
+     push_undo tx addr (mem_get th addr)
    end);
-  Memory.set th.memory addr v
+  mem_set th addr v
 
 let write ?(site = Site.anonymous_write) tx addr v =
   let th = tx.thread in
@@ -695,36 +756,26 @@ let write ?(site = Site.anonymous_write) tx addr v =
   sandbox_bounds tx addr;
   if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:true;
-  let cls =
-    match try_elide tx addr 1 ~site ~is_write:true with
-    | Elide_static ->
-        st.writes_elided_static <- st.writes_elided_static + 1;
-        th.platform.consume Costs.direct_access;
-        Memory.set th.memory addr v;
-        Elided_static
-    | Elide_stack c ->
-        st.writes_elided_stack <- st.writes_elided_stack + 1;
-        th.platform.consume (c + Costs.direct_access);
-        Memory.set th.memory addr v;
-        Elided_stack
-    | Elide_heap c ->
-        st.writes_elided_heap <- st.writes_elided_heap + 1;
-        th.platform.consume (c + Costs.direct_access);
-        Memory.set th.memory addr v;
-        Elided_heap
-    | Elide_private c ->
-        st.writes_elided_private <- st.writes_elided_private + 1;
-        th.platform.consume (c + Costs.direct_access);
-        Memory.set th.memory addr v;
-        Elided_private
-    | Keep c ->
-        th.platform.consume c;
-        full_write tx addr v;
-        Instrumented
-  in
+  let e = try_elide tx addr 1 ~site ~is_write:true in
+  let cls = elision_class e in
+  (if cls = keep_code then begin
+     th.platform.consume (elision_cost e);
+     full_write tx addr v
+   end
+   else begin
+     (if cls = elide_stack_code then
+        st.writes_elided_stack <- st.writes_elided_stack + 1
+      else if cls = elide_heap_code then
+        st.writes_elided_heap <- st.writes_elided_heap + 1
+      else if cls = elide_private_code then
+        st.writes_elided_private <- st.writes_elided_private + 1
+      else st.writes_elided_static <- st.writes_elided_static + 1);
+     th.platform.consume (elision_cost e + Costs.direct_access);
+     mem_set th addr v
+   end);
   match !tracer with
   | None -> ()
-  | Some f -> f th.tid (Ev_write { addr; value = v; cls })
+  | Some f -> f th.tid (Ev_write { addr; value = v; cls = access_class_of cls })
 
 (* ------------------------------------------------------------------ *)
 (* Transactional allocation                                            *)
@@ -744,7 +795,7 @@ let capture_log_add th log ~lo ~hi =
 
 let log_alloc tx addr size =
   let scope = innermost tx in
-  scope.allocs <- (addr, size) :: scope.allocs;
+  push_alloc scope addr size;
   (match scope.capture_log with
   | Some log ->
       (* Injected fault: the allocation never reaches the capture log, so
@@ -772,24 +823,32 @@ let alloc tx n =
   emit th.tid (Ev_alloc { addr; size });
   addr
 
+(* Newest-first scan (free usually targets the latest allocation); returns
+   the block size, or -1 when this scope did not allocate [addr].  The
+   surviving entries keep their relative order, so the arena free-list
+   order downstream is untouched. *)
+let rec alloc_index scope addr k =
+  if k < 0 then -1
+  else if scope.alloc_addrs.(k) = addr then k
+  else alloc_index scope addr (k - 1)
+
 let unlog_alloc scope addr =
-  let rec remove acc = function
-    | [] -> None
-    | (a, sz) :: rest when a = addr ->
-        Some (sz, List.rev_append acc rest)
-    | entry :: rest -> remove (entry :: acc) rest
-  in
-  match remove [] scope.allocs with
-  | None -> None
-  | Some (sz, remaining) ->
-      scope.allocs <- remaining;
-      (match scope.capture_log with
-      | Some log -> ignore (Alloc_log.remove log ~lo:addr ~hi:(addr + sz) : bool)
-      | None -> ());
-      (match scope.audit_log with
-      | Some log -> ignore (Alloc_log.remove log ~lo:addr ~hi:(addr + sz) : bool)
-      | None -> ());
-      Some sz
+  let i = alloc_index scope addr (scope.n_allocs - 1) in
+  if i < 0 then -1
+  else begin
+    let sz = scope.alloc_sizes.(i) in
+    let last = scope.n_allocs - 1 in
+    Array.blit scope.alloc_addrs (i + 1) scope.alloc_addrs i (last - i);
+    Array.blit scope.alloc_sizes (i + 1) scope.alloc_sizes i (last - i);
+    scope.n_allocs <- last;
+    (match scope.capture_log with
+    | Some log -> ignore (Alloc_log.remove log ~lo:addr ~hi:(addr + sz) : bool)
+    | None -> ());
+    (match scope.audit_log with
+    | Some log -> ignore (Alloc_log.remove log ~lo:addr ~hi:(addr + sz) : bool)
+    | None -> ());
+    sz
+  end
 
 let free tx addr =
   let th = tx.thread in
@@ -798,14 +857,13 @@ let free tx addr =
   th.stats.tx_frees <- th.stats.tx_frees + 1;
   let scope = innermost tx in
   emit th.tid (Ev_free { addr });
-  match unlog_alloc scope addr with
-  | Some _ ->
-      (* Allocated by this very scope: really free it now. *)
-      Alloc.free th.arena addr
-  | None ->
-      (* Not ours (or an outer scope's): the free takes effect only if the
-         whole transaction commits. *)
-      scope.deferred_frees <- addr :: scope.deferred_frees
+  if unlog_alloc scope addr >= 0 then
+    (* Allocated by this very scope: really free it now. *)
+    Alloc.free th.arena addr
+  else
+    (* Not ours (or an outer scope's): the free takes effect only if the
+       whole transaction commits. *)
+    push_dfree scope addr
 
 let alloca tx n =
   let th = tx.thread in
@@ -862,8 +920,11 @@ let push_scope tx ~top =
       undo_mark = tx.n_undo;
       capture_log;
       audit_log;
-      allocs = [];
-      deferred_frees = [];
+      alloc_addrs = empty_ints;
+      alloc_sizes = empty_ints;
+      n_allocs = 0;
+      dfree_addrs = empty_ints;
+      n_dfrees = 0;
     }
     :: tx.scopes;
   if not top then emit th.tid Ev_scope_begin
@@ -900,10 +961,12 @@ let rollback_undo tx ~down_to =
   tx.n_undo <- down_to
 
 let free_scope_allocs th scope =
-  (* [allocs] is newest-first, which is the right order for stack-like
-     reuse in the arena free lists. *)
-  List.iter (fun (addr, _) -> Alloc.free th.arena addr) scope.allocs;
-  scope.allocs <- []
+  (* Newest-first, which is the right order for stack-like reuse in the
+     arena free lists. *)
+  for k = scope.n_allocs - 1 downto 0 do
+    Alloc.free th.arena scope.alloc_addrs.(k)
+  done;
+  scope.n_allocs <- 0
 
 let release_all tx ~commit =
   let th = tx.thread in
@@ -928,7 +991,10 @@ let release_all_stamped tx ~ts =
 let commit_epilogue tx =
   let th = tx.thread in
   let scope = innermost tx in
-  List.iter (fun addr -> Alloc.free th.arena addr) scope.deferred_frees;
+  (* Newest-first, matching the order the old cons-list executed in. *)
+  for k = scope.n_dfrees - 1 downto 0 do
+    Alloc.free th.arena scope.dfree_addrs.(k)
+  done;
   tx.scopes <- [];
   tx.live <- false;
   tx.attempts <- 0;
@@ -1014,19 +1080,22 @@ let commit_scope tx =
   match tx.scopes with
   | [] | [ _ ] -> invalid_arg "Txn.commit_scope: no nested scope"
   | child :: (parent :: _ as rest) ->
-      List.iter
-        (fun (addr, size) ->
-          parent.allocs <- (addr, size) :: parent.allocs;
-          (match parent.capture_log with
-          | Some log -> capture_log_add th log ~lo:addr ~hi:(addr + size)
-          | None -> ());
-          match parent.audit_log with
-          | Some log ->
-              ignore (Alloc_log.add log ~lo:addr ~hi:(addr + size) : Alloc_log.added)
-          | None -> ())
-        (List.rev child.allocs);
-      parent.deferred_frees <-
-        child.deferred_frees @ parent.deferred_frees;
+      (* Oldest-first append keeps the parent's log in allocation order,
+         exactly as the old list fold over [List.rev child.allocs] did. *)
+      for k = 0 to child.n_allocs - 1 do
+        let addr = child.alloc_addrs.(k) and size = child.alloc_sizes.(k) in
+        push_alloc parent addr size;
+        (match parent.capture_log with
+        | Some log -> capture_log_add th log ~lo:addr ~hi:(addr + size)
+        | None -> ());
+        match parent.audit_log with
+        | Some log ->
+            ignore (Alloc_log.add log ~lo:addr ~hi:(addr + size) : Alloc_log.added)
+        | None -> ()
+      done;
+      for k = 0 to child.n_dfrees - 1 do
+        push_dfree parent child.dfree_addrs.(k)
+      done;
       tx.scopes <- rest;
       th.stats.nested_commits <- th.stats.nested_commits + 1;
       emit th.tid Ev_scope_commit
@@ -1060,6 +1129,9 @@ let backoff th attempt ~work =
   let cycles = Cm.on_abort th.cm th.stats ~attempt ~work ~jitter in
   th.stats.backoff_cycles <- th.stats.backoff_cycles + cycles;
   th.platform.consume cycles;
+  (* Native domains really wait the backoff out ([relax] is a no-op on the
+     simulator, where [consume] just charged it as virtual time). *)
+  th.platform.relax cycles;
   th.platform.yield ()
 
 let get_tx th =

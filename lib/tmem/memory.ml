@@ -18,6 +18,12 @@ let set t addr v =
   if addr <= 0 then invalid_arg "Memory.set: null/negative address";
   t.cells.(addr) <- v
 
+(* Unchecked accessors for the STM barrier fast paths, which have already
+   range-checked the address (Txn.sandbox_bounds runs before any memory
+   touch).  Everything else keeps the checked accessors. *)
+let unsafe_get t addr = Array.unsafe_get t.cells addr
+let unsafe_set t addr v = Array.unsafe_set t.cells addr v
+
 let blit_to_array t src dst dst_pos len =
   if src <= 0 then invalid_arg "Memory.blit_to_array";
   Array.blit t.cells src dst dst_pos len

@@ -29,6 +29,14 @@ val get : t -> addr -> int
 
 val set : t -> addr -> int -> unit
 
+val unsafe_get : t -> addr -> int
+(** Unchecked read.  The caller must guarantee [1 <= addr < size] — the
+    STM barriers do (their sandbox bounds check runs first); audit and
+    non-transactional paths must use {!get}. *)
+
+val unsafe_set : t -> addr -> int -> unit
+(** Unchecked write; same contract as {!unsafe_get}. *)
+
 val blit_to_array : t -> addr -> int array -> int -> int -> unit
 (** [blit_to_array t src dst dst_pos len] copies words out of memory (used
     by workloads privatising data). *)

@@ -1,0 +1,15 @@
+(** Cache-line padding for contended atomics (OCaml 5.1 substitute for
+    [Atomic.make_contended]).
+
+    A padded atomic occupies a full cache line by itself, so CAS/store
+    traffic on one record never invalidates a neighbour's line — the
+    false-sharing killer for the ownership-record table and the global
+    version clock under real multicore execution. *)
+
+val cache_line_bytes : int
+(** Assumed cache-line size (64). *)
+
+val padded_atomic : int -> int Atomic.t
+(** [padded_atomic v] is [Atomic.make v] backed by a block padded to
+    {!cache_line_bytes}.  Behaves identically to an ordinary atomic under
+    every [Atomic] operation. *)

@@ -15,6 +15,13 @@ let split t =
   let seed = next_int64 t in
   { state = Int64.mul seed 0xD1342543DE82EF95L }
 
+(* Splitmix64's state advances by a constant per draw, so skipping [n]
+   draws is one multiply-add — the O(1) jump that replaces per-thread
+   seed derivation by O(tid) discarded draws. *)
+let jump t n =
+  if n < 0 then invalid_arg "Prng.jump: negative distance";
+  t.state <- Int64.add t.state (Int64.mul golden (Int64.of_int n))
+
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
 let int t n =

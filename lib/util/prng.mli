@@ -15,6 +15,11 @@ val create : int -> t
     thread its own stream from one root seed. *)
 val split : t -> t
 
+(** [jump t n] advances [t] by exactly [n] draws in O(1): the stream
+    continues as if [n] outputs had been drawn and discarded.  Raises
+    [Invalid_argument] on negative [n]. *)
+val jump : t -> int -> unit
+
 (** [bits t] returns 62 uniformly random bits as a non-negative [int]. *)
 val bits : t -> int
 

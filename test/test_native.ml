@@ -1,0 +1,253 @@
+(* Native-backend tests: real domains, barrier allocation behaviour, and
+   the simulator-determinism contract the hot-path rewrite must keep.
+
+   The counter/bank micros run on 2-4 domains; on a single-core host the
+   domains interleave rather than overlap, which still exercises every
+   synchronization path (orec CAS contention, backoff, join-time stat
+   collection) even though it proves nothing about speedup. *)
+
+open Captured_stm
+module App = Captured_apps.App
+module Registry = Captured_apps.Registry
+module Memory = Captured_tmem.Memory
+module Alloc = Captured_tmem.Alloc
+module Alloc_log = Captured_core.Alloc_log
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Counter micro: N domains hammer one cell *)
+
+let run_counter ~nthreads ~incs config =
+  let w = Engine.create ~nthreads config in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let r =
+    Engine.run_native w (fun th ->
+        for _ = 1 to incs do
+          Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+        done)
+  in
+  (r, Memory.get (Engine.memory w) cell)
+
+let test_counter_domains nthreads () =
+  let incs = 200 in
+  let r, total = run_counter ~nthreads ~incs Config.baseline in
+  check_int "no lost updates" (nthreads * incs) total;
+  check_int "every transaction committed" (nthreads * incs)
+    r.Engine.stats.Stats.commits;
+  check_int "per-domain commit split" incs
+    r.Engine.per_thread.(nthreads - 1).Stats.commits;
+  check "wall-derived makespan is nonzero" true (r.Engine.makespan > 0);
+  check_int "one wall entry per domain" nthreads
+    (Array.length r.Engine.per_thread_wall);
+  Array.iter
+    (fun wall -> check "per-domain wall is nonzero" true (wall > 0.))
+    r.Engine.per_thread_wall;
+  (* The run's makespan is the slowest domain's span, in nanoseconds. *)
+  let slowest = Array.fold_left max 0. r.Engine.per_thread_wall in
+  check_int "makespan = slowest domain" (int_of_float (1e9 *. slowest))
+    r.Engine.makespan
+
+let test_counter_tvalidate () =
+  let r, total =
+    run_counter ~nthreads:4 ~incs:100 (Config.with_tvalidate Config.baseline)
+  in
+  check_int "no lost updates under tvalidate" 400 total;
+  check_int "commits" 400 r.Engine.stats.Stats.commits
+
+(* ------------------------------------------------------------------ *)
+(* Bank micro: random transfers conserve the total balance *)
+
+let test_bank_invariant () =
+  let nthreads = 4 and accounts = 8 and transfers = 150 and opening = 100 in
+  let w = Engine.create ~nthreads Config.baseline in
+  let base = Alloc.alloc (Engine.global_arena w) accounts in
+  for i = 0 to accounts - 1 do
+    Memory.set (Engine.memory w) (base + i) opening
+  done;
+  let _ =
+    Engine.run_native w (fun th ->
+        let g = Txn.thread_prng th in
+        for _ = 1 to transfers do
+          let src = Captured_util.Prng.int g accounts
+          and dst = Captured_util.Prng.int g accounts
+          and amount = 1 + Captured_util.Prng.int g 5 in
+          Txn.atomic th (fun tx ->
+              Txn.write tx (base + src) (Txn.read tx (base + src) - amount);
+              Txn.write tx (base + dst) (Txn.read tx (base + dst) + amount))
+        done)
+  in
+  let total = ref 0 in
+  for i = 0 to accounts - 1 do
+    total := !total + Memory.get (Engine.memory w) (base + i)
+  done;
+  check_int "balance conserved" (accounts * opening) !total
+
+(* ------------------------------------------------------------------ *)
+(* STAMP app natively, across the scale-bench config matrix *)
+
+let vacation = Option.get (Registry.find "vacation-low")
+
+let scale_configs =
+  let base = Config.runtime Alloc_log.Tree in
+  [
+    ("base", base);
+    ("fp", Config.with_fastpath base);
+    ("tv", Config.with_tvalidate base);
+    ("fptv", Config.with_fastpath (Config.with_tvalidate base));
+  ]
+
+let test_vacation_native (name, config) () =
+  (* Test scale runs 40 transactions per thread; [App.run_checked] also
+     re-verifies the reservation-table invariants post-run. *)
+  match
+    App.run_checked vacation ~nthreads:4 ~scale:App.Test ~mode:`Native config
+  with
+  | Error msg -> Alcotest.failf "verification failed under %s: %s" name msg
+  | Ok r -> check_int "all transactions committed" 160 r.Engine.stats.Stats.commits
+
+let test_vacation_native_fences () =
+  match
+    App.run_checked vacation ~nthreads:2 ~scale:App.Test ~mode:`Native
+      (Config.with_fences (Config.runtime Alloc_log.Tree))
+  with
+  | Error msg -> Alcotest.failf "verification failed with fences: %s" msg
+  | Ok r -> check_int "commits" 80 r.Engine.stats.Stats.commits
+
+(* ------------------------------------------------------------------ *)
+(* Zero-allocation barriers *)
+
+(* Minor-heap words allocated by [f ()].  Both probes carry the same
+   constant overhead (the boxed float holding [before]), so equal deltas
+   at different iteration counts mean the per-iteration cost is zero. *)
+let minor_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_zero_alloc_full_path () =
+  (* Baseline config: every access takes the full orec-protected barrier
+     (read-set and undo-log pushes included). *)
+  let w = Engine.create ~nthreads:1 Config.baseline in
+  let th = Engine.setup_thread w in
+  let span = 2048 in
+  let base = Alloc.alloc (Engine.global_arena w) span in
+  (* Warm-up: grows the tx-resident read/undo/acquire arrays past any
+     size the measured loops need; the tx record is reused afterwards. *)
+  Txn.atomic th (fun tx ->
+      for k = 0 to span - 1 do
+        Txn.write tx (base + k) (Txn.read tx (base + k) + 1)
+      done);
+  let measure n =
+    Txn.atomic th (fun tx ->
+        minor_delta (fun () ->
+            for k = 0 to n - 1 do
+              Txn.write tx (base + k) (Txn.read tx (base + k) + 1)
+            done))
+  in
+  let small = measure 64 and large = measure 512 in
+  Alcotest.(check (float 0.)) "full barriers allocate nothing" small large
+
+let test_zero_alloc_elided_path () =
+  (* Runtime capture analysis: accesses to a block allocated inside the
+     transaction are elided down to raw loads/stores. *)
+  let w =
+    Engine.create ~nthreads:1
+      (Config.with_fastpath (Config.runtime Alloc_log.Tree))
+  in
+  let th = Engine.setup_thread w in
+  let measure n =
+    Txn.atomic th (fun tx ->
+        let block = Txn.alloc tx 512 in
+        minor_delta (fun () ->
+            for k = 0 to n - 1 do
+              Txn.write tx (block + k) (Txn.read tx (block + k) + 1)
+            done))
+  in
+  (* One throwaway round warms the capture-log internals. *)
+  ignore (measure 8 : float);
+  let small = measure 64 and large = measure 512 in
+  Alcotest.(check (float 0.)) "elided barriers allocate nothing" small large;
+  let s = Txn.thread_stats th in
+  check "accesses really were elided" true
+    (s.Stats.reads_elided_heap + s.Stats.reads_elided_private > 500)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator determinism: the hot-path rewrite must not change a single
+   scheduling decision.  Reference numbers captured from the simulator
+   before the native-backend work; any drift in commits, aborts or
+   virtual makespan means replay/exploration traces are invalidated. *)
+
+let sim_refs =
+  let tree = Config.runtime Alloc_log.Tree in
+  [
+    ("baseline", Config.baseline, 106, 214284);
+    ( "baseline+fp+tv",
+      Config.with_fastpath (Config.with_tvalidate Config.baseline),
+      90,
+      268125 );
+    ("tree", tree, 72, 375584);
+    ("tree+fp+tv", Config.with_fastpath (Config.with_tvalidate tree), 108, 225439);
+  ]
+
+let test_sim_determinism (name, config, aborts, makespan) () =
+  let r =
+    App.run vacation ~nthreads:4 ~scale:App.Test ~mode:(`Sim 3) config
+  in
+  check_int (name ^ " commits") 160 r.Engine.stats.Stats.commits;
+  check_int (name ^ " aborts") aborts r.Engine.stats.Stats.aborts;
+  check_int (name ^ " makespan") makespan r.Engine.makespan
+
+let test_sim_determinism_kmeans () =
+  let kmeans = Option.get (Registry.find "kmeans-low") in
+  let r =
+    App.run kmeans ~nthreads:2 ~scale:App.Test ~mode:(`Sim 7)
+      (Config.runtime Alloc_log.Tree)
+  in
+  check_int "commits" 198 r.Engine.stats.Stats.commits;
+  check_int "aborts" 33 r.Engine.stats.Stats.aborts;
+  check_int "makespan" 47189 r.Engine.makespan
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "micro",
+        [
+          Alcotest.test_case "counter 2 domains" `Quick
+            (test_counter_domains 2);
+          Alcotest.test_case "counter 4 domains" `Quick
+            (test_counter_domains 4);
+          Alcotest.test_case "counter tvalidate" `Quick test_counter_tvalidate;
+          Alcotest.test_case "bank invariant" `Quick test_bank_invariant;
+        ] );
+      ( "stamp",
+        List.map
+          (fun ((name, _) as entry) ->
+            Alcotest.test_case ("vacation-low " ^ name) `Quick
+              (test_vacation_native entry))
+          scale_configs
+        @ [
+            Alcotest.test_case "vacation-low fences" `Quick
+              test_vacation_native_fences;
+          ] );
+      ( "zero-alloc",
+        [
+          Alcotest.test_case "full barrier path" `Quick
+            test_zero_alloc_full_path;
+          Alcotest.test_case "elided barrier path" `Quick
+            test_zero_alloc_elided_path;
+        ] );
+      ( "sim-determinism",
+        List.map
+          (fun ((name, _, _, _) as entry) ->
+            Alcotest.test_case ("vacation-low " ^ name) `Quick
+              (test_sim_determinism entry))
+          sim_refs
+        @ [
+            Alcotest.test_case "kmeans-low tree" `Quick
+              test_sim_determinism_kmeans;
+          ] );
+    ]

@@ -19,6 +19,27 @@ let test_memory_null_rejected () =
   Alcotest.check_raises "set null" (Invalid_argument "Memory.set: null/negative address")
     (fun () -> Memory.set m 0 1)
 
+(* Property: the unchecked accessors (used by the native STM barriers
+   once the sandbox has validated the address) agree with the checked
+   ones everywhere in contract, i.e. on 1 <= addr < size. *)
+let prop_unsafe_agrees_with_checked =
+  QCheck.Test.make ~name:"unsafe_get/unsafe_set agree with get/set"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (pair (int_range 1 127) small_int))
+    (fun writes ->
+      let checked = Memory.create ~words:128
+      and unchecked = Memory.create ~words:128 in
+      List.iter
+        (fun (addr, v) ->
+          Memory.set checked addr v;
+          Memory.unsafe_set unchecked addr v)
+        writes;
+      List.for_all
+        (fun addr ->
+          Memory.get checked addr = Memory.unsafe_get unchecked addr
+          && Memory.get checked addr = Memory.get unchecked addr)
+        (List.init 127 (fun i -> i + 1)))
+
 let test_memory_blit () =
   let m = Memory.create ~words:64 in
   let src = [| 1; 2; 3; 4 |] in
@@ -230,6 +251,7 @@ let () =
           Alcotest.test_case "null rejected" `Quick test_memory_null_rejected;
           Alcotest.test_case "blit" `Quick test_memory_blit;
         ] );
+      qsuite "memory-props" [ prop_unsafe_agrees_with_checked ];
       ( "tstack",
         [
           Alcotest.test_case "grows down" `Quick test_stack_grows_down;

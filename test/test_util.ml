@@ -66,6 +66,51 @@ let test_prng_float_unit () =
     check "in [0,1)" true (f >= 0. && f < 1.)
   done
 
+let test_prng_jump_matches_skip () =
+  (* The O(1) jump must be bit-identical to discarding n draws — thread
+     seeding relies on it to replay recorded schedules. *)
+  List.iter
+    (fun n ->
+      let skip = Prng.create 11 and jump = Prng.create 11 in
+      for _ = 1 to n do
+        ignore (Prng.bits skip : int)
+      done;
+      Prng.jump jump n;
+      check_int (Printf.sprintf "jump %d" n) (Prng.bits skip) (Prng.bits jump))
+    [ 0; 1; 2; 3; 10; 1000; 123_456 ]
+
+let test_prng_jump_negative () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "negative distance"
+    (Invalid_argument "Prng.jump: negative distance") (fun () ->
+      Prng.jump g (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Padding *)
+
+let test_padded_atomic_semantics () =
+  let a = Padding.padded_atomic 5 in
+  check_int "init" 5 (Atomic.get a);
+  Atomic.set a 9;
+  check_int "set" 9 (Atomic.get a);
+  check_int "faa returns old" 9 (Atomic.fetch_and_add a 3);
+  check_int "faa added" 12 (Atomic.get a);
+  check "cas hit" true (Atomic.compare_and_set a 12 99);
+  check_int "cas stored" 99 (Atomic.get a);
+  check "cas miss" false (Atomic.compare_and_set a 12 0);
+  check_int "cas miss kept" 99 (Atomic.get a)
+
+let test_padded_atomic_is_padded () =
+  let a = Padding.padded_atomic 0 in
+  let pad_words = Padding.cache_line_bytes / (Sys.word_size / 8) in
+  check_int "block spans a cache line" pad_words (Obj.size (Obj.repr a));
+  check "at least 8 words on 64-bit" true (pad_words >= 8)
+
+let test_padded_atomic_independent () =
+  let a = Padding.padded_atomic 1 and b = Padding.padded_atomic 2 in
+  Atomic.set a 10;
+  check_int "b untouched" 2 (Atomic.get b)
+
 (* ------------------------------------------------------------------ *)
 (* Fixed *)
 
@@ -153,6 +198,19 @@ let () =
             test_prng_shuffle_permutation;
           Alcotest.test_case "int covers" `Quick test_prng_int_covers;
           Alcotest.test_case "float unit" `Quick test_prng_float_unit;
+          Alcotest.test_case "jump matches skip" `Quick
+            test_prng_jump_matches_skip;
+          Alcotest.test_case "jump rejects negative" `Quick
+            test_prng_jump_negative;
+        ] );
+      ( "padding",
+        [
+          Alcotest.test_case "atomic semantics" `Quick
+            test_padded_atomic_semantics;
+          Alcotest.test_case "padded to a cache line" `Quick
+            test_padded_atomic_is_padded;
+          Alcotest.test_case "independent cells" `Quick
+            test_padded_atomic_independent;
         ] );
       ( "fixed",
         [
