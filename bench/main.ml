@@ -27,7 +27,7 @@ let only_apps : string list ref = ref []
 let known_sections =
   [
     "fig8"; "fig9"; "table1"; "table2"; "fig10"; "fig11a"; "fig11b"; "micro";
-    "ablation"; "fastpath"; "tvalidate"; "contention"; "scale";
+    "ablation"; "fastpath"; "tvalidate"; "contention"; "scale"; "shards";
   ]
 
 let scale_domains : int list ref = ref []
@@ -733,17 +733,18 @@ let scale_configs =
   ]
 
 let scale_json ~app ~config ~domains ~reps ~wall_ms ~throughput ~speedup
-    (r : Engine.result) =
+    ~ar_delta (r : Engine.result) =
   let s = r.Engine.stats in
   Printf.printf
     "{\"section\":\"scale\",\"app\":\"%s\",\"config\":\"%s\",\"domains\":%d,\
      \"reps\":%d,\"commits\":%d,\"aborts\":%d,\"abort_ratio\":%.3f,\
+     \"abort_ratio_delta_vs_1\":%.3f,\
      \"spin_aborts\":%d,\"lock_waits\":%d,\"wall_ms\":%.3f,\
      \"makespan_ns\":%d,\"throughput_commits_per_s\":%.0f,\
      \"speedup_vs_1\":%.3f}\n"
     app config domains reps s.Stats.commits s.Stats.aborts
-    (Stats.abort_ratio s) s.Stats.spin_aborts s.Stats.lock_waits wall_ms
-    r.Engine.makespan throughput speedup
+    (Stats.abort_ratio s) ar_delta s.Stats.spin_aborts s.Stats.lock_waits
+    wall_ms r.Engine.makespan throughput speedup
 
 let scale_section () =
   headline
@@ -772,6 +773,7 @@ let scale_section () =
   List.iter
     (fun app ->
       let base_tp = ref 0. in
+      let base_ar = ref 0. in
       List.iter
         (fun (cfg_name, cfg) ->
           List.iteri
@@ -792,18 +794,159 @@ let scale_section () =
               let throughput =
                 float_of_int r.Engine.stats.Stats.commits /. max 1e-9 med_wall
               in
-              if i = 0 then base_tp := throughput;
+              let ar = Stats.abort_ratio r.Engine.stats in
+              if i = 0 then begin
+                base_tp := throughput;
+                base_ar := ar
+              end;
               let speedup = throughput /. max 1e-9 !base_tp in
+              (* How much contention the extra domains add: abort ratio
+                 here minus this config's own 1-domain baseline. *)
+              let ar_delta = ar -. !base_ar in
               scale_json ~app:app.App.name ~config:cfg_name ~domains:n ~reps
-                ~wall_ms:(1000. *. med_wall) ~throughput ~speedup r;
+                ~wall_ms:(1000. *. med_wall) ~throughput ~speedup ~ar_delta r;
               Printf.printf
-                "# %-14s %-5s %2d dom  commits %6d  abort/commit %5.2f  \
-                 wall %8.2f ms  %9.0f commits/s  speedup %5.2fx\n%!"
-                app.App.name cfg_name n r.Engine.stats.Stats.commits
-                (Stats.abort_ratio r.Engine.stats)
-                (1000. *. med_wall) throughput speedup)
+                "# %-14s %-5s %2d dom  commits %6d  abort/commit %5.2f \
+                 (%+5.2f vs 1 dom)  wall %8.2f ms  %9.0f commits/s  \
+                 speedup %5.2fx\n%!"
+                app.App.name cfg_name n r.Engine.stats.Stats.commits ar
+                ar_delta (1000. *. med_wall) throughput speedup)
             domain_counts)
         scale_configs)
+    apps
+
+(* ------------------------------------------------------------------ *)
+(* Shards: orec-table sharding + decentralized clock A/B                *)
+
+module Orec = Captured_stm.Orec
+
+let int_array_json a =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let pairs_json s =
+  let top = List.filteri (fun i _ -> i < 8) (Stats.pairs s) in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (shard, tid, peer, n) ->
+           Printf.sprintf "{\"shard\":%d,\"tid\":%d,\"peer\":%d,\"count\":%d}"
+             shard tid peer n)
+         top)
+  ^ "]"
+
+let shards_json ~app ~mode ~shards ~map ~threads (r : Engine.result) =
+  let s = r.Engine.stats in
+  Printf.printf
+    "{\"section\":\"shards\",\"app\":\"%s\",\"mode\":\"%s\",\"shards\":%d,\
+     \"map\":\"%s\",\"threads\":%d,\"commits\":%d,\"aborts\":%d,\
+     \"abort_ratio\":%.3f,\"clock_advances\":%d,\"clock_cas\":%d,\
+     \"clock_resyncs\":%d,\"snapshot_extensions\":%d,\"lock_waits\":%d,\
+     \"makespan\":%d,\"wall_ms\":%.3f,\"shard_acquires\":%s,\
+     \"shard_conflicts\":%s,\"top_conflict_pairs\":%s}\n"
+    app mode shards map threads s.Stats.commits s.Stats.aborts
+    (Stats.abort_ratio s) s.Stats.clock_advances s.Stats.clock_cas
+    s.Stats.clock_resyncs s.Stats.snapshot_extensions s.Stats.lock_waits
+    r.Engine.makespan (1000. *. r.Engine.wall)
+    (int_array_json s.Stats.shard_acquires)
+    (int_array_json s.Stats.shard_conflicts)
+    (pairs_json s)
+
+let shards_section () =
+  headline
+    "Shards: sharded orec table + decentralized version clock A/B \
+     (simulator + native; JSON lines)";
+  let shard_counts = if !quick then [ 1; 4 ] else [ 1; 4; 16 ] in
+  let base = Config.with_tvalidate (Config.runtime Alloc_log.Tree) in
+  List.iter
+    (fun app ->
+      (* (a) Shard-count sweep, simulator: shards=1 is the centralized
+         clock (every writer commit pays one clock CAS); shards>1 switch
+         to the decentralized scheme, whose writer commits must never
+         touch the shared clock. *)
+      List.iter
+        (fun shards ->
+          let cfg = Config.with_shards shards base in
+          let r = run_sim app cfg ~nthreads:sim_threads ~seed:1 in
+          let s = r.Engine.stats in
+          if shards > 1 then
+            (* The tentpole claim, enforced: no clock CAS on any writer
+               commit in decentralized mode. *)
+            assert (s.Stats.clock_cas = 0);
+          shards_json ~app:app.App.name ~mode:"sim" ~shards ~map:"hash"
+            ~threads:sim_threads r;
+          Printf.printf
+            "# %-14s sim %2d shards  commits %6d  abort/commit %5.2f  \
+             clock-cas %6d  resyncs %5d  makespan %9d\n%!"
+            app.App.name shards s.Stats.commits (Stats.abort_ratio s)
+            s.Stats.clock_cas s.Stats.clock_resyncs r.Engine.makespan)
+        shard_counts;
+      (* (b) Mapping-policy A/B at 4 shards.  In the simulator a shard map
+         is a pure relabeling (a permutation cannot merge or split the
+         hash classes), so hash and affinity must agree bit for bit on
+         commits, aborts and makespan — a whole-system check of the
+         two-level refinement.  The per-shard histograms permute. *)
+      let cfg_hash = Config.with_shards 4 base in
+      let r_hash = run_sim app cfg_hash ~nthreads:sim_threads ~seed:1 in
+      let cfg_aff = Config.with_shards ~map:Orec.Affinity 4 base in
+      let r_aff = run_sim app cfg_aff ~nthreads:sim_threads ~seed:1 in
+      assert (
+        r_hash.Engine.stats.Stats.commits = r_aff.Engine.stats.Stats.commits
+        && r_hash.Engine.stats.Stats.aborts = r_aff.Engine.stats.Stats.aborts
+        && r_hash.Engine.makespan = r_aff.Engine.makespan);
+      shards_json ~app:app.App.name ~mode:"sim" ~shards:4 ~map:"affinity"
+        ~threads:sim_threads r_aff;
+      (* (c) Profile-driven remap through the runtime hook: rank shards by
+         the profiling run's conflict counts and relabel hottest-first,
+         installing the permutation on a fresh world before any
+         transaction runs.  Same invariance must hold. *)
+      let conflicts = r_hash.Engine.stats.Stats.shard_conflicts in
+      let order = Array.init 4 (fun s -> s) in
+      Array.sort
+        (fun a b -> compare conflicts.(b) conflicts.(a))
+        order;
+      let remap = Array.make 4 0 in
+      Array.iteri (fun rank s -> remap.(s) <- rank) order;
+      Site.reset_verdicts ();
+      let p =
+        app.App.prepare ~nthreads:sim_threads ~scale:(scale ()) cfg_hash
+      in
+      Orec.set_shard_map (Engine.orecs p.App.world) remap;
+      let r_prof = Engine.run_sim ~seed:1 p.App.world p.App.body in
+      (match p.App.verify () with
+      | Ok () -> ()
+      | Error m -> failwith ("shards profiled remap: " ^ m));
+      assert (
+        r_prof.Engine.stats.Stats.commits = r_hash.Engine.stats.Stats.commits
+        && r_prof.Engine.makespan = r_hash.Engine.makespan);
+      shards_json ~app:app.App.name ~mode:"sim" ~shards:4 ~map:"profiled"
+        ~threads:sim_threads r_prof;
+      Printf.printf
+        "# %-14s map A/B: hash = affinity = profiled (commits %d, \
+         makespan %d) — relabeling invariance holds\n%!"
+        app.App.name r_hash.Engine.stats.Stats.commits r_hash.Engine.makespan;
+      (* (d) Native leg: real domains, wall clock.  Kept small — the
+         point is the counter semantics (clock_cas = 0 stays true under
+         real parallelism), not a full scaling study. *)
+      let domains = if !scale_domains <> [] then !scale_domains else [ 2 ] in
+      List.iter
+        (fun n ->
+          List.iter
+            (fun shards ->
+              let cfg = Config.with_shards shards base in
+              let r =
+                App.run app ~nthreads:n ~scale:(scale ()) ~mode:`Native cfg
+              in
+              let s = r.Engine.stats in
+              if shards > 1 then assert (s.Stats.clock_cas = 0);
+              shards_json ~app:app.App.name ~mode:"native" ~shards ~map:"hash"
+                ~threads:n r;
+              Printf.printf
+                "# %-14s native %2d dom %2d shards  commits %6d  \
+                 abort/commit %5.2f  clock-cas %6d  wall %8.2f ms\n%!"
+                app.App.name n shards s.Stats.commits (Stats.abort_ratio s)
+                s.Stats.clock_cas (1000. *. r.Engine.wall))
+            [ 1; 4 ])
+        domains)
     apps
 
 (* ------------------------------------------------------------------ *)
@@ -826,4 +969,5 @@ let () =
   if wants "tvalidate" then tvalidate ();
   if wants "contention" then contention ();
   if wants "scale" then scale_section ();
+  if wants "shards" then shards_section ();
   Printf.printf "\ndone.\n"

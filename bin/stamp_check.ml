@@ -58,7 +58,7 @@ let report_json (r : Harness.report) union =
           (json_escape (Oracle.violation_to_string f.Harness.violation))
           (json_escape (Strategy.interventions_to_string f.Harness.minimized)))
 
-let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
+let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
     strategies_csv runs seed max_steps persist pct_depth dfs_preemptions
     min_distinct fault_name inject_bug json smoke =
   let runs = if smoke && runs = 0 then 600 else if runs = 0 then 400 else runs
@@ -124,8 +124,18 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
                 | _ -> None)
             @@ split_csv strategies_csv
           in
+          let shard_counts =
+            List.filter_map
+              (fun s ->
+                match int_of_string_opt s with
+                | Some n when n >= 1 && n land (n - 1) = 0 -> Some n
+                | _ -> None)
+              (split_csv shards_csv)
+          in
           if modes = [] then `Error (false, "no valid modes")
           else if strategies = [] then `Error (false, "no valid strategies")
+          else if shard_counts = [] then
+            `Error (false, "no valid shard counts (powers of two >= 1)")
           else begin
             let failures = ref 0
             and caught = ref 0
@@ -137,11 +147,12 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
             List.iter
               (fun w ->
                 List.iter
-                  (fun (_mname, (fp, tv)) ->
+                  (fun ((_mname, (fp, tv)), shards) ->
                     let config =
                       base
                       |> Config.with_fastpath ~on:fp
                       |> Config.with_tvalidate ~on:tv
+                      |> Config.with_shards shards
                       |> Config.with_fault fault
                     in
                     let seen = Hashtbl.create (8 * runs) in
@@ -194,13 +205,16 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv
                           w.Workloads.name (Config.name config) union
                           min_distinct
                     end)
-                  modes)
+                  (List.concat_map
+                     (fun m -> List.map (fun s -> (m, s)) shard_counts)
+                     modes))
               workloads;
             if not json then
               Printf.printf
                 "total: %d runs, %d distinct schedules across %d workload×config cells\n"
                 !total_runs !total_distinct
-                (List.length workloads * List.length modes);
+                (List.length workloads * List.length modes
+                * List.length shard_counts);
             if !hung > 0 then
               `Error
                 ( false,
@@ -286,6 +300,13 @@ let modes_arg =
   Arg.(
     value & opt string "base,fp,tv,fptv" & info [ "modes" ] ~docv:"NAMES" ~doc)
 
+let shards_arg =
+  let doc =
+    "Comma-separated orec shard counts (powers of two) multiplying the \
+     mode grid; counts > 1 switch +tv cells to the decentralized clock."
+  in
+  Arg.(value & opt string "1" & info [ "shards" ] ~docv:"NS" ~doc)
+
 let strategies_arg =
   let doc = "Exploration strategies: random, pct, dfs." in
   Arg.(
@@ -327,7 +348,8 @@ let min_distinct_arg =
 let fault_arg =
   let doc =
     "Inject a structured fault (skip-validation, stale-read, \
-     delayed-unlock, spurious-abort, alloc-log-drop, clock-stall) and \
+     delayed-unlock, spurious-abort, alloc-log-drop, clock-stall, \
+     stale-epoch) and \
      judge the sweep by the fault's expectation: $(i,contained) faults \
      must produce zero violations, $(i,flagged) faults must be detected \
      by the oracle with no exception escaping a fiber."
@@ -380,7 +402,7 @@ let cmd =
     Term.(
       ret
         (const sweep $ workloads_arg $ apps_arg $ threads_arg $ analysis_arg
-       $ modes_arg $ strategies_arg $ runs_arg $ seed_arg $ max_steps_arg
+       $ modes_arg $ shards_arg $ strategies_arg $ runs_arg $ seed_arg $ max_steps_arg
        $ persist_arg $ pct_depth_arg $ dfs_preemptions_arg $ min_distinct_arg
        $ fault_arg $ inject_bug_arg $ json_arg $ smoke_arg))
 

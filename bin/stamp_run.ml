@@ -40,6 +40,27 @@ let scale_of_name = function
   | "large" -> Ok App.Large
   | other -> Error (Printf.sprintf "unknown scale %s" other)
 
+let int_array_json a =
+  "["
+  ^ String.concat "," (List.map string_of_int (Array.to_list a))
+  ^ "]"
+
+(* Top conflicting (shard, tid, peer) pairs, capped so a pathological run
+   cannot flood the JSON line. *)
+let pairs_json s =
+  let top =
+    List.filteri (fun i _ -> i < 8) (Stats.pairs s)
+  in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (shard, tid, peer, n) ->
+           Printf.sprintf
+             "{\"shard\":%d,\"tid\":%d,\"peer\":%d,\"count\":%d}" shard tid
+             peer n)
+         top)
+  ^ "]"
+
 let print_json ~app ~config ~threads (r : Engine.result) ~native =
   let s = r.Engine.stats in
   Printf.printf
@@ -55,10 +76,12 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
      \"overflows\":%d,\"capture_check_cycles\":%d,\"validations\":%d,\
      \"validations_skipped\":%d,\"snapshot_extensions\":%d,\
      \"readonly_fast_commits\":%d,\"clock_advances\":%d,\
+     \"clock_cas\":%d,\"clock_resyncs\":%d,\
      \"validation_cycles\":%d,\"spin_aborts\":%d,\"backoff_cycles\":%d,\
      \"fuel_exhaustions\":%d,\"sandbox_aborts\":%d,\"sandbox_bounds\":%d,\
      \"faults_injected\":%d,\"cm_max_consec_aborts\":%d,\
-     \"cm_starvation_events\":%d,\"makespan\":%d,\
+     \"cm_starvation_events\":%d,\"shard_acquires\":%s,\
+     \"shard_conflicts\":%s,\"top_conflict_pairs\":%s,\"makespan\":%d,\
      \"wall_ms\":%.3f,\"per_thread_wall_ms\":[%s]}\n"
     app config threads
     (if native then "native" else "sim")
@@ -73,11 +96,14 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
     s.Stats.capture_log_overflows s.Stats.capture_check_cycles
     s.Stats.validations s.Stats.validations_skipped
     s.Stats.snapshot_extensions s.Stats.readonly_fast_commits
-    s.Stats.clock_advances s.Stats.validation_cycles s.Stats.spin_aborts
+    s.Stats.clock_advances s.Stats.clock_cas s.Stats.clock_resyncs
+    s.Stats.validation_cycles s.Stats.spin_aborts
     s.Stats.backoff_cycles s.Stats.fuel_exhaustions s.Stats.sandbox_aborts
     s.Stats.sandbox_bounds s.Stats.faults_injected
     s.Stats.cm_max_consec_aborts s.Stats.cm_starvation_events
-    r.Engine.makespan
+    (int_array_json s.Stats.shard_acquires)
+    (int_array_json s.Stats.shard_conflicts)
+    (pairs_json s) r.Engine.makespan
     (1000. *. r.Engine.wall)
     (String.concat ","
        (Array.to_list
@@ -118,7 +144,21 @@ let print_result (r : Engine.result) ~native =
     s.Stats.snapshot_extensions;
   Printf.printf "  ro fast commits:  %d\n" s.Stats.readonly_fast_commits;
   Printf.printf "  clock advances:   %d\n" s.Stats.clock_advances;
+  Printf.printf "  clock CASes:      %d (resyncs %d)\n" s.Stats.clock_cas
+    s.Stats.clock_resyncs;
   Printf.printf "  cycles:           %d\n" s.Stats.validation_cycles;
+  if Array.length s.Stats.shard_conflicts > 1 then begin
+    Printf.printf "shard locality:     acquires [%s] / conflicts [%s]\n"
+      (String.concat " "
+         (List.map string_of_int (Array.to_list s.Stats.shard_acquires)))
+      (String.concat " "
+         (List.map string_of_int (Array.to_list s.Stats.shard_conflicts)));
+    match Stats.pairs s with
+    | [] -> ()
+    | (shard, tid, peer, n) :: _ ->
+        Printf.printf "  hottest pair:     shard %d, t%d vs t%d (%d waits)\n"
+          shard tid peer n
+  end;
   Printf.printf "contention:         spin-aborts %d / backoff-cycles %d / \
                  max-consec-aborts %d\n"
     s.Stats.spin_aborts s.Stats.backoff_cycles s.Stats.cm_max_consec_aborts;
@@ -160,8 +200,14 @@ let fault_of_name = function
             (Printf.sprintf "unknown fault %s (known: %s)" name
                (String.concat " " Fault.names)))
 
+let orec_map_of_name = function
+  | "hash" -> Ok Captured_stm.Orec.Hash
+  | "affinity" -> Ok Captured_stm.Orec.Affinity
+  | other -> Error (Printf.sprintf "unknown orec map %s" other)
+
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic fastpath tvalidate fences cm_name fuel fault_name json =
+    pessimistic fastpath tvalidate fences shards orec_map_name cm_name fuel
+    fault_name json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
@@ -170,6 +216,12 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
     let config = if fastpath then Config.with_fastpath config else config in
     let config = if tvalidate then Config.with_tvalidate config else config in
     let config = if fences then Config.with_fences config else config in
+    let* orec_map = orec_map_of_name orec_map_name in
+    let* config =
+      if shards < 1 || shards land (shards - 1) <> 0 then
+        Error "--shards must be a power of two >= 1"
+      else Ok (Config.with_shards ~map:orec_map shards config)
+    in
     let* cm = cm_of_name cm_name in
     let config = Config.with_cm cm config in
     let* config =
@@ -276,6 +328,20 @@ let fences_arg =
                  use to separate ordering bugs from logic bugs on native \
                  runs.")
 
+let shards_arg =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the orec table into N (power of two) padded \
+                 sub-tables; N > 1 also switches +tvalidate to the \
+                 decentralized version clock (no clock CAS on writer \
+                 commits).")
+
+let orec_map_arg =
+  Arg.(value & opt string "hash"
+       & info [ "orec-map" ] ~docv:"POLICY"
+           ~doc:"Shard-mapping policy: hash (identity) | affinity \
+                 (spreading permutation).")
+
 let cm_arg =
   Arg.(value & opt string "backoff"
        & info [ "cm" ] ~docv:"POLICY"
@@ -294,8 +360,8 @@ let fault_arg =
        & info [ "fault" ] ~docv:"NAME"
            ~doc:"Inject a structured fault (skip-validation | stale-read | \
                  delayed-unlock | spurious-abort | alloc-log-drop | \
-                 clock-stall).  Testing only: verification may fail, \
-                 which is the point.")
+                 clock-stall | stale-epoch).  Testing only: verification \
+                 may fail, which is the point.")
 
 let json_arg =
   Arg.(value & flag
@@ -304,8 +370,8 @@ let json_arg =
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
-             $ fastpath_arg $ tvalidate_arg $ fences_arg $ cm_arg $ fuel_arg
-             $ fault_arg $ json_arg))
+             $ fastpath_arg $ tvalidate_arg $ fences_arg $ shards_arg
+             $ orec_map_arg $ cm_arg $ fuel_arg $ fault_arg $ json_arg))
 
 let cmds =
   [

@@ -80,7 +80,10 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
       let violation =
         Oracle.check
           ~strictness:(strictness_for config)
-          ~index_of:(Captured_stm.Orec.index_of orecs)
+          ~index_of:(fun a ->
+            let i = Captured_stm.Orec.index_of orecs a in
+            ( Captured_stm.Orec.shard_of orecs i,
+              Captured_stm.Orec.slot_of orecs i ))
           ~initial:(fun a -> init.(a))
           ~final:(fun a -> Memory.get mem a)
           ~history:hist ~verify:p.App.verify ()
@@ -138,7 +141,11 @@ let dfs_explore ~workload ~config ~seed ~max_steps ~bound ~budget ~note =
           let detail = Strategy.detail r.trace in
           Array.iteri
             (fun i (d : Strategy.decision) ->
-              if i > last && d.Strategy.d_point = Sched.Consume_point then
+              if
+                i > last
+                && (d.Strategy.d_point = Sched.Consume_point
+                   || d.Strategy.d_point = Sched.Shard_point)
+              then
                 Array.iter
                   (fun alt ->
                     if alt <> d.Strategy.d_chosen then

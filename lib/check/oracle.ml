@@ -23,15 +23,18 @@ type attempt = {
   mutable pending_n : int;
   mutable marks : int list; (* pending_n at each open nested scope *)
   mutable owned : (int * int) list; (* [lo, hi) alloc/alloca ranges *)
-  locked : (int, unit) Hashtbl.t;
-      (* orec indices this attempt write-locked.  A read of ANY address
-         mapping to a locked orec — the written address itself, a
-         line-mate, or a hash-collided line — takes the owned fast path:
-         memory access with no validation.  Partial aborts roll pending
-         writes back but KEEP the locks (txn.ml keeps acquired orecs
-         through nested aborts), so those reads can legally observe
-         states newer than the snapshot; they are outside every
-         consistency rule. *)
+  locked : (int * int, unit) Hashtbl.t;
+      (* (shard, slot) of each orec this attempt write-locked.  A read of
+         ANY address mapping to a locked orec — the written address
+         itself, a line-mate, or a hash-collided line — takes the owned
+         fast path: memory access with no validation.  The key is the
+         sharded table's two-level coordinate, so the exemption tracks
+         exactly the record the engine locked even when a shard-map
+         permutation moves shards around between configs.  Partial aborts
+         roll pending writes back but KEEP the locks (txn.ml keeps
+         acquired orecs through nested aborts), so those reads can
+         legally observe states newer than the snapshot; they are outside
+         every consistency rule. *)
   mutable deferred : violation option;
       (* A read inconsistency observed mid-attempt that is only a
          violation if the attempt commits (zombie reads in attempts the
@@ -60,7 +63,7 @@ let own_pending a addr =
 let in_owned a addr =
   List.exists (fun (lo, hi) -> addr >= lo && addr < hi) a.owned
 
-let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> a)
+let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
     ~initial ~final ~history ~verify () =
   (* Per-address committed-value timeline, newest entry first.  An address
      absent from the table has held its initial value throughout. *)

@@ -29,10 +29,15 @@
     Reads of addresses whose ownership record the attempt itself
     write-locked earlier are also exempt — including line-mates and
     hash-collided addresses, which is what [index_of] (the world's
-    address → orec mapping; identity by default) decides: partial aborts
-    roll writes back but keep the locks, and the owned fast path reads
-    memory with no validation, so such reads carry no consistency
-    promise in any mode.
+    address → orec coordinate mapping) decides: partial aborts roll
+    writes back but keep the locks, and the owned fast path reads memory
+    with no validation, so such reads carry no consistency promise in
+    any mode.  With the sharded orec table the coordinate is the
+    [(shard, slot)] pair — exemption must be granular to the exact
+    record, not the flat pre-sharding index, or a shard-map permutation
+    would silently shift which collisions are exempt.  The default maps
+    every address to shard 0, slot [addr] (the identity for unsharded
+    worlds).
 
     [All_attempts] is sound for configurations that validate every read
     ([Config.tvalidate]) or lock reads ([Config.pessimistic_reads]); the
@@ -51,7 +56,7 @@ val violation_to_string : violation -> string
     violation found, or [None]. *)
 val check :
   ?strictness:strictness ->
-  ?index_of:(int -> int) ->
+  ?index_of:(int -> int * int) ->
   initial:(int -> int) ->
   final:(int -> int) ->
   history:History.t ->

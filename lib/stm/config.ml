@@ -29,6 +29,9 @@ type t = {
   fuel : int;
   fault : Fault.kind option;
   fences : bool;
+  orec_shards : int;
+  orec_map : Orec.mapping;
+  dclock : bool;
 }
 
 let full_scope =
@@ -61,6 +64,9 @@ let default =
     fuel = 0;
     fault = None;
     fences = false;
+    orec_shards = 1;
+    orec_map = Orec.Hash;
+    dclock = false;
   }
 
 let baseline = default
@@ -81,6 +87,22 @@ let with_fuel fuel t =
   { t with fuel }
 
 let with_fences ?(on = true) t = { t with fences = on }
+
+let with_shards ?map n t =
+  if n < 1 || n land (n - 1) <> 0 then
+    invalid_arg "Config.with_shards: shards must be a power of two >= 1";
+  {
+    t with
+    orec_shards = n;
+    (* Sharding the table and decentralizing the clock travel together:
+       the point of both is removing system-wide hot words.  [dclock]
+       stays separately togglable ([with_dclock]) for A/Bs. *)
+    dclock = n > 1;
+    orec_map = (match map with Some m -> m | None -> t.orec_map);
+  }
+
+let with_dclock ?(on = true) t = { t with dclock = on }
+let with_orec_map m t = { t with orec_map = m }
 let with_fault fault t = { t with fault }
 let has_fault t kind = t.fault = Some kind
 
@@ -112,6 +134,12 @@ let name t =
       | Cm.Backoff -> ""
       | p -> "+cm:" ^ Cm.policy_name p)
     ^ (if t.fuel > 0 then Printf.sprintf "+fuel:%d" t.fuel else "")
+    ^ (if t.orec_shards > 1 then Printf.sprintf "+shards:%d" t.orec_shards
+       else "")
+    ^ (match t.orec_map with Orec.Affinity -> "+map:affinity" | Orec.Hash -> "")
+    ^ (if t.dclock && t.orec_shards = 1 then "+dclock"
+       else if (not t.dclock) && t.orec_shards > 1 then "+gvclock"
+       else "")
     ^ (if t.fences then "+fence" else "")
     ^ (match t.fault with
       | None -> ""

@@ -90,6 +90,24 @@ type t = {
           flag exists to empirically separate "memory-model bug" from
           "logic bug" when chasing a native-mode failure — if a symptom
           vanishes under [+fence], suspect the ordering argument. *)
+  orec_shards : int;
+      (** Number of orec-table sub-tables ([+shards:<n>] suffix, power of
+          two, 1 = monolithic).  Two-level hash: shard = high bits, slot
+          within shard = low bits; [shards = 1] is bit-identical to the
+          flat table. *)
+  orec_map : Orec.mapping;
+      (** Shard-mapping policy ([+map:affinity] suffix for [Affinity]):
+          how shard ids of the hash are placed onto physical sub-tables.
+          See {!Orec.mapping}. *)
+  dclock : bool;
+      (** Decentralized version clock (GV5/GV7 family; DESIGN.md §11).
+          Only meaningful with [tvalidate]: writers stamp released orecs
+          with per-thread [(local_epoch, tid)] values and never touch the
+          shared clock at commit; freshness is judged against per-peer
+          epoch watermarks, and the shared clock is consulted only on
+          abort-driven resync.  Set automatically by [with_shards n] for
+          [n > 1] ([+gvclock]/[+dclock] suffixes mark the off-diagonal
+          combinations). *)
 }
 
 val full_scope : scope
@@ -134,6 +152,21 @@ val with_fuel : int -> t -> t
 (** [with_fences t] enables ([?on:false]: disables) the debug read-barrier
     fence ([+fence] suffix). *)
 val with_fences : ?on:bool -> t -> t
+
+(** [with_shards n t] shards the orec table into [n] sub-tables
+    ([+shards:<n>] suffix) and — for [n > 1] — switches the version clock
+    to the decentralized scheme ([dclock]).  [?map] also selects the
+    shard-mapping policy.  Raises [Invalid_argument] unless [n] is a
+    power of two [>= 1]. *)
+val with_shards : ?map:Orec.mapping -> int -> t -> t
+
+(** [with_dclock t] forces the decentralized clock on ([?on:false]: off)
+    independently of the shard count — the A/B knob for separating the
+    two halves of the optimisation. *)
+val with_dclock : ?on:bool -> t -> t
+
+(** [with_orec_map m t] selects the shard-mapping policy. *)
+val with_orec_map : Orec.mapping -> t -> t
 
 (** [with_fault f t] injects fault [f] ([+fault:<name>] suffix). *)
 val with_fault : Fault.kind option -> t -> t

@@ -26,7 +26,8 @@ let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
   let memory = Memory.create ~words in
   let orecs =
     Orec.create ~bits:config.Config.orec_bits
-      ~line_words_log2:config.Config.line_words_log2
+      ~shards:config.Config.orec_shards ~map:config.Config.orec_map
+      ~line_words_log2:config.Config.line_words_log2 ()
   in
   let global_arena = Alloc.create memory ~base:1 ~words:global_words in
   let stacks =

@@ -21,6 +21,7 @@ type kind =
   | Spurious_abort
   | Alloc_log_drop
   | Clock_stall
+  | Stale_epoch
 
 let all =
   [
@@ -30,6 +31,7 @@ let all =
     Spurious_abort;
     Alloc_log_drop;
     Clock_stall;
+    Stale_epoch;
   ]
 
 let name = function
@@ -39,6 +41,7 @@ let name = function
   | Spurious_abort -> "spurious-abort"
   | Alloc_log_drop -> "alloc-log-drop"
   | Clock_stall -> "clock-stall"
+  | Stale_epoch -> "stale-epoch"
 
 let names = List.map name all
 
@@ -47,7 +50,7 @@ let of_name s = List.find_opt (fun k -> name k = s) all
 type expectation = Contained | Flagged
 
 let expectation = function
-  | Skip_validation | Stale_read | Clock_stall -> Flagged
+  | Skip_validation | Stale_read | Clock_stall | Stale_epoch -> Flagged
   | Delayed_unlock | Spurious_abort | Alloc_log_drop -> Contained
 
 (* Percent chance per opportunity.  [Skip_validation] is unconditional —
@@ -62,6 +65,7 @@ let rate = function
   | Spurious_abort -> 4
   | Alloc_log_drop -> 50
   | Clock_stall -> 50
+  | Stale_epoch -> 50
 
 let describe = function
   | Skip_validation ->
@@ -86,3 +90,9 @@ let describe = function
       "a writing commit occasionally stamps its orecs with an un-advanced \
        clock value (under +tv, O(1) snapshot checks wrongly accept lines \
        changed since the snapshot)"
+  | Stale_epoch ->
+      "a decentralized-clock commit occasionally reuses its previous \
+       epoch instead of advancing it, so the released stamp word is \
+       indistinguishable from the prior commit's (peer-epoch watermarks \
+       and word-compare validation are both fooled into accepting \
+       changed lines)"

@@ -21,6 +21,11 @@ type kind =
   | Clock_stall
       (** Commit occasionally stamps orecs without advancing the global
           version clock (breaks +tv snapshot checks). *)
+  | Stale_epoch
+      (** Decentralized-clock commit occasionally reuses the thread's
+          previous epoch instead of advancing it, so the released stamp
+          collides with an older one and peer watermarks accept stale
+          values (breaks +shards/+dclock snapshot checks). *)
 
 val all : kind list
 val name : kind -> string

@@ -7,7 +7,16 @@
 
     Record encoding in one int: even values are versions
     ([version lsl 1]); odd values are locks ([owner lsl 1 lor 1]).
-    Versions only grow, monotonically per record.
+    Versions only grow, monotonically per record (per writer thread in
+    decentralized-clock mode — see {!stamp}).
+
+    The table may be {e sharded}: 2^bits records split across [shards]
+    contiguous, independently padded sub-tables.  Indexing is two-level —
+    shard id from the high bits of the Fibonacci hash, slot from the low
+    bits — and the shard id passes through a runtime-replaceable
+    permutation ({!set_shard_map}), the locality-mapping policy hook.
+    With [shards = 1] the arithmetic collapses to the exact flat hash of
+    the monolithic table, bit for bit.
 
     Each record — and the global version clock — occupies its own cache
     line ({!Captured_util.Padding}), so CASes on one orec never falsely
@@ -15,12 +24,46 @@
 
 type t
 
-val create : bits:int -> line_words_log2:int -> t
+type mapping = Hash | Affinity
+(** Shard-mapping policy: [Hash] is the identity (shard = high hash
+    bits); [Affinity] installs a fixed spreading permutation
+    (bit-reversal of the shard-id bits) so hash-adjacent shards land far
+    apart — the static flavour of the remapping that {!set_shard_map}
+    makes profile-driven. *)
+
+val create :
+  bits:int -> ?shards:int -> ?map:mapping -> line_words_log2:int -> unit -> t
+(** [shards] (default 1) must be a power of two below 2^bits. *)
 
 val index_of : t -> int -> int
-(** Record index for a word address. *)
+(** Record index for a word address: [(shard_map(hi) lsl slot_bits) lor
+    lo].  The flat, global index — shard and slot are recovered with
+    {!shard_of} / {!slot_of}. *)
 
 val count : t -> int
+
+val shard_count : t -> int
+(** Number of sub-tables (1 = monolithic). *)
+
+val slot_bits : t -> int
+(** [log2 (count / shard_count)]: shard id of index [i] is
+    [i lsr slot_bits t]. *)
+
+val shard_of : t -> int -> int
+(** Shard id of a record index. *)
+
+val slot_of : t -> int -> int
+(** Slot within the shard of a record index. *)
+
+val set_shard_map : t -> int array -> unit
+(** Install a shard-id permutation (length [shard_count], each id once).
+    Only sound while no transactions are live: remapping moves addresses
+    between records, which invalidates any outstanding read/acquire
+    logs.  The bench's profile-driven affinity policy calls this between
+    a profiling run and the measured run. *)
+
+val shard_map : t -> int array
+(** Copy of the current shard-id permutation. *)
 
 val get : t -> int -> int
 (** Current word of record [i]. *)
@@ -50,14 +93,39 @@ val unlock : t -> int -> int -> unit
     timestamp-based validation ({!Config.t.tvalidate}) commits stamp the
     records they release with a freshly advanced clock value instead of a
     per-record bump, so a record whose version is [<=] a transaction's
-    snapshot timestamp is provably unchanged since the snapshot. *)
+    snapshot timestamp is provably unchanged since the snapshot.
+
+    In decentralized-clock mode ({!Config.t.dclock}) writer commits never
+    touch this counter; it remains only as the resync rendezvous for
+    aborting threads (see {!Txn}). *)
 
 val clock : t -> int
 (** Current clock value (0 on a fresh table). *)
 
 val advance_clock : t -> int
 (** Atomically advance the clock; returns the {e new} value.  One
-    fetch-and-add (the "clock CAS" commits pay under [tvalidate]). *)
+    fetch-and-add (the "clock CAS" commits pay under centralized
+    [tvalidate]). *)
 
 val stamped : ts:int -> int
 (** The unlocked word carrying version [ts] (a clock value). *)
+
+(** {2 Decentralized stamps (GV5/GV7 family)}
+
+    A decentralized version is [(epoch lsl tid_bits) lor tid]: each
+    thread stamps from its own per-thread-monotonic epoch counter, so
+    producing a fresh stamp needs no shared-memory RMW at all.  Readers
+    judge freshness against per-peer epoch watermarks instead of a
+    snapshot timestamp (see {!Txn}). *)
+
+val tid_bits : int
+(** Bits reserved for the thread id inside a stamp (10). *)
+
+val max_tids : int
+(** [2^tid_bits]: threads an engine can stamp for (1024). *)
+
+val stamp : epoch:int -> tid:int -> int
+(** Version value for [epoch] of thread [tid]. *)
+
+val epoch_of_stamp : int -> int
+val tid_of_stamp : int -> int

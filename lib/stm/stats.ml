@@ -48,6 +48,11 @@ type t = {
   mutable faults_injected : int;
   mutable cm_max_consec_aborts : int;
   mutable cm_starvation_events : int;
+  mutable clock_cas : int;
+  mutable clock_resyncs : int;
+  mutable shard_acquires : int array;
+  mutable shard_conflicts : int array;
+  conflict_pairs : (int, int) Hashtbl.t;
 }
 
 let create () =
@@ -101,7 +106,42 @@ let create () =
     faults_injected = 0;
     cm_max_consec_aborts = 0;
     cm_starvation_events = 0;
+    clock_cas = 0;
+    clock_resyncs = 0;
+    shard_acquires = [||];
+    shard_conflicts = [||];
+    conflict_pairs = Hashtbl.create 8;
   }
+
+let ensure_shards t n =
+  if Array.length t.shard_acquires < n then begin
+    let grow a =
+      let b = Array.make n 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.shard_acquires <- grow t.shard_acquires;
+    t.shard_conflicts <- grow t.shard_conflicts
+  end
+
+(* Conflict pairs are keyed [(shard, waiter, owner)] packed into one int:
+   tids fit the stamp's 10-bit field ({!Orec.tid_bits}), so 20 low bits
+   carry the pair and the rest the shard. *)
+let pair_key ~shard ~tid ~peer = (shard lsl 20) lor (tid lsl 10) lor peer
+
+let note_pair t ~shard ~tid ~peer =
+  let k = pair_key ~shard ~tid ~peer in
+  let prev = match Hashtbl.find_opt t.conflict_pairs k with
+    | Some n -> n
+    | None -> 0
+  in
+  Hashtbl.replace t.conflict_pairs k (prev + 1)
+
+let pairs t =
+  Hashtbl.fold
+    (fun k n acc -> (k lsr 20, (k lsr 10) land 1023, k land 1023, n) :: acc)
+    t.conflict_pairs []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
 
 let reset t =
   t.commits <- 0;
@@ -152,7 +192,12 @@ let reset t =
   t.sandbox_bounds <- 0;
   t.faults_injected <- 0;
   t.cm_max_consec_aborts <- 0;
-  t.cm_starvation_events <- 0
+  t.cm_starvation_events <- 0;
+  t.clock_cas <- 0;
+  t.clock_resyncs <- 0;
+  Array.fill t.shard_acquires 0 (Array.length t.shard_acquires) 0;
+  Array.fill t.shard_conflicts 0 (Array.length t.shard_conflicts) 0;
+  Hashtbl.reset t.conflict_pairs
 
 let merge acc x =
   acc.commits <- acc.commits + x.commits;
@@ -211,7 +256,24 @@ let merge acc x =
   acc.faults_injected <- acc.faults_injected + x.faults_injected;
   (* A per-thread maximum, not a flow count: merging takes the max. *)
   acc.cm_max_consec_aborts <- max acc.cm_max_consec_aborts x.cm_max_consec_aborts;
-  acc.cm_starvation_events <- acc.cm_starvation_events + x.cm_starvation_events
+  acc.cm_starvation_events <- acc.cm_starvation_events + x.cm_starvation_events;
+  acc.clock_cas <- acc.clock_cas + x.clock_cas;
+  acc.clock_resyncs <- acc.clock_resyncs + x.clock_resyncs;
+  ensure_shards acc (Array.length x.shard_acquires);
+  Array.iteri
+    (fun i v -> acc.shard_acquires.(i) <- acc.shard_acquires.(i) + v)
+    x.shard_acquires;
+  Array.iteri
+    (fun i v -> acc.shard_conflicts.(i) <- acc.shard_conflicts.(i) + v)
+    x.shard_conflicts;
+  Hashtbl.iter
+    (fun k n ->
+      let prev = match Hashtbl.find_opt acc.conflict_pairs k with
+        | Some p -> p
+        | None -> 0
+      in
+      Hashtbl.replace acc.conflict_pairs k (prev + n))
+    x.conflict_pairs
 
 let sum xs =
   let acc = create () in

@@ -102,14 +102,45 @@ type t = {
   mutable cm_starvation_events : int;
       (** Transactions the [Timestamp] policy declared starving (past the
           consecutive-abort threshold). *)
+  (* sharded orec table + decentralized clock *)
+  mutable clock_cas : int;
+      (** Shared-clock RMWs performed on the {e writer-commit} path.
+          Equals [clock_advances] under centralized [tvalidate]; must be
+          0 in decentralized-clock mode — the acceptance assertion for
+          removing the clock CAS from the hot path. *)
+  mutable clock_resyncs : int;
+      (** Abort-driven decentralized-clock resyncs (the one shared-clock
+          access that mode retains, off the commit path). *)
+  mutable shard_acquires : int array;
+      (** Per-shard orec acquisitions (length = shard count; [[||]] until
+          the thread is bound to a table). *)
+  mutable shard_conflicts : int array;
+      (** Per-shard lock-wait episodes (a barrier found the orec held by
+          another thread; counted once per wait, not per spin). *)
+  conflict_pairs : (int, int) Hashtbl.t;
+      (** Conflict-locality map: [(shard, waiter-tid, owner-tid)] packed
+          as [(shard lsl 20) lor (tid lsl 10) lor peer] → episode count.
+          Decode with {!pairs}. *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 val merge : t -> t -> unit
-(** [merge acc x] adds [x] into [acc]. *)
+(** [merge acc x] adds [x] into [acc] (shard arrays grow to the larger
+    length; conflict pairs add per key). *)
 
 val sum : t list -> t
+
+val ensure_shards : t -> int -> unit
+(** Grow the per-shard arrays to (at least) [n] slots. *)
+
+val note_pair : t -> shard:int -> tid:int -> peer:int -> unit
+(** Record one conflict episode of [tid] waiting on [peer] in [shard].
+    Both tids must be below {!Orec.max_tids}. *)
+
+val pairs : t -> (int * int * int * int) list
+(** Decoded conflict-locality map, [(shard, waiter, owner, count)],
+    sorted by descending count. *)
 
 val reads_elided : t -> int
 val writes_elided : t -> int

@@ -77,6 +77,15 @@ type thread = {
   read_seen_word : int array;
   (* Private target for the debug read-barrier fence (Config.fences). *)
   fence_dummy : int Atomic.t;
+  (* Decentralized clock (Config.dclock): [local_epoch] is this thread's
+     own stamp counter; [peer_epoch.(j)] is a watermark under which peer
+     [j]'s commits are known to predate this thread's last full
+     validation, so stamps at or below it need no revalidation. *)
+  peer_epoch : int array;
+  mutable local_epoch : int;
+  (* Cached shard geometry (avoids re-deriving it per barrier). *)
+  orec_slot_bits : int;
+  orec_shard_mask : int;
   mutable epoch : int;
   mutable active : tx option;
 }
@@ -131,9 +140,13 @@ and scope = {
 let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
     ?cm_shared ~seed () =
   let n = Orec.count orecs in
+  if tid < 0 || tid >= Orec.max_tids then
+    invalid_arg "Txn.create_thread: tid outside the stamp encoding";
   let cm_shared =
     match cm_shared with Some s -> s | None -> Cm.create_shared ()
   in
+  let stats = Stats.create () in
+  Stats.ensure_shards stats (Orec.shard_count orecs);
   {
     tid;
     platform;
@@ -142,7 +155,7 @@ let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
     arena;
     orecs;
     config;
-    stats = Stats.create ();
+    stats;
     private_log = Private_log.create ();
     prng = Prng.create seed;
     cm = Cm.create ~policy:config.Config.cm ~shared:cm_shared;
@@ -151,6 +164,10 @@ let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
     read_seen_epoch = Array.make n 0;
     read_seen_word = Array.make n 0;
     fence_dummy = Atomic.make 0;
+    peer_epoch = Array.make Orec.max_tids 0;
+    local_epoch = 0;
+    orec_slot_bits = Orec.slot_bits orecs;
+    orec_shard_mask = Orec.shard_count orecs - 1;
     epoch = 0;
     active = None;
   }
@@ -360,18 +377,41 @@ let extend_snapshot tx =
   charge_validation th Costs.snapshot_extend;
   if validate tx then tx.start_ts <- now else raise Retry_conflict
 
+(* Decentralized-clock snapshot extension: a peer's stamp lies above our
+   watermark for it, so the line may postdate the reads logged so far.
+   One full validation proves every logged read still holds *now*; every
+   commit the peer published up to the observed epoch therefore predates
+   this consistent instant, and the watermark can rise to it.  No
+   shared-clock access — extension cost is the validation itself. *)
+let dclock_extend tx ts =
+  let th = tx.thread in
+  th.stats.snapshot_extensions <- th.stats.snapshot_extensions + 1;
+  charge_validation th Costs.snapshot_extend;
+  if validate tx then
+    th.peer_epoch.(Orec.tid_of_stamp ts) <- Orec.epoch_of_stamp ts
+  else raise Retry_conflict
+
 let maybe_validate tx =
   tx.ops_since_validate <- tx.ops_since_validate + 1;
   if tx.ops_since_validate >= tx.thread.config.validate_every then begin
     tx.ops_since_validate <- 0;
     let th = tx.thread in
     if th.config.Config.tvalidate then begin
-      (* O(1) zombie guard: an unmoved clock means nothing committed since
-         the snapshot, so the read set cannot have been invalidated. *)
-      charge_validation th Costs.tvalidate_check;
-      if Orec.clock th.orecs > tx.start_ts then extend_snapshot tx
-      else
-        th.stats.validations_skipped <- th.stats.validations_skipped + 1
+      if th.config.Config.dclock then begin
+        (* No global clock to consult in decentralized mode: the periodic
+           zombie guard is a full validation — part of the GV5-style
+           price paid for removing the commit-path clock CAS. *)
+        if not (validate tx) then raise Retry_conflict
+      end
+      else begin
+        (* O(1) zombie guard: an unmoved clock means nothing committed
+           since the snapshot, so the read set cannot have been
+           invalidated. *)
+        charge_validation th Costs.tvalidate_check;
+        if Orec.clock th.orecs > tx.start_ts then extend_snapshot tx
+        else
+          th.stats.validations_skipped <- th.stats.validations_skipped + 1
+      end
     end
     else if not (validate tx) then raise Retry_conflict
   end
@@ -391,10 +431,15 @@ let burn_fuel tx =
       tx.fuel <- th.config.Config.fuel;
       th.stats.fuel_exhaustions <- th.stats.fuel_exhaustions + 1;
       if th.config.Config.tvalidate then begin
-        charge_validation th Costs.tvalidate_check;
-        if Orec.clock th.orecs > tx.start_ts then extend_snapshot tx
-        else
-          th.stats.validations_skipped <- th.stats.validations_skipped + 1
+        if th.config.Config.dclock then begin
+          if not (validate tx) then raise Retry_conflict
+        end
+        else begin
+          charge_validation th Costs.tvalidate_check;
+          if Orec.clock th.orecs > tx.start_ts then extend_snapshot tx
+          else
+            th.stats.validations_skipped <- th.stats.validations_skipped + 1
+        end
       end
       else if not (validate tx) then raise Retry_conflict
     end
@@ -548,11 +593,22 @@ let audit_classify tx addr size ~site ~is_write =
 (* ------------------------------------------------------------------ *)
 (* Read barrier                                                        *)
 
+(* Conflict-locality accounting: one episode per wait (first spin only),
+   keyed by shard and by the (waiter, owner) thread pair.  Pure counters
+   — no cycle charges, no PRNG draws — so schedules are untouched. *)
+let note_shard_conflict th oi w =
+  let s = oi lsr th.orec_slot_bits in
+  th.stats.shard_conflicts.(s) <- th.stats.shard_conflicts.(s) + 1;
+  let owner = Orec.owner_of w in
+  if owner <> th.tid && owner < Orec.max_tids then
+    Stats.note_pair th.stats ~shard:s ~tid:th.tid ~peer:owner
+
 let rec full_read_loop tx oi addr spins =
   let th = tx.thread in
   let w1 = Orec.get th.orecs oi in
   if Orec.is_locked w1 then begin
     th.stats.lock_waits <- th.stats.lock_waits + 1;
+    if spins = 0 then note_shard_conflict th oi w1;
     note_lock_wait addr;
     if spins >= Cm.spin_patience th.cm ~default:th.config.Config.spin_limit
     then begin
@@ -610,16 +666,28 @@ let rec full_read_loop tx oi addr spins =
            very line can land in between, leaving (v, w1) stale inside
            the extended snapshot.  Re-run the read under the new
            [start_ts] instead of logging the pre-extension pair. *)
+        let cfg = th.config in
         let extend =
-          th.config.Config.tvalidate
+          cfg.Config.tvalidate
           && begin
                charge_validation th Costs.ts_read_check;
-               Orec.version_of w1 > tx.start_ts
-               && not (Config.has_fault th.config Fault.Skip_validation)
+               (if cfg.Config.dclock then
+                  (* Decentralized clock: the stamp names (peer, epoch).
+                     At or below the peer's watermark the line provably
+                     predates this attempt's last consistent instant;
+                     above it, extend (validate, then raise the
+                     watermark) and re-run the read. *)
+                  let ts = Orec.version_of w1 in
+                  ts <> 0
+                  && Orec.epoch_of_stamp ts
+                     > th.peer_epoch.(Orec.tid_of_stamp ts)
+                else Orec.version_of w1 > tx.start_ts)
+               && not (Config.has_fault cfg Fault.Skip_validation)
              end
         in
         if extend then begin
-          extend_snapshot tx;
+          if cfg.Config.dclock then dclock_extend tx (Orec.version_of w1)
+          else extend_snapshot tx;
           full_read_loop tx oi addr spins
         end
         else begin
@@ -641,6 +709,7 @@ let rec acquire_loop tx oi spins =
   let w = Orec.get th.orecs oi in
   if Orec.is_locked w then begin
     th.stats.lock_waits <- th.stats.lock_waits + 1;
+    if spins = 0 then note_shard_conflict th oi w;
     if spins >= Cm.spin_patience th.cm ~default:th.config.Config.spin_limit
     then begin
       th.stats.spin_aborts <- th.stats.spin_aborts + 1;
@@ -655,6 +724,8 @@ let rec acquire_loop tx oi spins =
   else if Orec.try_lock th.orecs oi ~owner:th.tid ~expected:w then begin
     th.owned_epoch.(oi) <- th.epoch;
     th.owned_prev.(oi) <- w;
+    let s = oi lsr th.orec_slot_bits in
+    th.stats.shard_acquires.(s) <- th.stats.shard_acquires.(s) + 1;
     push_acq tx oi
   end
   else acquire_loop tx oi (spins + 1)
@@ -941,8 +1012,12 @@ let begin_top tx =
   tx.ops_since_validate <- 0;
   tx.fuel <- th.config.Config.fuel;
   if tx.attempts = 0 then Cm.note_begin th.cm;
+  (* Decentralized mode has no snapshot timestamp (watermarks replace
+     it), and skipping the clock read keeps begin fully clock-free. *)
   tx.start_ts <-
-    (if th.config.Config.tvalidate then Orec.clock th.orecs else 0);
+    (if th.config.Config.tvalidate && not th.config.Config.dclock then
+       Orec.clock th.orecs
+     else 0);
   Waw.clear tx.waw;
   (match tx.top_capture_log with Some l -> Alloc_log.clear l | None -> ());
   (match tx.top_audit_log with Some l -> Alloc_log.clear l | None -> ());
@@ -968,24 +1043,63 @@ let free_scope_allocs th scope =
   done;
   scope.n_allocs <- 0
 
+(* Orec release walks the acquisition log in order; with a sharded table
+   each shard boundary crossed is charged ([Costs.shard_cross]) through
+   [platform.shard_point], a distinct decision point the checker can
+   preempt at — another thread may then observe one shard's orecs
+   released while the next shard's are still held.  Recursive loops with
+   the previous shard as a plain int argument: a [ref] would allocate on
+   the commit path.  Single-shard tables skip all of it, keeping those
+   schedules bit-identical. *)
 let release_all tx ~commit =
   let th = tx.thread in
-  for k = 0 to tx.n_acq - 1 do
-    let oi = tx.acq_orecs.(k) in
-    let prev = th.owned_prev.(oi) in
-    Orec.unlock th.orecs oi (if commit then Orec.bumped prev else prev)
-  done;
+  if th.orec_shard_mask = 0 then
+    for k = 0 to tx.n_acq - 1 do
+      let oi = tx.acq_orecs.(k) in
+      let prev = th.owned_prev.(oi) in
+      Orec.unlock th.orecs oi (if commit then Orec.bumped prev else prev)
+    done
+  else begin
+    let rec go k prev_shard =
+      if k < tx.n_acq then begin
+        let oi = tx.acq_orecs.(k) in
+        let s = oi lsr th.orec_slot_bits in
+        if prev_shard >= 0 && s <> prev_shard then
+          th.platform.shard_point Costs.shard_cross;
+        let prev = th.owned_prev.(oi) in
+        Orec.unlock th.orecs oi (if commit then Orec.bumped prev else prev);
+        go (k + 1) s
+      end
+    in
+    go 0 (-1)
+  end;
   tx.n_acq <- 0
 
 (* Commit-time release under tvalidate: every acquired orec is stamped
    with the commit's clock value (versions still only grow — any prior
-   stamp predates this commit's clock advance). *)
+   stamp predates this commit's clock advance).  Under the decentralized
+   clock [ts] is this thread's fresh [(epoch, tid)] stamp, monotonic in
+   the thread's own version subspace. *)
 let release_all_stamped tx ~ts =
   let th = tx.thread in
   let word = Orec.stamped ~ts in
-  for k = 0 to tx.n_acq - 1 do
-    Orec.unlock th.orecs tx.acq_orecs.(k) word
-  done;
+  if th.orec_shard_mask = 0 then
+    for k = 0 to tx.n_acq - 1 do
+      Orec.unlock th.orecs tx.acq_orecs.(k) word
+    done
+  else begin
+    let rec go k prev_shard =
+      if k < tx.n_acq then begin
+        let oi = tx.acq_orecs.(k) in
+        let s = oi lsr th.orec_slot_bits in
+        if prev_shard >= 0 && s <> prev_shard then
+          th.platform.shard_point Costs.shard_cross;
+        Orec.unlock th.orecs oi word;
+        go (k + 1) s
+      end
+    in
+    go 0 (-1)
+  end;
   tx.n_acq <- 0
 
 let commit_epilogue tx =
@@ -1012,6 +1126,33 @@ let commit_top tx =
        th.platform.consume Costs.commit_base;
        th.stats.readonly_fast_commits <- th.stats.readonly_fast_commits + 1
      end
+     else if th.config.Config.dclock then begin
+       (* Decentralized writer commit: NO shared-clock access.  The price
+          is a full read-set validation on every writing commit — there
+          is no global instant to O(1)-compare against — the win is that
+          the one word every writing core used to fetch-and-add is gone
+          from the hot path ([clock_cas] stays 0).  The stamp is the
+          thread's next epoch, monotonic within its own version
+          subspace, so versions-only-grow holds per record. *)
+       th.platform.consume
+         (Costs.commit_base
+         + (Costs.commit_per_orec * tx.n_acq)
+         + (Costs.commit_per_read * tx.n_reads));
+       if not (validate tx) then raise Retry_conflict;
+       if fault_fires th Fault.Delayed_unlock then
+         th.platform.consume Costs.fault_unlock_delay;
+       let stale =
+         (* Injected fault: reuse the current epoch instead of advancing
+            it — the released stamp word collides with this thread's
+            previous commit's, fooling both peer-epoch watermarks and
+            word-compare validation. *)
+         fault_fires th Fault.Stale_epoch && th.local_epoch > 0
+       in
+       let epoch = if stale then th.local_epoch else th.local_epoch + 1 in
+       th.local_epoch <- epoch;
+       th.peer_epoch.(th.tid) <- epoch;
+       release_all_stamped tx ~ts:(Orec.stamp ~epoch ~tid:th.tid)
+     end
      else begin
        th.platform.consume
          (Costs.commit_base + Costs.clock_advance
@@ -1023,6 +1164,7 @@ let commit_top tx =
          if fault_fires th Fault.Clock_stall then Orec.clock th.orecs
          else begin
            th.stats.clock_advances <- th.stats.clock_advances + 1;
+           th.stats.clock_cas <- th.stats.clock_cas + 1;
            Orec.advance_clock th.orecs
          end
        in
@@ -1071,7 +1213,22 @@ let abort_top tx ~user =
     th.stats.user_aborts <- th.stats.user_aborts + 1;
     tx.attempts <- 0
   end
-  else th.stats.aborts <- th.stats.aborts + 1;
+  else begin
+    th.stats.aborts <- th.stats.aborts + 1;
+    if th.config.Config.tvalidate && th.config.Config.dclock then begin
+      (* Validation-failure-driven resync: the one place the
+         decentralized scheme touches the shared clock (off the commit
+         hot path).  Folding the global count into [local_epoch] makes
+         the next commit's stamps jump past everything already
+         published, damping the watermark-extension storms a lagging
+         epoch would otherwise cause under contention. *)
+      th.stats.clock_resyncs <- th.stats.clock_resyncs + 1;
+      th.platform.consume Costs.epoch_resync;
+      let c = Orec.advance_clock th.orecs in
+      if c > th.local_epoch then th.local_epoch <- c;
+      th.peer_epoch.(th.tid) <- th.local_epoch
+    end
+  end;
   emit th.tid (Ev_abort { user })
 
 (* Nested commit: fold the child scope into its parent. *)

@@ -30,3 +30,12 @@ let padded_atomic (v : int) : int Atomic.t =
   let b = Obj.new_block 0 pad_words in
   Obj.set_field b 0 (Obj.repr v);
   (Obj.obj b : int Atomic.t)
+
+(* One sub-table's worth of padded cells, allocated back-to-back so a
+   shard's records cluster in the address space.  The clustering is what
+   makes orec-table sharding mean something physically: all of one
+   shard's lines sit in one contiguous 64 B * n region instead of being
+   interleaved with every other shard's. *)
+let padded_table n (v : int) : int Atomic.t array =
+  if n < 0 then invalid_arg "Padding.padded_table: negative size";
+  Array.init n (fun _ -> padded_atomic v)

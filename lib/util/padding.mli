@@ -13,3 +13,8 @@ val padded_atomic : int -> int Atomic.t
 (** [padded_atomic v] is [Atomic.make v] backed by a block padded to
     {!cache_line_bytes}.  Behaves identically to an ordinary atomic under
     every [Atomic] operation. *)
+
+val padded_table : int -> int -> int Atomic.t array
+(** [padded_table n v] is an array of [n] fresh padded atomics, all [v],
+    allocated consecutively so the table occupies one contiguous region —
+    the building block for one orec-table shard. *)

@@ -57,6 +57,93 @@ let test_counter_tvalidate () =
   check_int "commits" 400 r.Engine.stats.Stats.commits
 
 (* ------------------------------------------------------------------ *)
+(* Decentralized clock: sharded orec table on real domains *)
+
+let dclock_config = Config.with_shards 4 (Config.with_tvalidate Config.baseline)
+
+let test_counter_dclock () =
+  let r, total = run_counter ~nthreads:4 ~incs:100 dclock_config in
+  check_int "no lost updates under dclock" 400 total;
+  check_int "commits" 400 r.Engine.stats.Stats.commits;
+  (* The tentpole invariant: decentralized writer commits never touch the
+     shared clock. *)
+  check_int "no clock CAS on writer commits" 0 r.Engine.stats.Stats.clock_cas
+
+(* Epoch skew: thread 0 commits [rounds] writer transactions back to
+   back, driving its local epoch far past every peer's watermark for it;
+   the other threads then each run one transaction over the stamped
+   cells.  Their first fresh read of a high-epoch stamp must trigger a
+   watermark resync (a snapshot extension), after which the whole scan
+   validates — same commits and aborts as the centralized shards=1
+   reference, with zero clock CASes. *)
+let run_epoch_skew ~mode config =
+  let nthreads = 4 and rounds = 30 in
+  let w = Engine.create ~nthreads config in
+  let cells = Alloc.alloc (Engine.global_arena w) rounds in
+  let out = Alloc.alloc (Engine.global_arena w) nthreads in
+  let flag = Atomic.make false in
+  let body th =
+    if Txn.thread_id th = 0 then begin
+      for k = 0 to rounds - 1 do
+        Txn.atomic th (fun tx -> Txn.write tx (cells + k) (k + 1))
+      done;
+      Atomic.set flag true
+    end
+    else begin
+      while not (Atomic.get flag) do
+        Txn.yield_hint th
+      done;
+      Txn.atomic th (fun tx ->
+          let sum = ref 0 in
+          for k = 0 to rounds - 1 do
+            sum := !sum + Txn.read tx (cells + k)
+          done;
+          Txn.write tx (out + Txn.thread_id th) !sum)
+    end
+  in
+  let r =
+    match mode with
+    | `Native -> Engine.run_native w body
+    | `Sim seed -> Engine.run_sim ~seed w body
+  in
+  let expected = rounds * (rounds + 1) / 2 in
+  for tid = 1 to nthreads - 1 do
+    check_int "reader summed a consistent snapshot" expected
+      (Memory.get (Engine.memory w) (out + tid))
+  done;
+  r
+
+let test_dclock_epoch_skew () =
+  let centralized = Config.with_tvalidate Config.baseline in
+  let r_ref = run_epoch_skew ~mode:(`Sim 11) centralized in
+  let r_sim = run_epoch_skew ~mode:(`Sim 11) dclock_config in
+  let r_nat = run_epoch_skew ~mode:`Native dclock_config in
+  let commits (r : Engine.result) = r.Engine.stats.Stats.commits in
+  let aborts (r : Engine.result) = r.Engine.stats.Stats.aborts in
+  (* Phase separation makes the workload conflict-free, so the outcome
+     is schedule-independent and all three runs must agree exactly. *)
+  check_int "centralized reference commits" 33 (commits r_ref);
+  check_int "dclock sim commits match reference" (commits r_ref)
+    (commits r_sim);
+  check_int "dclock native commits match reference" (commits r_ref)
+    (commits r_nat);
+  check_int "centralized aborts" 0 (aborts r_ref);
+  check_int "dclock sim aborts" 0 (aborts r_sim);
+  check_int "dclock native aborts" 0 (aborts r_nat);
+  (* Centralized writer commits each pay the clock CAS; decentralized
+     ones never do, even with real parallelism. *)
+  check "centralized pays clock CASes" true
+    (r_ref.Engine.stats.Stats.clock_cas > 0);
+  check_int "dclock sim clock CASes" 0 r_sim.Engine.stats.Stats.clock_cas;
+  check_int "dclock native clock CASes" 0 r_nat.Engine.stats.Stats.clock_cas;
+  (* Each reader's first fresh read of an epoch beyond its watermark must
+     have forced a validating resync. *)
+  check "epoch skew forced watermark resyncs" true
+    (r_sim.Engine.stats.Stats.snapshot_extensions >= 3);
+  check "native skew forced watermark resyncs" true
+    (r_nat.Engine.stats.Stats.snapshot_extensions >= 3)
+
+(* ------------------------------------------------------------------ *)
 (* Bank micro: random transfers conserve the total balance *)
 
 let test_bank_invariant () =
@@ -222,6 +309,12 @@ let () =
             (test_counter_domains 4);
           Alcotest.test_case "counter tvalidate" `Quick test_counter_tvalidate;
           Alcotest.test_case "bank invariant" `Quick test_bank_invariant;
+        ] );
+      ( "dclock",
+        [
+          Alcotest.test_case "counter dclock" `Quick test_counter_dclock;
+          Alcotest.test_case "epoch skew resync" `Quick
+            test_dclock_epoch_skew;
         ] );
       ( "stamp",
         List.map
