@@ -23,10 +23,15 @@ let analysis_of_name = function
   | _ -> None
 
 let mode_of_name = function
-  | "base" -> Some (false, false)
-  | "fp" -> Some (true, false)
-  | "tv" -> Some (false, true)
-  | "fptv" -> Some (true, true)
+  (* (fastpath, tvalidate, lazy_versioning) *)
+  | "base" -> Some (false, false, false)
+  | "fp" -> Some (true, false, false)
+  | "tv" -> Some (false, true, false)
+  | "fptv" -> Some (true, true, false)
+  | "lazy" -> Some (false, false, true)
+  | "fplazy" -> Some (true, false, true)
+  | "tvlazy" -> Some (false, true, true)
+  | "fptvlazy" -> Some (true, true, true)
   | _ -> None
 
 let split_csv s =
@@ -147,11 +152,12 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
             List.iter
               (fun w ->
                 List.iter
-                  (fun ((_mname, (fp, tv)), shards) ->
+                  (fun ((_mname, (fp, tv, lz)), shards) ->
                     let config =
                       base
                       |> Config.with_fastpath ~on:fp
                       |> Config.with_tvalidate ~on:tv
+                      |> Config.with_lazy ~on:lz
                       |> Config.with_shards shards
                       |> Config.with_fault fault
                     in
@@ -295,7 +301,8 @@ let analysis_arg =
 let modes_arg =
   let doc =
     "STM mode combinations to sweep: base, fp (+fastpath), tv (+timestamp \
-     validation), fptv (both)."
+     validation), fptv (both), plus lazy-versioning variants lazy, \
+     fplazy, tvlazy, fptvlazy (deferred-update redo buffer)."
   in
   Arg.(
     value & opt string "base,fp,tv,fptv" & info [ "modes" ] ~docv:"NAMES" ~doc)
@@ -349,7 +356,7 @@ let fault_arg =
   let doc =
     "Inject a structured fault (skip-validation, stale-read, \
      delayed-unlock, spurious-abort, alloc-log-drop, clock-stall, \
-     stale-epoch) and \
+     stale-epoch, redo-drop, publish-partial) and \
      judge the sweep by the fault's expectation: $(i,contained) faults \
      must produce zero violations, $(i,flagged) faults must be detected \
      by the oracle with no exception escaping a fiber."

@@ -61,10 +61,11 @@ let pairs_json s =
          top)
   ^ "]"
 
-let print_json ~app ~config ~threads (r : Engine.result) ~native =
+let print_json ~app ~config ~mode ~threads (r : Engine.result) ~native =
   let s = r.Engine.stats in
   Printf.printf
-    "{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,\"mode\":\"%s\",\
+    "{\"app\":\"%s\",\"config\":\"%s\",\"threads\":%d,\"backend\":\"%s\",\
+     \"mode\":\"%s\",\
      \"commits\":%d,\"aborts\":%d,\"user_aborts\":%d,\"reads\":%d,\
      \"writes\":%d,\"reads_elided_stack\":%d,\"reads_elided_heap\":%d,\
      \"reads_elided_private\":%d,\"reads_elided_static\":%d,\
@@ -77,6 +78,8 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
      \"validations_skipped\":%d,\"snapshot_extensions\":%d,\
      \"readonly_fast_commits\":%d,\"clock_advances\":%d,\
      \"clock_cas\":%d,\"clock_resyncs\":%d,\
+     \"redo_inserts\":%d,\"redo_hits\":%d,\"redo_skips\":%d,\
+     \"publish_cycles\":%d,\
      \"validation_cycles\":%d,\"spin_aborts\":%d,\"backoff_cycles\":%d,\
      \"fuel_exhaustions\":%d,\"sandbox_aborts\":%d,\"sandbox_bounds\":%d,\
      \"faults_injected\":%d,\"cm_max_consec_aborts\":%d,\
@@ -85,6 +88,7 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
      \"wall_ms\":%.3f,\"per_thread_wall_ms\":[%s]}\n"
     app config threads
     (if native then "native" else "sim")
+    mode
     s.Stats.commits s.Stats.aborts s.Stats.user_aborts s.Stats.reads
     s.Stats.writes s.Stats.reads_elided_stack s.Stats.reads_elided_heap
     s.Stats.reads_elided_private s.Stats.reads_elided_static
@@ -97,6 +101,8 @@ let print_json ~app ~config ~threads (r : Engine.result) ~native =
     s.Stats.validations s.Stats.validations_skipped
     s.Stats.snapshot_extensions s.Stats.readonly_fast_commits
     s.Stats.clock_advances s.Stats.clock_cas s.Stats.clock_resyncs
+    s.Stats.redo_inserts s.Stats.redo_hits s.Stats.redo_skips
+    s.Stats.publish_cycles
     s.Stats.validation_cycles s.Stats.spin_aborts
     s.Stats.backoff_cycles s.Stats.fuel_exhaustions s.Stats.sandbox_aborts
     s.Stats.sandbox_bounds s.Stats.faults_injected
@@ -147,6 +153,12 @@ let print_result (r : Engine.result) ~native =
   Printf.printf "  clock CASes:      %d (resyncs %d)\n" s.Stats.clock_cas
     s.Stats.clock_resyncs;
   Printf.printf "  cycles:           %d\n" s.Stats.validation_cycles;
+  if s.Stats.redo_inserts + s.Stats.redo_hits + s.Stats.redo_skips > 0 then begin
+    Printf.printf "redo buffer:        inserts %d / read-hits %d / \
+                   captured-skips %d\n"
+      s.Stats.redo_inserts s.Stats.redo_hits s.Stats.redo_skips;
+    Printf.printf "  publish cycles:   %d\n" s.Stats.publish_cycles
+  end;
   if Array.length s.Stats.shard_conflicts > 1 then begin
     Printf.printf "shard locality:     acquires [%s] / conflicts [%s]\n"
       (String.concat " "
@@ -206,8 +218,8 @@ let orec_map_of_name = function
   | other -> Error (Printf.sprintf "unknown orec map %s" other)
 
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic fastpath tvalidate fences shards orec_map_name cm_name fuel
-    fault_name json =
+    pessimistic fastpath tvalidate lazy_ fences shards orec_map_name cm_name
+    fuel fault_name json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
@@ -215,6 +227,7 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
     let config = if pessimistic then Config.pessimistic config else config in
     let config = if fastpath then Config.with_fastpath config else config in
     let config = if tvalidate then Config.with_tvalidate config else config in
+    let config = if lazy_ then Config.with_lazy config else config in
     let config = if fences then Config.with_fences config else config in
     let* orec_map = orec_map_of_name orec_map_name in
     let* config =
@@ -246,8 +259,8 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
           App.run_checked app ~nthreads:threads ~scale ~mode config
         in
         if json then
-          print_json ~app:app.App.name ~config:(Config.name config) ~threads
-            result ~native
+          print_json ~app:app.App.name ~config:(Config.name config)
+            ~mode:(Config.mode_name config) ~threads result ~native
         else begin
           print_result result ~native;
           Printf.printf "\nverification: OK\n"
@@ -319,6 +332,15 @@ let tvalidate_arg =
                  snapshot checks, snapshot extension, read-only commit \
                  fast path).")
 
+let lazy_arg =
+  Arg.(value & flag
+       & info [ "lazy" ]
+           ~doc:"Lazy versioning (deferred update): write barriers buffer \
+                 values in a per-transaction redo table instead of \
+                 acquiring ownership records; commit acquires the write \
+                 set, validates, publishes and releases.  Captured writes \
+                 bypass the buffer entirely (redo_skips).")
+
 let fences_arg =
   Arg.(value & flag
        & info [ "fences" ]
@@ -360,8 +382,8 @@ let fault_arg =
        & info [ "fault" ] ~docv:"NAME"
            ~doc:"Inject a structured fault (skip-validation | stale-read | \
                  delayed-unlock | spurious-abort | alloc-log-drop | \
-                 clock-stall | stale-epoch).  Testing only: verification \
-                 may fail, which is the point.")
+                 clock-stall | stale-epoch | redo-drop | publish-partial). \
+                 Testing only: verification may fail, which is the point.")
 
 let json_arg =
   Arg.(value & flag
@@ -370,8 +392,9 @@ let json_arg =
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
-             $ fastpath_arg $ tvalidate_arg $ fences_arg $ shards_arg
-             $ orec_map_arg $ cm_arg $ fuel_arg $ fault_arg $ json_arg))
+             $ fastpath_arg $ tvalidate_arg $ lazy_arg $ fences_arg
+             $ shards_arg $ orec_map_arg $ cm_arg $ fuel_arg $ fault_arg
+             $ json_arg))
 
 let cmds =
   [

@@ -80,6 +80,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
       let violation =
         Oracle.check
           ~strictness:(strictness_for config)
+          ~lazy_mode:config.Config.lazy_versioning
           ~index_of:(fun a ->
             let i = Captured_stm.Orec.index_of orecs a in
             ( Captured_stm.Orec.shard_of orecs i,

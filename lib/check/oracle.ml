@@ -64,7 +64,7 @@ let in_owned a addr =
   List.exists (fun (lo, hi) -> addr >= lo && addr < hi) a.owned
 
 let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
-    ~initial ~final ~history ~verify () =
+    ?(lazy_mode = false) ~initial ~final ~history ~verify () =
   (* Per-address committed-value timeline, newest entry first.  An address
      absent from the table has held its initial value throughout. *)
   let timeline : (int, (int * cell) list ref) Hashtbl.t =
@@ -216,7 +216,12 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
               (* Private-annotated writes are never rolled back. *)
               append addr seq (Val value)
             else begin
-              if cls = Txn.Instrumented then
+              (* Lazy versioning buffers instrumented writes without
+                 acquiring anything until commit, so no self-locked-orec
+                 read exemption exists during execution — the oracle is
+                 strictly stricter there, matching the engine.  (Read-
+                 own-write is covered by [own_pending] either way.) *)
+              if cls = Txn.Instrumented && not lazy_mode then
                 Hashtbl.replace a.locked (index_of addr) ();
               a.pending <- (addr, value, cls <> Txn.Instrumented) :: a.pending;
               a.pending_n <- a.pending_n + 1

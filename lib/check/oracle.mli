@@ -53,10 +53,17 @@ val violation_to_string : violation -> string
 (** [check ~strictness ~initial ~final ~history ~verify ()] replays
     [history].  [initial addr] is memory before the run, [final addr]
     after; [verify] is the workload invariant.  Returns the first
-    violation found, or [None]. *)
+    violation found, or [None].
+
+    [lazy_mode] models deferred-update visibility: instrumented writes
+    take no locks until commit, so the self-locked-orec read exemption
+    never applies mid-attempt — the oracle is strictly {e stricter}
+    there.  Read-own-write is still enforced (the engine answers those
+    reads from its redo buffer). *)
 val check :
   ?strictness:strictness ->
   ?index_of:(int -> int * int) ->
+  ?lazy_mode:bool ->
   initial:(int -> int) ->
   final:(int -> int) ->
   history:History.t ->

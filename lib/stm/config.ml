@@ -32,6 +32,7 @@ type t = {
   orec_shards : int;
   orec_map : Orec.mapping;
   dclock : bool;
+  lazy_versioning : bool;
 }
 
 let full_scope =
@@ -67,6 +68,7 @@ let default =
     orec_shards = 1;
     orec_map = Orec.Hash;
     dclock = false;
+    lazy_versioning = false;
   }
 
 let baseline = default
@@ -102,6 +104,7 @@ let with_shards ?map n t =
   }
 
 let with_dclock ?(on = true) t = { t with dclock = on }
+let with_lazy ?(on = true) t = { t with lazy_versioning = on }
 let with_orec_map m t = { t with orec_map = m }
 let with_fault fault t = { t with fault }
 let has_fault t kind = t.fault = Some kind
@@ -129,6 +132,7 @@ let name t =
   let suffix =
     (if t.fastpath then "+fp" else "")
     ^ (if t.tvalidate then "+tv" else "")
+    ^ (if t.lazy_versioning then "+lazy" else "")
     ^ (if t.pessimistic_reads then "+pessimistic" else "")
     ^ (match t.cm with
       | Cm.Backoff -> ""
@@ -152,3 +156,14 @@ let name t =
         (if t.static_filter then "hybrid" else "runtime")
         (Alloc_log.backend_name b) (scope_name t.scope) suffix
   | Compiler -> "compiler" ^ suffix
+
+let mode_name t =
+  (if t.lazy_versioning then "lazy" else "eager")
+  ^ (if t.fastpath then "+fp" else "")
+  ^ (if t.tvalidate then "+tv" else "")
+  ^ (if t.pessimistic_reads then "+pessimistic" else "")
+  ^ (if t.orec_shards > 1 then Printf.sprintf "+shards:%d" t.orec_shards
+     else "")
+  ^ (if t.dclock && t.orec_shards = 1 then "+dclock"
+     else if (not t.dclock) && t.orec_shards > 1 then "+gvclock"
+     else "")

@@ -108,6 +108,17 @@ type t = {
           abort-driven resync.  Set automatically by [with_shards n] for
           [n > 1] ([+gvclock]/[+dclock] suffixes mark the off-diagonal
           combinations). *)
+  lazy_versioning : bool;
+      (** Deferred-update (lazy-versioning, TL2-style) backend ([+lazy]
+          suffix).  Write barriers buffer into a per-transaction redo
+          log ({!Redo}) instead of acquiring orecs and undo-logging
+          eagerly; reads probe the buffer first (read-own-write);
+          commit acquires the write-set orecs, validates, publishes the
+          buffered values and releases.  The paper's capture payoff
+          compounds: a write the capture check proves captured skips
+          the buffer {e and} the commit write-back entirely
+          ([Stats.redo_skips]).  Composes with every other flag;
+          [false] (default) is the eager-undo engine, bit for bit. *)
 }
 
 val full_scope : scope
@@ -168,6 +179,10 @@ val with_dclock : ?on:bool -> t -> t
 (** [with_orec_map m t] selects the shard-mapping policy. *)
 val with_orec_map : Orec.mapping -> t -> t
 
+(** [with_lazy t] selects the deferred-update backend ([+lazy] suffix;
+    [?on:false] returns to eager undo). *)
+val with_lazy : ?on:bool -> t -> t
+
 (** [with_fault f t] injects fault [f] ([+fault:<name>] suffix). *)
 val with_fault : Fault.kind option -> t -> t
 
@@ -182,3 +197,10 @@ val audit : t
 (** Baseline + audit counting (Figure 8 runs). *)
 
 val name : t -> string
+
+(** [mode_name t] — the versioning mode plus the active optimisation
+    suffixes, e.g. ["eager"], ["lazy+fp+tv"], ["lazy+shards:4"].
+    Stable across analysis/scope choices, so A/B result streams are
+    self-describing (the [mode] field of [stamp_run --json] and bench
+    JSON lines). *)
+val mode_name : t -> string

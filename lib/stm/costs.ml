@@ -58,6 +58,19 @@ let backoff ~attempt ~jitter =
 let karma_per_discount = 32
 let cm_linear_backoff = 96
 
+(* Deferred updates (lazy versioning): the Bloom summary test is one
+   AND+branch on a word kept hot; a buffer probe after a summary hit is
+   a short open-addressed walk; a fresh insert appends to the log and
+   installs a table slot; a commit-time acquire is the same CAS as the
+   eager write barrier minus its undo/elision bookkeeping; publishing
+   is one store per buffered entry on lines whose orecs are already
+   held. *)
+let redo_summary_check = 1
+let redo_lookup = 6
+let redo_insert = 18
+let commit_acquire = 20
+let publish_per_entry = 3
+
 (* Fault injection: extra cycles a Delayed_unlock commit burns while
    still holding its orecs — deliberately beyond the default lock-wait
    budget (spin_limit * lock_spin = 128) so waiters spin out. *)

@@ -84,6 +84,26 @@ val karma_per_discount : int
 val cm_linear_backoff : int
 (** {!Cm.Timestamp}: linear per-consecutive-abort backoff unit. *)
 
+val redo_summary_check : int
+(** Lazy versioning: one-AND Bloom summary test fronting every barrier's
+    redo-buffer probe (the whole cost of a buffer miss). *)
+
+val redo_lookup : int
+(** Lazy versioning: open-addressed buffer probe after a summary hit
+    (read-own-write, or write-after-write in the buffer). *)
+
+val redo_insert : int
+(** Lazy versioning: fresh redo-log append + table-slot install. *)
+
+val commit_acquire : int
+(** Lazy versioning: commit-time CAS acquisition of one write-set orec
+    (the eager write barrier's CAS without its undo/elision
+    bookkeeping). *)
+
+val publish_per_entry : int
+(** Lazy versioning: commit-time write-back of one buffered entry, on a
+    line whose orec is already held. *)
+
 val fault_unlock_delay : int
 (** {!Fault.Delayed_unlock}: cycles a commit holds its locks beyond the
     release point. *)

@@ -22,6 +22,8 @@ type kind =
   | Alloc_log_drop
   | Clock_stall
   | Stale_epoch
+  | Redo_drop
+  | Publish_partial
 
 let all =
   [
@@ -32,6 +34,8 @@ let all =
     Alloc_log_drop;
     Clock_stall;
     Stale_epoch;
+    Redo_drop;
+    Publish_partial;
   ]
 
 let name = function
@@ -42,6 +46,8 @@ let name = function
   | Alloc_log_drop -> "alloc-log-drop"
   | Clock_stall -> "clock-stall"
   | Stale_epoch -> "stale-epoch"
+  | Redo_drop -> "redo-drop"
+  | Publish_partial -> "publish-partial"
 
 let names = List.map name all
 
@@ -50,7 +56,9 @@ let of_name s = List.find_opt (fun k -> name k = s) all
 type expectation = Contained | Flagged
 
 let expectation = function
-  | Skip_validation | Stale_read | Clock_stall | Stale_epoch -> Flagged
+  | Skip_validation | Stale_read | Clock_stall | Stale_epoch | Redo_drop
+  | Publish_partial ->
+      Flagged
   | Delayed_unlock | Spurious_abort | Alloc_log_drop -> Contained
 
 (* Percent chance per opportunity.  [Skip_validation] is unconditional —
@@ -66,6 +74,8 @@ let rate = function
   | Alloc_log_drop -> 50
   | Clock_stall -> 50
   | Stale_epoch -> 50
+  | Redo_drop -> 50
+  | Publish_partial -> 50
 
 let describe = function
   | Skip_validation ->
@@ -96,3 +106,12 @@ let describe = function
        indistinguishable from the prior commit's (peer-epoch watermarks \
        and word-compare validation are both fooled into accepting \
        changed lines)"
+  | Redo_drop ->
+      "a lazy-mode write barrier occasionally loses its store on the way \
+       into the redo buffer (the transaction commits without it — lost \
+       update; only fires under +lazy)"
+  | Publish_partial ->
+      "a lazy-mode writer commit occasionally publishes only the first \
+       half of its redo log but still releases every orec with a fresh \
+       version (the unpublished tail is silently lost; only fires under \
+       +lazy)"

@@ -26,6 +26,15 @@ type kind =
           previous epoch instead of advancing it, so the released stamp
           collides with an older one and peer watermarks accept stale
           values (breaks +shards/+dclock snapshot checks). *)
+  | Redo_drop
+      (** Lazy-mode write barrier occasionally drops the store on the way
+          into the redo buffer: the transaction commits without it (lost
+          update).  Site only exists under [+lazy]. *)
+  | Publish_partial
+      (** Lazy-mode writer commit occasionally publishes only the first
+          half of its redo log yet releases every acquired orec with a
+          fresh version — the tail is silently lost while readers see
+          new versions.  Site only exists under [+lazy]. *)
 
 val all : kind list
 val name : kind -> string

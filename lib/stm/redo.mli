@@ -1,0 +1,51 @@
+(** Per-transaction redo buffer for the lazy-versioning (deferred
+    update) backend.
+
+    Buffered writes live in an append-only log (first-insert order,
+    last value wins) indexed by an open-addressed hash table, plus a
+    63-bit Bloom-style summary word so the hot read path can rule out
+    read-own-write with a single AND before probing the table.
+
+    The structure is integer-only and allocation-free on the hot path
+    (probes and overwrites allocate nothing; only growth allocates).
+    [clear] is O(1): table slots are epoch-stamped rather than wiped,
+    mirroring {!Waw}. *)
+
+type t
+
+val create : unit -> t
+
+(** Drop every entry in O(1) (epoch bump). Called at transaction
+    begin. *)
+val clear : t -> unit
+
+(** Number of live log entries (= distinct buffered addresses). *)
+val size : t -> int
+
+(** One-branch Bloom filter test. [false] means the address is
+    definitely not buffered; [true] means "probe the table". Stale
+    bits survive {!truncate} — false positives only. *)
+val summary_hit : t -> int -> bool
+
+(** Log index of the entry for [addr], or [-1] if absent. *)
+val find : t -> int -> int
+
+(** Address of the [i]-th log entry, in first-insert order. *)
+val addr : t -> int -> int
+
+(** Buffered value of the [i]-th log entry. *)
+val value : t -> int -> int
+
+(** Overwrite the value at log index [i] in place (write-after-write:
+    the log position, and hence publish order, is unchanged). *)
+val set_value : t -> int -> int -> unit
+
+(** Append a fresh entry. The address must not be present ([find]
+    returned [-1]). Grows the table as needed. *)
+val insert : t -> int -> int -> unit
+
+(** Drop log entries [\[n..)] — the fresh inserts of an aborting
+    nested scope, which are always a suffix of the log. Their table
+    slots are tombstoned; summary bits are left stale
+    (conservative). *)
+val truncate : t -> int -> unit

@@ -50,6 +50,10 @@ type t = {
   mutable cm_starvation_events : int;
   mutable clock_cas : int;
   mutable clock_resyncs : int;
+  mutable redo_inserts : int;
+  mutable redo_hits : int;
+  mutable redo_skips : int;
+  mutable publish_cycles : int;
   mutable shard_acquires : int array;
   mutable shard_conflicts : int array;
   conflict_pairs : (int, int) Hashtbl.t;
@@ -108,6 +112,10 @@ let create () =
     cm_starvation_events = 0;
     clock_cas = 0;
     clock_resyncs = 0;
+    redo_inserts = 0;
+    redo_hits = 0;
+    redo_skips = 0;
+    publish_cycles = 0;
     shard_acquires = [||];
     shard_conflicts = [||];
     conflict_pairs = Hashtbl.create 8;
@@ -195,6 +203,10 @@ let reset t =
   t.cm_starvation_events <- 0;
   t.clock_cas <- 0;
   t.clock_resyncs <- 0;
+  t.redo_inserts <- 0;
+  t.redo_hits <- 0;
+  t.redo_skips <- 0;
+  t.publish_cycles <- 0;
   Array.fill t.shard_acquires 0 (Array.length t.shard_acquires) 0;
   Array.fill t.shard_conflicts 0 (Array.length t.shard_conflicts) 0;
   Hashtbl.reset t.conflict_pairs
@@ -259,6 +271,10 @@ let merge acc x =
   acc.cm_starvation_events <- acc.cm_starvation_events + x.cm_starvation_events;
   acc.clock_cas <- acc.clock_cas + x.clock_cas;
   acc.clock_resyncs <- acc.clock_resyncs + x.clock_resyncs;
+  acc.redo_inserts <- acc.redo_inserts + x.redo_inserts;
+  acc.redo_hits <- acc.redo_hits + x.redo_hits;
+  acc.redo_skips <- acc.redo_skips + x.redo_skips;
+  acc.publish_cycles <- acc.publish_cycles + x.publish_cycles;
   ensure_shards acc (Array.length x.shard_acquires);
   Array.iteri
     (fun i v -> acc.shard_acquires.(i) <- acc.shard_acquires.(i) + v)

@@ -111,6 +111,20 @@ type t = {
   mutable clock_resyncs : int;
       (** Abort-driven decentralized-clock resyncs (the one shared-clock
           access that mode retains, off the commit path). *)
+  (* lazy versioning ([Config.lazy_versioning]) *)
+  mutable redo_inserts : int;
+      (** Fresh entries appended to the redo buffer (distinct shared
+          addresses written; overwrites count as [waw_hits] instead). *)
+  mutable redo_hits : int;
+      (** Read barriers answered from the transaction's own redo buffer
+          (read-own-write). *)
+  mutable redo_skips : int;
+      (** The paper's lazy-mode payoff: writes the capture check proved
+          captured, stored directly and never buffered — each one elides
+          both a buffer insert and a commit-time write-back. *)
+  mutable publish_cycles : int;
+      (** Total simulated cycles charged for commit-time write-back of
+          buffered values — the quantity [redo_skips] shrinks. *)
   mutable shard_acquires : int array;
       (** Per-shard orec acquisitions (length = shard count; [[||]] until
           the thread is bound to a table). *)

@@ -104,6 +104,12 @@ and tx = {
   mutable acq_orecs : int array;
   mutable n_acq : int;
   waw : Waw.t;
+  (* Redo buffer (lazy versioning): buffered writes live here until
+     commit publishes them.  Always allocated (three small int arrays);
+     stays empty in eager mode.  In lazy mode the undo log above is
+     repurposed as a journal of overwritten *buffer* values — memory is
+     never written before commit, so there is nothing to undo there. *)
+  redo : Redo.t;
   top_capture_log : Alloc_log.t option; (* reused by the top-level scope *)
   top_audit_log : Alloc_log.t option;
   mutable scopes : scope list; (* innermost first; non-empty while live *)
@@ -120,6 +126,9 @@ and tx = {
 and scope = {
   start_sp : Memory.addr;
   undo_mark : int;
+  (* Redo-log length at scope begin (lazy versioning): entries past the
+     mark are this scope's fresh inserts, dropped on partial abort. *)
+  redo_mark : int;
   capture_log : Alloc_log.t option;
   audit_log : Alloc_log.t option;
   (* Speculative allocations and deferred frees as grow-only parallel int
@@ -301,6 +310,7 @@ let make_tx th =
     acq_orecs = Array.make 16 0;
     n_acq = 0;
     waw = Waw.create ();
+    redo = Redo.create ();
     top_capture_log;
     top_audit_log;
     scopes = [];
@@ -767,29 +777,55 @@ let read ?(site = Site.anonymous_read) tx addr =
   sandbox_bounds tx addr;
   if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
   if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:false;
-  let e = try_elide tx addr 1 ~site ~is_write:false in
-  let cls = elision_class e in
-  let value =
-    if cls = keep_code then begin
-      th.platform.consume (elision_cost e);
-      full_read tx addr
-    end
-    else begin
-      (if cls = elide_stack_code then
-         st.reads_elided_stack <- st.reads_elided_stack + 1
-       else if cls = elide_heap_code then
-         st.reads_elided_heap <- st.reads_elided_heap + 1
-       else if cls = elide_private_code then
-         st.reads_elided_private <- st.reads_elided_private + 1
-       else st.reads_elided_static <- st.reads_elided_static + 1);
-      th.platform.consume (elision_cost e + Costs.direct_access);
-      mem_get th addr
-    end
+  (* Lazy versioning: probe the redo buffer *before* the capture check —
+     one AND on the summary word when the buffer cannot hold the address.
+     The order matters: a nested scope can buffer a write to memory an
+     enclosing scope captured (and would elide), and the buffered value
+     is newer than what memory holds. *)
+  let redo_i =
+    if
+      th.config.Config.lazy_versioning
+      && begin
+           th.platform.consume Costs.redo_summary_check;
+           Redo.summary_hit tx.redo addr
+         end
+    then Redo.find tx.redo addr
+    else -1
   in
-  (match !tracer with
-  | None -> ()
-  | Some f -> f th.tid (Ev_read { addr; value; cls = access_class_of cls }));
-  value
+  if redo_i >= 0 then begin
+    st.redo_hits <- st.redo_hits + 1;
+    th.platform.consume Costs.redo_lookup;
+    let value = Redo.value tx.redo redo_i in
+    (match !tracer with
+    | None -> ()
+    | Some f -> f th.tid (Ev_read { addr; value; cls = Instrumented }));
+    value
+  end
+  else begin
+    let e = try_elide tx addr 1 ~site ~is_write:false in
+    let cls = elision_class e in
+    let value =
+      if cls = keep_code then begin
+        th.platform.consume (elision_cost e);
+        full_read tx addr
+      end
+      else begin
+        (if cls = elide_stack_code then
+           st.reads_elided_stack <- st.reads_elided_stack + 1
+         else if cls = elide_heap_code then
+           st.reads_elided_heap <- st.reads_elided_heap + 1
+         else if cls = elide_private_code then
+           st.reads_elided_private <- st.reads_elided_private + 1
+         else st.reads_elided_static <- st.reads_elided_static + 1);
+        th.platform.consume (elision_cost e + Costs.direct_access);
+        mem_get th addr
+      end
+    in
+    (match !tracer with
+    | None -> ()
+    | Some f -> f th.tid (Ev_read { addr; value; cls = access_class_of cls }));
+    value
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Write barrier                                                       *)
@@ -819,34 +855,126 @@ let full_write tx addr v =
    end);
   mem_set th addr v
 
+(* Lazy-versioning write barrier.  Probe the buffer first (same ordering
+   argument as the read barrier: an already-buffered address must stay
+   buffered even where the capture check would now elide — publishing
+   the stale buffered value over a newer direct store would lose the
+   update).  On a miss, the capture hierarchy decides: captured writes
+   skip the buffer entirely and store directly — the paper's payoff,
+   counted in [redo_skips] — while shared writes append a fresh entry.
+   Buffered writes touch no memory, so the eager barrier's bounds guard
+   is not needed here; it moves to the direct-store path below and to
+   commit-time acquisition ([lazy_acquire]). *)
+let lazy_write tx addr v ~site =
+  let th = tx.thread in
+  let st = th.stats in
+  th.platform.consume Costs.redo_summary_check;
+  let i =
+    if Redo.summary_hit tx.redo addr then Redo.find tx.redo addr else -1
+  in
+  if i >= 0 then begin
+    (* Write-after-write in the buffer: update in place (publish order
+       keeps the first-insert slot).  The first overwrite per scope
+       journals the previous buffered value so a nested partial abort
+       can restore it — dedup'd by the same WAW filter the eager undo
+       log uses, and skipped entirely at top level, where abort drops
+       the whole buffer wholesale. *)
+    th.platform.consume Costs.redo_lookup;
+    (if th.config.Config.waw_filter && Waw.note tx.waw addr then begin
+       st.waw_hits <- st.waw_hits + 1;
+       th.platform.consume Costs.waw_hit
+     end
+     else
+       match tx.scopes with
+       | _ :: _ :: _ ->
+           th.platform.consume Costs.undo_log_entry;
+           push_undo tx addr (Redo.value tx.redo i)
+       | _ -> ());
+    Redo.set_value tx.redo i v;
+    match !tracer with
+    | None -> ()
+    | Some f -> f th.tid (Ev_write { addr; value = v; cls = Instrumented })
+  end
+  else begin
+    let e = try_elide tx addr 1 ~site ~is_write:true in
+    let cls = elision_class e in
+    if cls = keep_code then begin
+      th.platform.consume (elision_cost e);
+      maybe_validate tx;
+      (* Injected fault: the store is lost on the way into the buffer —
+         the transaction commits without it. *)
+      if fault_fires th Fault.Redo_drop then ()
+      else begin
+        th.platform.consume Costs.redo_insert;
+        st.redo_inserts <- st.redo_inserts + 1;
+        if th.config.Config.waw_filter then
+          ignore (Waw.note tx.waw addr : bool);
+        Redo.insert tx.redo addr v
+      end;
+      match !tracer with
+      | None -> ()
+      | Some f -> f th.tid (Ev_write { addr; value = v; cls = Instrumented })
+    end
+    else begin
+      (* Captured/private/static: direct store, no buffer entry, no
+         commit-time write-back.  Direct stores touch memory now, so
+         the sandbox bounds guard applies here. *)
+      sandbox_bounds tx addr;
+      (if cls = elide_stack_code then
+         st.writes_elided_stack <- st.writes_elided_stack + 1
+       else if cls = elide_heap_code then
+         st.writes_elided_heap <- st.writes_elided_heap + 1
+       else if cls = elide_private_code then
+         st.writes_elided_private <- st.writes_elided_private + 1
+       else st.writes_elided_static <- st.writes_elided_static + 1);
+      st.redo_skips <- st.redo_skips + 1;
+      th.platform.consume (elision_cost e + Costs.direct_access);
+      mem_set th addr v;
+      match !tracer with
+      | None -> ()
+      | Some f ->
+          f th.tid (Ev_write { addr; value = v; cls = access_class_of cls })
+    end
+  end
+
 let write ?(site = Site.anonymous_write) tx addr v =
   let th = tx.thread in
   let st = th.stats in
   st.writes <- st.writes + 1;
   burn_fuel tx;
-  sandbox_bounds tx addr;
-  if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
-  if th.config.Config.audit then audit_classify tx addr 1 ~site ~is_write:true;
-  let e = try_elide tx addr 1 ~site ~is_write:true in
-  let cls = elision_class e in
-  (if cls = keep_code then begin
-     th.platform.consume (elision_cost e);
-     full_write tx addr v
-   end
-   else begin
-     (if cls = elide_stack_code then
-        st.writes_elided_stack <- st.writes_elided_stack + 1
-      else if cls = elide_heap_code then
-        st.writes_elided_heap <- st.writes_elided_heap + 1
-      else if cls = elide_private_code then
-        st.writes_elided_private <- st.writes_elided_private + 1
-      else st.writes_elided_static <- st.writes_elided_static + 1);
-     th.platform.consume (elision_cost e + Costs.direct_access);
-     mem_set th addr v
-   end);
-  match !tracer with
-  | None -> ()
-  | Some f -> f th.tid (Ev_write { addr; value = v; cls = access_class_of cls })
+  if th.config.Config.lazy_versioning then begin
+    if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
+    if th.config.Config.audit then
+      audit_classify tx addr 1 ~site ~is_write:true;
+    lazy_write tx addr v ~site
+  end
+  else begin
+    sandbox_bounds tx addr;
+    if fault_fires th Fault.Spurious_abort then raise Retry_conflict;
+    if th.config.Config.audit then
+      audit_classify tx addr 1 ~site ~is_write:true;
+    let e = try_elide tx addr 1 ~site ~is_write:true in
+    let cls = elision_class e in
+    (if cls = keep_code then begin
+       th.platform.consume (elision_cost e);
+       full_write tx addr v
+     end
+     else begin
+       (if cls = elide_stack_code then
+          st.writes_elided_stack <- st.writes_elided_stack + 1
+        else if cls = elide_heap_code then
+          st.writes_elided_heap <- st.writes_elided_heap + 1
+        else if cls = elide_private_code then
+          st.writes_elided_private <- st.writes_elided_private + 1
+        else st.writes_elided_static <- st.writes_elided_static + 1);
+       th.platform.consume (elision_cost e + Costs.direct_access);
+       mem_set th addr v
+     end);
+    match !tracer with
+    | None -> ()
+    | Some f ->
+        f th.tid (Ev_write { addr; value = v; cls = access_class_of cls })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Transactional allocation                                            *)
@@ -989,6 +1117,7 @@ let push_scope tx ~top =
     {
       start_sp = Tstack.save th.stack;
       undo_mark = tx.n_undo;
+      redo_mark = Redo.size tx.redo;
       capture_log;
       audit_log;
       alloc_addrs = empty_ints;
@@ -1019,6 +1148,7 @@ let begin_top tx =
        Orec.clock th.orecs
      else 0);
   Waw.clear tx.waw;
+  Redo.clear tx.redo;
   (match tx.top_capture_log with Some l -> Alloc_log.clear l | None -> ());
   (match tx.top_audit_log with Some l -> Alloc_log.clear l | None -> ());
   tx.scopes <- [];
@@ -1115,8 +1245,64 @@ let commit_epilogue tx =
   Cm.on_complete th.cm;
   th.stats.commits <- th.stats.commits + 1
 
+(* Lazy versioning, commit phase 1: acquire every write-set orec, in
+   the buffer's first-insert order.  The write barrier deferred both
+   the bounds guard and the acquisition; garbage addresses a zombie
+   buffered surface here, before any store — [sandbox_bounds] keeps
+   its validate-then-classify contract (program bug vs. phantom).
+   Lock-wait patience bounds deadlock exactly as the eager barrier's
+   acquisition does. *)
+let lazy_acquire tx =
+  let th = tx.thread in
+  let r = tx.redo in
+  for k = 0 to Redo.size r - 1 do
+    let addr = Redo.addr r k in
+    sandbox_bounds tx addr;
+    let oi = Orec.index_of th.orecs addr in
+    if th.owned_epoch.(oi) <> th.epoch then begin
+      th.platform.consume Costs.commit_acquire;
+      acquire_loop tx oi 0
+    end
+  done
+
+(* Lazy versioning, commit phase 3: write the buffered values back
+   while every affected orec is still held.  The whole write-back is
+   charged as one consume *before* the stores, so the simulator
+   publishes at a single instant with no scheduling window between
+   entries (concurrent instrumented readers spin on the held orecs
+   either way).  [Publish_partial] deliberately loses the tail yet
+   still lets the commit release fresh versions — the lost-update
+   shape the oracle must flag. *)
+let publish tx =
+  let th = tx.thread in
+  let r = tx.redo in
+  let n = Redo.size r in
+  if n > 0 then begin
+    let cost = Costs.publish_per_entry * n in
+    th.stats.publish_cycles <- th.stats.publish_cycles + cost;
+    th.platform.consume cost;
+    let limit = if fault_fires th Fault.Publish_partial then n / 2 else n in
+    for k = 0 to limit - 1 do
+      mem_set th (Redo.addr r k) (Redo.value r k)
+    done
+  end
+
+(* The commit event is emitted at the serialization point — validation
+   has succeeded and every store is (or is about to become, under locks
+   still held) the committed state — and *before* the first orec
+   release.  Release is not atomic with a sharded table: the shard-cross
+   decision point lets a peer read one shard's released value, commit,
+   and have its whole lifetime recorded before a trailing-release commit
+   event, which the oracle would (rightly) reject as reading a value no
+   committed instant held.  Emitting before release keeps the recorded
+   commit order consistent with visibility order. *)
 let commit_top tx =
   let th = tx.thread in
+  let lazy_mode = th.config.Config.lazy_versioning in
+  (* Lazy mode acquires the write set up front; [tx.n_acq] below then
+     means the same thing it does in eager mode (notably for the
+     read-only fast path: an empty buffer acquired nothing). *)
+  if lazy_mode then lazy_acquire tx;
   (if th.config.Config.tvalidate then begin
      if tx.n_acq = 0 then begin
        (* Read-only fast path: every read was checked against the
@@ -1124,7 +1310,8 @@ let commit_top tx =
           snapshot at [start_ts] by construction — serialize there.  No
           validation scan, no clock bump, nothing to release. *)
        th.platform.consume Costs.commit_base;
-       th.stats.readonly_fast_commits <- th.stats.readonly_fast_commits + 1
+       th.stats.readonly_fast_commits <- th.stats.readonly_fast_commits + 1;
+       emit th.tid Ev_commit
      end
      else if th.config.Config.dclock then begin
        (* Decentralized writer commit: NO shared-clock access.  The price
@@ -1139,6 +1326,8 @@ let commit_top tx =
          + (Costs.commit_per_orec * tx.n_acq)
          + (Costs.commit_per_read * tx.n_reads));
        if not (validate tx) then raise Retry_conflict;
+       if lazy_mode then publish tx;
+       emit th.tid Ev_commit;
        if fault_fires th Fault.Delayed_unlock then
          th.platform.consume Costs.fault_unlock_delay;
        let stale =
@@ -1178,6 +1367,8 @@ let commit_top tx =
          th.platform.consume (Costs.commit_per_read * tx.n_reads);
          if not (validate tx) then raise Retry_conflict
        end;
+       if lazy_mode then publish tx;
+       emit th.tid Ev_commit;
        if fault_fires th Fault.Delayed_unlock then
          th.platform.consume Costs.fault_unlock_delay;
        release_all_stamped tx ~ts:wv
@@ -1189,17 +1380,25 @@ let commit_top tx =
        + (Costs.commit_per_read * tx.n_reads)
        + (Costs.commit_per_orec * tx.n_acq));
      if not (validate tx) then raise Retry_conflict;
+     if lazy_mode then publish tx;
+     emit th.tid Ev_commit;
      if tx.n_acq > 0 && fault_fires th Fault.Delayed_unlock then
        th.platform.consume Costs.fault_unlock_delay;
      release_all tx ~commit:true
    end);
-  commit_epilogue tx;
-  emit th.tid Ev_commit
+  commit_epilogue tx
 
 let abort_top tx ~user =
   let th = tx.thread in
   th.platform.consume Costs.abort_base;
-  rollback_undo tx ~down_to:0;
+  if th.config.Config.lazy_versioning then
+    (* Deferred updates: buffered writes never touched memory, so
+       dropping the buffer (cleared at the next begin) IS the
+       rollback.  The undo log holds buffer-value journal entries,
+       never memory values — replaying it into memory would corrupt
+       it. *)
+    tx.n_undo <- 0
+  else rollback_undo tx ~down_to:0;
   release_all tx ~commit:false;
   (* Free speculative allocations scope by scope, innermost first. *)
   List.iter (fun scope -> free_scope_allocs th scope) tx.scopes;
@@ -1266,7 +1465,20 @@ let abort_scope tx =
   | [] | [ _ ] -> invalid_arg "Txn.abort_scope: no nested scope"
   | child :: rest ->
       th.platform.consume Costs.abort_base;
-      rollback_undo tx ~down_to:child.undo_mark;
+      (if th.config.Config.lazy_versioning then begin
+         (* Roll the *buffer* back, not memory: replay the journal of
+            overwritten buffered values newest-first, then drop the
+            child's fresh inserts (always a suffix of the redo log). *)
+         for k = tx.n_undo - 1 downto child.undo_mark do
+           let i = Redo.find tx.redo tx.undo_addrs.(k) in
+           if i >= 0 then Redo.set_value tx.redo i tx.undo_vals.(k)
+         done;
+         th.platform.consume
+           (Costs.abort_per_undo * (tx.n_undo - child.undo_mark));
+         tx.n_undo <- child.undo_mark;
+         Redo.truncate tx.redo child.redo_mark
+       end
+       else rollback_undo tx ~down_to:child.undo_mark);
       free_scope_allocs th child;
       Tstack.restore th.stack child.start_sp;
       Waw.clear tx.waw;

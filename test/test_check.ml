@@ -456,6 +456,41 @@ let test_clock_stall_flagged_under_tv () =
   in
   Alcotest.(check bool) "clock stall flagged" true (r.Harness.violations > 0)
 
+let test_redo_drop_flagged_under_lazy () =
+  let config = Config.with_fault (Some Fault.Redo_drop) (Config.with_lazy tree) in
+  let r =
+    Harness.explore
+      ~workload:(Workloads.counter ~nthreads:2 ~incs:3)
+      ~config
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:300 ~seed:3 ()
+  in
+  Alcotest.(check bool) "dropped redo insert flagged" true
+    (r.Harness.violations > 0)
+
+let test_publish_partial_flagged_under_lazy () =
+  let config =
+    Config.with_fault (Some Fault.Publish_partial) (Config.with_lazy tree)
+  in
+  let r =
+    Harness.explore
+      ~workload:(Workloads.counter ~nthreads:2 ~incs:3)
+      ~config
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:300 ~seed:3 ()
+  in
+  Alcotest.(check bool) "partial publish flagged" true
+    (r.Harness.violations > 0)
+
+let test_clean_lazy_config_no_false_positive () =
+  let workload = Workloads.counter ~nthreads:2 ~incs:3 in
+  let r =
+    Harness.explore ~workload ~config:(Config.with_lazy tree)
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:200 ~seed:3 ()
+  in
+  Alcotest.(check int) "no violations under lazy" 0 r.Harness.violations
+
 let test_clean_config_no_false_positive () =
   (* Identical exploration without the bug: silence. *)
   let workload = Workloads.counter ~nthreads:2 ~incs:3 in
@@ -514,5 +549,11 @@ let () =
             test_stale_read_flagged;
           Alcotest.test_case "clock-stall flagged under tv" `Quick
             test_clock_stall_flagged_under_tv;
+          Alcotest.test_case "redo-drop flagged under lazy" `Quick
+            test_redo_drop_flagged_under_lazy;
+          Alcotest.test_case "publish-partial flagged under lazy" `Quick
+            test_publish_partial_flagged_under_lazy;
+          Alcotest.test_case "clean lazy config silent" `Quick
+            test_clean_lazy_config_no_false_positive;
         ] );
     ]

@@ -20,6 +20,12 @@ let all_configs =
     Config.with_tvalidate Config.baseline;
     Config.with_tvalidate (Config.runtime Alloc_log.Tree);
     Config.with_tvalidate (Config.with_fastpath (Config.runtime Alloc_log.Array));
+    (* lazy versioning (deferred update): the same semantics must hold
+       when writes are buffered and published at commit *)
+    Config.with_lazy Config.baseline;
+    Config.with_lazy (Config.runtime Alloc_log.Tree);
+    Config.with_lazy (Config.with_fastpath (Config.runtime Alloc_log.Tree));
+    Config.with_lazy (Config.with_tvalidate Config.baseline);
   ]
 
 let mk_world ?(nthreads = 1) config = Engine.create ~nthreads config
@@ -1000,7 +1006,207 @@ let test_config_name_suffixes () =
     Config.name (Config.with_fault (Some Fault.Stale_read) Config.baseline)
   in
   check "fault suffix" true (n = "baseline+fault:stale-read");
+  let n = Config.name (Config.with_lazy Config.baseline) in
+  check "lazy suffix" true (n = "baseline+lazy");
   check "default suffix-free" true (Config.name Config.baseline = "baseline")
+
+let test_mode_names () =
+  check "eager default" true (Config.mode_name Config.baseline = "eager");
+  check "lazy" true
+    (Config.mode_name (Config.with_lazy Config.baseline) = "lazy");
+  check "lazy+fp" true
+    (Config.mode_name
+       (Config.with_lazy (Config.with_fastpath (Config.runtime Alloc_log.Tree)))
+    = "lazy+fp");
+  check "eager+tv" true
+    (Config.mode_name (Config.with_tvalidate Config.baseline) = "eager+tv");
+  check "mode ignores analysis" true
+    (Config.mode_name (Config.runtime Alloc_log.Filter) = "eager")
+
+(* ------------------------------------------------------------------ *)
+(* WAW filter unit tests                                               *)
+
+let test_waw_note_dedup () =
+  let t = Waw.create () in
+  check "fresh addr misses" false (Waw.note t 42);
+  check "second note hits" true (Waw.note t 42);
+  check "other addr misses" false (Waw.note t 43);
+  check "other addr then hits" true (Waw.note t 43);
+  check "first still hits" true (Waw.note t 42)
+
+let test_waw_collision_evicts () =
+  (* Eviction must forget the displaced address: a false HIT would lose
+     an undo entry (or, lazily, a journal entry); false misses only cost
+     a redundant one.  Hunt for a colliding pair in a minimum-size
+     table rather than assuming the hash. *)
+  let t = Waw.create ~buckets:16 () in
+  let rec find b =
+    if b > 1_000_000 then Alcotest.fail "no collision found"
+    else begin
+      Waw.clear t;
+      ignore (Waw.note t 0 : bool);
+      ignore (Waw.note t b : bool);
+      if not (Waw.note t 0) then b else find (b + 1)
+    end
+  in
+  let b = find 1 in
+  Waw.clear t;
+  ignore (Waw.note t 0 : bool);
+  check "collider is a fresh miss" false (Waw.note t b);
+  check "evicted addr misses again" false (Waw.note t 0);
+  check "eviction went the other way too" false (Waw.note t b)
+
+let test_waw_clear () =
+  let t = Waw.create () in
+  ignore (Waw.note t 7 : bool);
+  check "hit before clear" true (Waw.note t 7);
+  Waw.clear t;
+  check "miss after clear" false (Waw.note t 7)
+
+let test_waw_hits_possible () =
+  let t = Waw.create () in
+  check "empty: no hits possible" false (Waw.hits_possible t);
+  ignore (Waw.note t 5 : bool);
+  check "nonempty: hits possible" true (Waw.hits_possible t);
+  Waw.clear t;
+  check "cleared: none again" false (Waw.hits_possible t)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy versioning (deferred update)                                   *)
+
+let lazy_baseline = Config.with_lazy Config.baseline
+let lazy_tree = Config.with_lazy (Config.runtime Alloc_log.Tree)
+
+let test_lazy_defers_stores () =
+  let w = mk_world lazy_baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 5;
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx cell 9;
+      check_int "memory untouched before commit" 5
+        (Memory.get (Engine.memory w) cell);
+      check_int "read-own-write answered from buffer" 9 (Txn.read tx cell));
+  check_int "published at commit" 9 (Memory.get (Engine.memory w) cell);
+  let st = Txn.thread_stats th in
+  check_int "one buffer insert" 1 st.Stats.redo_inserts;
+  check "read was a redo hit" true (st.Stats.redo_hits >= 1);
+  check_int "no undo entries at top level" 0 st.Stats.undo_entries
+
+let test_lazy_captured_writes_skip_buffer () =
+  let w = mk_world lazy_tree in
+  let th = Engine.setup_thread w in
+  let a =
+    Txn.atomic th (fun tx ->
+        let a = Txn.alloc tx 4 in
+        for i = 0 to 3 do
+          Txn.write tx (a + i) (i * i)
+        done;
+        (* Captured stores are direct: visible in memory pre-commit. *)
+        check_int "captured store visible immediately" 9
+          (Memory.get (Engine.memory w) (a + 3));
+        a)
+  in
+  let st = Txn.thread_stats th in
+  check_int "all four writes skipped the buffer" 4 st.Stats.redo_skips;
+  check_int "no buffer inserts" 0 st.Stats.redo_inserts;
+  check_int "kept after commit" 4 (Memory.get (Engine.memory w) (a + 2))
+
+let test_lazy_nested_partial_abort_restores_buffer () =
+  let w = mk_world lazy_baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  Memory.set (Engine.memory w) cell 5;
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx cell 10;
+      (try
+         Txn.atomic th (fun tx' ->
+             Txn.write tx' cell 99;
+             check_int "child sees its buffered write" 99 (Txn.read tx' cell);
+             Txn.abort tx')
+       with Txn.User_abort -> ());
+      check_int "partial abort restored parent's buffered value" 10
+        (Txn.read tx cell));
+  check_int "parent value published" 10 (Memory.get (Engine.memory w) cell)
+
+let test_lazy_nested_abort_truncates_child_inserts () =
+  let w = mk_world lazy_baseline in
+  let a = Alloc.alloc (Engine.global_arena w) 1 in
+  let b = Alloc.alloc (Engine.global_arena w) 1 in
+  let m = Engine.memory w in
+  Memory.set m a 1;
+  Memory.set m b 2;
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      Txn.write tx a 11;
+      (try
+         Txn.atomic th (fun tx' ->
+             Txn.write tx' b 99;
+             Txn.abort tx')
+       with Txn.User_abort -> ());
+      check_int "child insert dropped: read falls through to memory" 2
+        (Txn.read tx b));
+  check_int "outer published" 11 (Memory.get m a);
+  check_int "child write never published" 2 (Memory.get m b)
+
+let test_lazy_waw_single_publish () =
+  let w = mk_world lazy_baseline in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let th = Engine.setup_thread w in
+  Txn.atomic th (fun tx ->
+      for i = 1 to 10 do
+        Txn.write tx cell i
+      done);
+  check_int "last write wins" 10 (Memory.get (Engine.memory w) cell);
+  let st = Txn.thread_stats th in
+  check_int "single insert" 1 st.Stats.redo_inserts;
+  check_int "overwrites deduped by waw" 9 st.Stats.waw_hits
+
+(* Property: lazy read-own-write agrees with a reference Hashtbl model
+   over random sequences mixing shared addresses (buffered) and captured
+   addresses (which bypass the buffer and store directly) — reads must
+   not care which path a value took, and commit must leave memory equal
+   to the model. *)
+let prop_lazy_read_own_write =
+  QCheck.Test.make ~name:"lazy buffer vs Hashtbl model" ~count:200
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let module P = Captured_util.Prng in
+      let g = P.create seed in
+      let shared = 8 in
+      let w = mk_world lazy_tree in
+      let base = Alloc.alloc (Engine.global_arena w) shared in
+      let m = Engine.memory w in
+      for i = 0 to shared - 1 do
+        Memory.set m (base + i) (1000 + i)
+      done;
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let th = Engine.setup_thread w in
+      let ok = ref true in
+      Txn.atomic th (fun tx ->
+          let captured = Array.init 4 (fun _ -> Txn.alloc tx 1) in
+          let pick () =
+            if P.chance g ~percent:50 then base + P.int g shared
+            else captured.(P.int g 4)
+          in
+          for _ = 1 to 100 do
+            let a = pick () in
+            if P.chance g ~percent:50 then begin
+              let v = P.int g 1000 in
+              Txn.write tx a v;
+              Hashtbl.replace model a v
+            end
+            else begin
+              let expect =
+                match Hashtbl.find_opt model a with
+                | Some v -> v
+                | None -> Memory.get m a (* unwritten: initial value *)
+              in
+              if Txn.read tx a <> expect then ok := false
+            end
+          done);
+      Hashtbl.iter (fun a v -> if Memory.get m a <> v then ok := false) model;
+      !ok)
 
 let config_cases name f =
   List.map
@@ -1109,7 +1315,29 @@ let () =
             test_cm_backoff_schedule_unchanged;
           Alcotest.test_case "config name suffixes" `Quick
             test_config_name_suffixes;
+          Alcotest.test_case "mode names" `Quick test_mode_names;
         ] );
+      ( "waw",
+        [
+          Alcotest.test_case "note dedup" `Quick test_waw_note_dedup;
+          Alcotest.test_case "collision evicts" `Quick
+            test_waw_collision_evicts;
+          Alcotest.test_case "clear" `Quick test_waw_clear;
+          Alcotest.test_case "hits possible" `Quick test_waw_hits_possible;
+        ] );
+      ( "lazy",
+        [
+          Alcotest.test_case "defers stores" `Quick test_lazy_defers_stores;
+          Alcotest.test_case "captured writes skip buffer" `Quick
+            test_lazy_captured_writes_skip_buffer;
+          Alcotest.test_case "nested partial abort restores buffer" `Quick
+            test_lazy_nested_partial_abort_restores_buffer;
+          Alcotest.test_case "nested abort truncates child inserts" `Quick
+            test_lazy_nested_abort_truncates_child_inserts;
+          Alcotest.test_case "waw single publish" `Quick
+            test_lazy_waw_single_publish;
+        ]
+        @ List.map Qc.to_alcotest [ prop_lazy_read_own_write ] );
       qsuite "invariants" (List.map prop_sim_invariant all_configs);
       qsuite "torture" (List.map prop_stm_torture all_configs);
     ]
