@@ -28,7 +28,7 @@ let known_sections =
   [
     "fig8"; "fig9"; "table1"; "table2"; "fig10"; "fig11a"; "fig11b"; "micro";
     "ablation"; "fastpath"; "tvalidate"; "contention"; "scale"; "shards";
-    "lazyab";
+    "lazyab"; "wal";
   ]
 
 let scale_domains : int list ref = ref []
@@ -1020,6 +1020,80 @@ let lazyab () =
     apps
 
 (* ------------------------------------------------------------------ *)
+(* Durable transactions: WAL overhead and recovery cost                 *)
+
+module Wal = Captured_stm.Wal
+
+let wal_json ~app ~mode ~commits ~(s : Stats.t) ~appended ~log_bytes
+    ~recovery_ms =
+  Printf.printf
+    "{\"section\":\"wal\",\"app\":\"%s\",\"mode\":\"%s\",\
+     \"commits\":%d,\"wal\":{\"records\":%d,\"log_bytes\":%d,\
+     \"appended_bytes\":%d,\"bytes_per_commit\":%.1f,\"fsyncs\":%d,\
+     \"wal_skips\":%d,\"writes_elided\":%d,\"recovery_ms\":%.3f}}\n"
+    app mode commits s.Stats.wal_records log_bytes appended
+    (float_of_int appended /. float_of_int (max 1 commits))
+    s.Stats.wal_fsyncs s.Stats.wal_skips
+    (s.Stats.writes_elided_stack + s.Stats.writes_elided_heap
+    + s.Stats.writes_elided_static)
+    recovery_ms
+
+let wal_section () =
+  headline
+    "Durable transactions: WAL overhead + captured-write log elision + \
+     recovery replay (1 thread, simulator, JSON lines)";
+  let configs =
+    [
+      ("eager+wal", Config.runtime ~scope:Config.heap_write_only_scope
+                      Alloc_log.Tree |> Config.with_durable);
+      ("lazy+wal", Config.runtime ~scope:Config.heap_write_only_scope
+                     Alloc_log.Tree |> Config.with_lazy
+                   |> Config.with_tvalidate |> Config.with_durable);
+    ]
+  in
+  List.iter
+    (fun app ->
+      List.iter
+        (fun (mname, cfg) ->
+          let p = app.App.prepare ~nthreads:1 ~scale:(scale ()) cfg in
+          let w = Wal.create ~group:cfg.Config.wal_group () in
+          Engine.attach_wal p.App.world w;
+          let r = Engine.run_sim ~seed:1 p.App.world p.App.body in
+          Wal.sync w;
+          (match p.App.verify () with
+          | Ok () -> ()
+          | Error m -> failwith (app.App.name ^ ": " ^ m));
+          let rc =
+            match Wal.recover w with
+            | Ok rc -> rc
+            | Error m -> failwith (app.App.name ^ " recovery: " ^ m)
+          in
+          (* Recovery must replay every synced commit record. *)
+          assert (List.length rc.Wal.r_applied_seqs = Wal.synced_seq w);
+          let s = r.Engine.stats in
+          let elided =
+            s.Stats.writes_elided_stack + s.Stats.writes_elided_heap
+            + s.Stats.writes_elided_static
+          in
+          wal_json ~app:app.App.name ~mode:mname ~commits:s.Stats.commits
+            ~s ~appended:(Wal.appended_bytes w) ~log_bytes:(Wal.log_bytes w)
+            ~recovery_ms:rc.Wal.r_wall_ms;
+          Printf.printf
+            "# %-14s %-10s %7d B logged / %5d commits (%6.1f B/txn)  \
+             fsyncs %5d  captured-skips %7d/%7d (%5.1f%% of elided \
+             writes)  recovery %7.3f ms\n"
+            app.App.name mname (Wal.appended_bytes w) s.Stats.commits
+            (float_of_int (Wal.appended_bytes w)
+            /. float_of_int (max 1 s.Stats.commits))
+            s.Stats.wal_fsyncs s.Stats.wal_skips elided
+            (100.
+            *. float_of_int s.Stats.wal_skips
+            /. float_of_int (max 1 elided))
+            rc.Wal.r_wall_ms)
+        configs)
+    apps
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1041,4 +1115,5 @@ let () =
   if wants "scale" then scale_section ();
   if wants "shards" then shards_section ();
   if wants "lazyab" then lazyab ();
+  if wants "wal" then wal_section ();
   Printf.printf "\ndone.\n"

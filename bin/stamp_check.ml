@@ -51,11 +51,11 @@ let json_escape s =
 
 let report_json (r : Harness.report) union =
   Printf.sprintf
-    "{\"workload\":\"%s\",\"config\":\"%s\",\"strategy\":\"%s\",\"runs\":%d,\"new_schedules\":%d,\"union_distinct\":%d,\"truncated\":%d,\"violations\":%d%s}"
+    "{\"workload\":\"%s\",\"config\":\"%s\",\"strategy\":\"%s\",\"runs\":%d,\"new_schedules\":%d,\"union_distinct\":%d,\"truncated\":%d,\"crashes\":%d,\"violations\":%d%s}"
     (json_escape r.Harness.workload)
     (json_escape r.Harness.config)
     r.Harness.strategy r.Harness.runs r.Harness.distinct union
-    r.Harness.truncated r.Harness.violations
+    r.Harness.truncated r.Harness.crashes r.Harness.violations
     (match r.Harness.first with
     | None -> ""
     | Some f ->
@@ -63,9 +63,132 @@ let report_json (r : Harness.report) union =
           (json_escape (Oracle.violation_to_string f.Harness.violation))
           (json_escape (Strategy.interventions_to_string f.Harness.minimized)))
 
+(* Crash matrix: every crash-point fault x a spread of STM modes, all
+   durable, judged by the recovery oracle.  Zero violations means every
+   simulated process death replayed to a prefix-consistent state. *)
+let crash_matrix nthreads runs seed max_steps persist pct_depth json =
+  (* Crash faults draw from the *thread* PRNG (seeded by the world
+     seed), so whether a given commit crashes is a property of the world
+     seed, not the schedule.  Sweeping several world seeds per cell is
+     what makes every crash point actually fire. *)
+  let runs = if runs = 0 then 8 else runs in
+  let world_seeds = List.init 5 (fun i -> seed + (31 * i)) in
+  let faults =
+    [
+      Fault.Crash_pre_commit;
+      Fault.Crash_mid_publish;
+      Fault.Crash_post_publish;
+      Fault.Crash_mid_checkpoint;
+      Fault.Torn_wal_record;
+    ]
+  in
+  let base = Config.runtime Captured_core.Alloc_log.Tree in
+  let modes =
+    [
+      ("eager", fun c -> c);
+      ("lazy", Config.with_lazy ~on:true);
+      ("fptv",
+       fun c ->
+         c |> Config.with_fastpath ~on:true |> Config.with_tvalidate ~on:true);
+      ("lazy+shards4",
+       fun c -> c |> Config.with_lazy ~on:true |> Config.with_shards 4);
+    ]
+  in
+  let workload_names = [ "counter"; "bank"; "publish" ] in
+  let strategies =
+    [ Strategy.Random { persist }; Strategy.Pct { depth = pct_depth } ]
+  in
+  let failures = ref 0
+  and vacuous = ref 0
+  and crashes = ref 0
+  and total_runs = ref 0
+  and cells = ref 0 in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun (_mname, modify) ->
+          let config =
+            base |> modify
+            |> Config.with_fault (Some fault)
+            |> Config.with_durable
+          in
+          List.iter
+            (fun wname ->
+              let w = Option.get (Workloads.find wname ~nthreads) in
+              incr cells;
+              let cell_runs = ref 0
+              and cell_crashes = ref 0
+              and cell_viol = ref 0
+              and cell_distinct = ref 0
+              and first = ref None in
+              List.iter
+                (fun strategy ->
+                  List.iter
+                    (fun wseed ->
+                      let r =
+                        Harness.explore ~workload:w ~config ~strategy ~runs
+                          ~seed:wseed ~max_steps ()
+                      in
+                      cell_runs := !cell_runs + r.Harness.runs;
+                      cell_crashes := !cell_crashes + r.Harness.crashes;
+                      cell_viol := !cell_viol + r.Harness.violations;
+                      cell_distinct := !cell_distinct + r.Harness.distinct;
+                      if !first = None then first := r.Harness.first)
+                    world_seeds)
+                strategies;
+              total_runs := !total_runs + !cell_runs;
+              crashes := !crashes + !cell_crashes;
+              if !cell_viol > 0 then incr failures;
+              (* A cell whose fault never fired proved nothing. *)
+              if !cell_crashes = 0 then incr vacuous;
+              if json then
+                Printf.printf
+                  "{\"fault\":\"%s\",\"config\":\"%s\",\"workload\":\"%s\",\
+                   \"runs\":%d,\"crashes\":%d,\"violations\":%d}\n"
+                  (Fault.name fault) (Config.name config) w.Workloads.name
+                  !cell_runs !cell_crashes !cell_viol
+              else
+                Printf.printf "%-24s %-34s %-14s runs=%-4d crashes=%-4d %s\n"
+                  (Fault.name fault) (Config.name config) w.Workloads.name
+                  !cell_runs !cell_crashes
+                  (if !cell_viol = 0 then
+                     if !cell_crashes = 0 then "VACUOUS (never fired)"
+                     else "ok"
+                   else
+                     match !first with
+                     | Some f ->
+                         Printf.sprintf "VIOLATIONS=%d first=%s" !cell_viol
+                           (Oracle.violation_to_string f.Harness.violation)
+                     | None -> Printf.sprintf "VIOLATIONS=%d" !cell_viol))
+            workload_names)
+        modes)
+    faults;
+  if not json then
+    Printf.printf
+      "crash matrix: %d runs, %d injected crashes recovered over %d \
+       fault*mode*workload cells\n"
+      !total_runs !crashes !cells;
+  if !failures > 0 then
+    `Error
+      ( false,
+        Printf.sprintf
+          "%d crash-matrix cells found recovery violations (see above)"
+          !failures )
+  else if !vacuous > 0 then
+    `Error
+      ( false,
+        Printf.sprintf
+          "%d crash-matrix cells never fired their crash fault (vacuous)"
+          !vacuous )
+  else `Ok ()
+
 let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
     strategies_csv runs seed max_steps persist pct_depth dfs_preemptions
-    min_distinct fault_name inject_bug json smoke =
+    min_distinct fault_name inject_bug wal wal_bug crash_matrix_flag json
+    smoke =
+  if crash_matrix_flag then
+    crash_matrix nthreads runs seed max_steps persist pct_depth json
+  else
   let runs = if smoke && runs = 0 then 600 else if runs = 0 then 400 else runs
   and min_distinct = if smoke && min_distinct = 0 then 1000 else min_distinct in
   match
@@ -153,6 +276,12 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
               (fun w ->
                 List.iter
                   (fun ((_mname, (fp, tv, lz)), shards) ->
+                    let durable =
+                      wal || wal_bug
+                      || match fault with
+                         | Some f -> Fault.is_crash f
+                         | None -> false
+                    in
                     let config =
                       base
                       |> Config.with_fastpath ~on:fp
@@ -160,13 +289,28 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
                       |> Config.with_lazy ~on:lz
                       |> Config.with_shards shards
                       |> Config.with_fault fault
+                      |> Config.with_durable ~on:durable
                     in
                     let seen = Hashtbl.create (8 * runs) in
+                    (* Crash-point faults (and the seeded recovery bug)
+                       draw from the thread PRNG: whether a commit
+                       crashes depends on the world seed, not the
+                       schedule, so those sweeps spread their run budget
+                       over several world seeds. *)
+                    let world_seeds, runs_per_seed =
+                      if durable then
+                        (List.init 5 (fun i -> seed + (31 * i)),
+                         max 1 (runs / 5))
+                      else ([ seed ], runs)
+                    in
                     List.iter
                       (fun strategy ->
+                      List.iter
+                        (fun wseed ->
                         let r =
-                          Harness.explore ~workload:w ~config ~strategy ~runs
-                            ~seed ~max_steps ~seen ()
+                          Harness.explore ~workload:w ~config ~strategy
+                            ~runs:runs_per_seed ~seed:wseed ~max_steps
+                            ~wal_bug ~seen ()
                         in
                         total_runs := !total_runs + r.Harness.runs;
                         (match r.Harness.first with
@@ -200,6 +344,7 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
                         if json then
                           print_endline (report_json r (Hashtbl.length seen))
                         else print_endline (Harness.report_to_string r))
+                        world_seeds)
                       strategies;
                     let union = Hashtbl.length seen in
                     total_distinct := !total_distinct + union;
@@ -230,7 +375,9 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
               match fault with
               | Some f -> (
                   let fname = Fault.name f in
-                  match Fault.expectation f with
+                  match
+                    if wal_bug then Fault.Flagged else Fault.expectation f
+                  with
                   | Fault.Contained ->
                       if !caught > 0 then
                         `Error
@@ -370,6 +517,33 @@ let inject_bug_arg =
   in
   Arg.(value & flag & info [ "inject-bug" ] ~doc)
 
+let wal_arg =
+  let doc =
+    "Run every cell with durable transactions (+wal): each run mirrors \
+     commits to an in-memory log device, and clean runs additionally get \
+     a full crash-free replay checked by the recovery oracle — proving \
+     +wal sweeps stay silent."
+  in
+  Arg.(value & flag & info [ "wal" ] ~doc)
+
+let wal_bug_arg =
+  let doc =
+    "Checker self-test: seed a recovery bug (replay the torn tail record \
+     as if it were whole) and require the recovery oracle to flag it.  \
+     Pair with $(b,--fault torn-wal-record)."
+  in
+  Arg.(value & flag & info [ "wal-bug-torn" ] ~doc)
+
+let crash_matrix_arg =
+  let doc =
+    "Sweep every crash-point fault (crash-pre-commit, crash-mid-publish, \
+     crash-post-publish, crash-mid-checkpoint, torn-wal-record) across \
+     eager, lazy, fptv and lazy+shards:4 durable configurations; every \
+     simulated death must recover to a prefix-consistent state (zero \
+     violations)."
+  in
+  Arg.(value & flag & info [ "crash-matrix" ] ~doc)
+
 let json_arg =
   let doc = "Emit one JSON object per report line." in
   Arg.(value & flag & info [ "json" ] ~doc)
@@ -402,6 +576,10 @@ let cmd =
       `Pre "  stamp_check --fault stale-read --seed 1";
       `P "Sweep a STAMP app:";
       `Pre "  stamp_check --apps vacation-low -n 100 --min-distinct 0";
+      `P "Crash matrix — every crash point must recover cleanly:";
+      `Pre "  stamp_check --crash-matrix --seed 1";
+      `P "Recovery-oracle self-test — a seeded replay bug must be flagged:";
+      `Pre "  stamp_check --fault torn-wal-record --wal-bug-torn -w bank";
     ]
   in
   Cmd.v
@@ -411,6 +589,7 @@ let cmd =
         (const sweep $ workloads_arg $ apps_arg $ threads_arg $ analysis_arg
        $ modes_arg $ shards_arg $ strategies_arg $ runs_arg $ seed_arg $ max_steps_arg
        $ persist_arg $ pct_depth_arg $ dfs_preemptions_arg $ min_distinct_arg
-       $ fault_arg $ inject_bug_arg $ json_arg $ smoke_arg))
+       $ fault_arg $ inject_bug_arg $ wal_arg $ wal_bug_arg
+       $ crash_matrix_arg $ json_arg $ smoke_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,7 @@
 module Config = Captured_stm.Config
 module Cm = Captured_stm.Cm
 module Fault = Captured_stm.Fault
+module Wal = Captured_stm.Wal
 module Engine = Captured_stm.Engine
 module Stats = Captured_stm.Stats
 module Alloc_log = Captured_core.Alloc_log
@@ -84,7 +85,9 @@ let print_json ~app ~config ~mode ~threads (r : Engine.result) ~native =
      \"fuel_exhaustions\":%d,\"sandbox_aborts\":%d,\"sandbox_bounds\":%d,\
      \"faults_injected\":%d,\"cm_max_consec_aborts\":%d,\
      \"cm_starvation_events\":%d,\"shard_acquires\":%s,\
-     \"shard_conflicts\":%s,\"top_conflict_pairs\":%s,\"makespan\":%d,\
+     \"shard_conflicts\":%s,\"top_conflict_pairs\":%s,\
+     \"wal_records\":%d,\"wal_bytes\":%d,\"wal_fsyncs\":%d,\
+     \"wal_skips\":%d,\"makespan\":%d,\
      \"wall_ms\":%.3f,\"per_thread_wall_ms\":[%s]}\n"
     app config threads
     (if native then "native" else "sim")
@@ -109,7 +112,8 @@ let print_json ~app ~config ~mode ~threads (r : Engine.result) ~native =
     s.Stats.cm_max_consec_aborts s.Stats.cm_starvation_events
     (int_array_json s.Stats.shard_acquires)
     (int_array_json s.Stats.shard_conflicts)
-    (pairs_json s) r.Engine.makespan
+    (pairs_json s) s.Stats.wal_records s.Stats.wal_bytes s.Stats.wal_fsyncs
+    s.Stats.wal_skips r.Engine.makespan
     (1000. *. r.Engine.wall)
     (String.concat ","
        (Array.to_list
@@ -180,6 +184,11 @@ let print_result (r : Engine.result) ~native =
     s.Stats.fuel_exhaustions s.Stats.sandbox_aborts s.Stats.sandbox_bounds;
   if s.Stats.faults_injected > 0 then
     Printf.printf "faults injected:    %d\n" s.Stats.faults_injected;
+  if s.Stats.wal_records + s.Stats.wal_skips > 0 then
+    Printf.printf "wal:                records %d / bytes %d / fsyncs %d / \
+                   captured-skips %d\n"
+      s.Stats.wal_records s.Stats.wal_bytes s.Stats.wal_fsyncs
+      s.Stats.wal_skips;
   if native then begin
     Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall);
     Printf.printf "native makespan:    %.3f ms (slowest domain)\n"
@@ -217,9 +226,34 @@ let orec_map_of_name = function
   | "affinity" -> Ok Captured_stm.Orec.Affinity
   | other -> Error (Printf.sprintf "unknown orec map %s" other)
 
+let print_recovery ~json dir (rc : Wal.recovery) =
+  if json then
+    Printf.printf
+      "{\"recovered\":\"%s\",\"floor_seq\":%d,\"floor_raws\":%d,\
+       \"commits_replayed\":%d,\"raws_replayed\":%d,\"records\":%d,\
+       \"torn\":%b,\"corrupt\":%b,\"frees_replayed\":%d,\
+       \"recovery_ms\":%.3f}\n"
+      dir rc.Wal.r_floor_seq rc.Wal.r_floor_raws
+      (List.length rc.Wal.r_applied_seqs)
+      rc.Wal.r_raws_applied rc.Wal.r_records rc.Wal.r_torn rc.Wal.r_corrupt
+      (List.length rc.Wal.r_freed) rc.Wal.r_wall_ms
+  else begin
+    Printf.printf "recovered from:     %s\n" dir;
+    Printf.printf "checkpoint floor:   commit seq %d, %d raw stores\n"
+      rc.Wal.r_floor_seq rc.Wal.r_floor_raws;
+    Printf.printf "replayed:           %d commits / %d raw stores / %d frees\n"
+      (List.length rc.Wal.r_applied_seqs)
+      rc.Wal.r_raws_applied
+      (List.length rc.Wal.r_freed);
+    Printf.printf "records scanned:    %d%s%s\n" rc.Wal.r_records
+      (if rc.Wal.r_torn then " (torn tail dropped)" else "")
+      (if rc.Wal.r_corrupt then " (CORRUPT tail dropped)" else "");
+    Printf.printf "recovery wall:      %.3f ms\n" rc.Wal.r_wall_ms
+  end
+
 let run_cmd app_name config_name scope_name scale_name threads native seed
     pessimistic fastpath tvalidate lazy_ fences shards orec_map_name cm_name
-    fuel fault_name json =
+    fuel fault_name wal_dir wal_group recover json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
@@ -243,6 +277,25 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
     in
     let* fault = fault_of_name fault_name in
     let config = Config.with_fault fault config in
+    let* config =
+      if wal_dir = "" then Ok config
+      else if wal_group < 1 then Error "--wal-group must be >= 1"
+      else Ok (Config.with_durable ~group:wal_group config)
+    in
+    let* () =
+      match fault with
+      | Some f when Fault.is_crash f && native ->
+          Error
+            (Printf.sprintf
+               "fault %s is a simulated crash-point; it needs the \
+                deterministic simulator (drop --native)"
+               (Fault.name f))
+      | Some f when Fault.is_crash f && wal_dir = "" ->
+          Error
+            (Printf.sprintf "fault %s needs a durable log: pass --wal DIR"
+               (Fault.name f))
+      | _ -> Ok ()
+    in
     let* scale = scale_of_name scale_name in
     match Registry.find app_name with
     | None ->
@@ -255,21 +308,61 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
             (Config.name config) threads scale_name
             (if native then "native domains" else "simulator");
         let mode = if native then `Native else `Sim seed in
-        let* result =
-          App.run_checked app ~nthreads:threads ~scale ~mode config
+        let wal_dir_opt = if wal_dir = "" then None else Some wal_dir in
+        let after_run () =
+          if recover && wal_dir <> "" then
+            let* rc =
+              Result.map_error (fun m -> "recovery: " ^ m)
+                (Wal.recover_dir wal_dir)
+            in
+            Ok (print_recovery ~json wal_dir rc)
+          else Ok ()
         in
-        if json then
-          print_json ~app:app.App.name ~config:(Config.name config)
-            ~mode:(Config.mode_name config) ~threads result ~native
-        else begin
-          print_result result ~native;
-          Printf.printf "\nverification: OK\n"
-        end;
-        Ok ()
+        let run_outcome =
+          try
+            `Done
+              (App.run_checked ?wal_dir:wal_dir_opt app ~nthreads:threads
+                 ~scale ~mode config)
+          with Captured_sim.Sched.Fiber_failure (tid, Wal.Crashed) ->
+            `Crashed tid
+        in
+        (match run_outcome with
+        | `Done result ->
+            let* result = result in
+            if json then
+              print_json ~app:app.App.name ~config:(Config.name config)
+                ~mode:(Config.mode_name config) ~threads result ~native
+            else begin
+              print_result result ~native;
+              Printf.printf "\nverification: OK\n"
+            end;
+            after_run ()
+        | `Crashed tid ->
+            (* Injected crash-point fired: the durable prefix mirrored to
+               --wal DIR is all that survives, exactly like a real
+               process death. *)
+            if not json then
+              Printf.printf
+                "simulated crash on thread %d (%s); durable log left in \
+                 %s\n"
+                tid fault_name wal_dir
+            else if not recover then
+              Printf.printf
+                "{\"app\":\"%s\",\"crashed\":true,\"fault\":\"%s\",\
+                 \"tid\":%d,\"wal\":\"%s\"}\n"
+                app.App.name fault_name tid wal_dir;
+            after_run ())
   in
   match outcome with
   | Ok () -> `Ok ()
   | Error m -> `Error (false, m)
+
+let recover_cmd wal_dir json =
+  match Wal.recover_dir wal_dir with
+  | Error m -> `Error (false, "recovery: " ^ m)
+  | Ok rc ->
+      print_recovery ~json wal_dir rc;
+      `Ok ()
 
 let list_cmd () =
   List.iter
@@ -389,12 +482,40 @@ let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit one JSON object instead of the text report.")
 
+let wal_dir_arg =
+  Arg.(value & opt string ""
+       & info [ "wal" ] ~docv:"DIR"
+           ~doc:"Durable transactions: mirror every committed write set to \
+                 a write-ahead log under $(docv) (implies the +wal config \
+                 suffix).  Captured writes are elided from the log \
+                 (wal_skips); allocation payload images cover them.")
+
+let wal_group_arg =
+  Arg.(value & opt int 4
+       & info [ "wal-group" ] ~docv:"N"
+           ~doc:"Group commit: fsync once per N commit records (1 = every \
+                 commit).")
+
+let recover_arg =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:"After the run (or the injected crash), replay the log \
+                 from the last checkpoint and report what recovery \
+                 restored.")
+
+let wal_pos_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"DIR" ~doc:"Directory holding wal.log.")
+
 let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
              $ fastpath_arg $ tvalidate_arg $ lazy_arg $ fences_arg
              $ shards_arg $ orec_map_arg $ cm_arg $ fuel_arg $ fault_arg
-             $ json_arg))
+             $ wal_dir_arg $ wal_group_arg $ recover_arg $ json_arg))
+
+let recover_term =
+  Term.(ret (const recover_cmd $ wal_pos_arg $ json_arg))
 
 let cmds =
   [
@@ -402,6 +523,11 @@ let cmds =
     Cmd.v (Cmd.info "list" ~doc:"List workloads") Term.(ret (const list_cmd $ const ()));
     Cmd.v (Cmd.info "analyze" ~doc:"Print the compiler capture-analysis verdicts for a workload's IR model")
       Term.(ret (const analyze_cmd $ app_arg));
+    Cmd.v
+      (Cmd.info "recover"
+         ~doc:"Replay a write-ahead log left by a crashed `stamp_run run \
+               --wal DIR` and report the restored state")
+      recover_term;
   ]
 
 let () =

@@ -23,17 +23,30 @@ let load_verdicts app =
   let analysis = Captured_tmir.Capture_analysis.analyze (Lazy.force app.model) in
   Captured_tmir.Capture_analysis.apply analysis
 
-let run_checked app ~nthreads ~scale ~mode config =
+let run_checked ?wal_dir app ~nthreads ~scale ~mode config =
   (match config.Config.analysis with
   | Config.Compiler -> load_verdicts app
   | Config.Runtime _ when config.Config.static_filter -> load_verdicts app
   | Config.Baseline | Config.Runtime _ -> Site.reset_verdicts ());
   let p = app.prepare ~nthreads ~scale config in
+  if config.Config.durable then begin
+    (* Attach after setup: the baseline checkpoint snapshots the built
+       shared state, so recovery never re-runs initialization. *)
+    let w =
+      Captured_stm.Wal.create ~group:config.Config.wal_group ?dir:wal_dir ()
+    in
+    Engine.attach_wal p.world w
+  end;
   let result =
     match mode with
     | `Sim seed -> Engine.run_sim ~seed p.world p.body
     | `Native -> Engine.run_native p.world p.body
   in
+  (* Final flush: a clean shutdown acknowledges everything pending, so a
+     recovery from the mirrored directory replays the complete run. *)
+  (match Engine.wal p.world with
+  | Some w -> Captured_stm.Wal.sync w
+  | None -> ());
   match p.verify () with Ok () -> Ok result | Error m -> Error m
 
 let run app ~nthreads ~scale ~mode config =

@@ -48,8 +48,14 @@ val run :
     drive [prepare]/[Engine.run_sim] directly ({!Captured_check}). *)
 val load_verdicts : t -> unit
 
-(** As [run] but returns the verification error instead of raising. *)
+(** As [run] but returns the verification error instead of raising.
+    Durable configurations ([Config.durable]) get a fresh WAL device
+    attached after [prepare] (so the baseline checkpoint snapshots the
+    built world) and flushed after the run; [wal_dir] mirrors the
+    durable log to [<wal_dir>/wal.log] for cross-process recovery
+    ({!Captured_stm.Wal.recover_dir}). *)
 val run_checked :
+  ?wal_dir:string ->
   t ->
   nthreads:int ->
   scale:scale ->

@@ -11,6 +11,7 @@ type run = {
   trace : Strategy.trace;
   violation : Oracle.violation option;
   truncated : bool;
+  crashed : bool;  (* ended in an injected process death (recovery ran) *)
   commits : int;
   aborts : int;
   events : int;
@@ -23,16 +24,56 @@ let strictness_for (config : Config.t) =
     Oracle.All_attempts
   else Oracle.Committed_only
 
+module Wal = Captured_stm.Wal
+
+(* Crash-and-replay check: recover from the device (fresh memory +
+   arenas rebuilt from the last checkpoint and the durable log) and hold
+   the result to the recovery oracle's prefix-consistency contract.
+   [wal_bug] routes through the seeded apply-the-torn-tail recovery bug
+   (the checker's ddmin self-test target). *)
+let recovery_violation ?(wal_bug = false) ~wal ~init ~hist () =
+  let synced_seq = Wal.synced_seq wal in
+  let synced_raws = Wal.synced_raws wal in
+  match Wal.recover ~bug_apply_torn:wal_bug wal with
+  | Error m ->
+      Some { Oracle.kind = "recovery-error"; tid = -1; seq = 0; detail = m }
+  | Ok rc ->
+      Oracle.check_recovery
+        ~initial:(fun a -> init.(a))
+        ~recovered:(fun a -> Memory.get rc.Wal.r_memory a)
+        ~history:hist
+        ~facts:
+          {
+            Oracle.rf_floor_seq = rc.Wal.r_floor_seq;
+            rf_applied_seqs = rc.Wal.r_applied_seqs;
+            rf_floor_raws = rc.Wal.r_floor_raws;
+            rf_raws_applied = rc.Wal.r_raws_applied;
+            rf_synced_seq = synced_seq;
+            rf_synced_raws = synced_raws;
+            rf_freed = rc.Wal.r_freed;
+          }
+        ()
+
 (* One controlled run: fresh world, snapshot memory, record the history,
    replay it through the oracle.  Deterministic in (workload, config,
    seed, control). *)
 let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
-    ~(workload : Workloads.t) ~config control =
+    ?(wal_bug = false) ~(workload : Workloads.t) ~config control =
   let p = workload.Workloads.prepare config in
   let mem = Engine.memory p.App.world in
   let size = Memory.size mem in
   let init = Array.make size 0 in
   Memory.blit_to_array mem 1 init 1 (size - 1);
+  let wal =
+    if config.Config.durable then begin
+      let w = Wal.create ~group:config.Config.wal_group () in
+      (* Attached after setup and after [init] was captured, so the
+         baseline checkpoint restores exactly the [init] image. *)
+      Engine.attach_wal p.App.world w;
+      Some w
+    end
+    else None
+  in
   let hist = History.create () in
   let trace = Strategy.new_trace ~record_detail () in
   let instrumented = Strategy.instrument trace control in
@@ -53,6 +94,21 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         trace;
         violation = None;
         truncated = true;
+        crashed = false;
+        commits = 0;
+        aborts = 0;
+        events = History.length hist;
+      }
+  | `Crashed (_, Wal.Crashed) when wal <> None ->
+      (* Injected process death: the run ends mid-flight by design.  The
+         verdict is the recovery oracle's alone — replay the durable log
+         and hold the result to prefix consistency. *)
+      let wal = Option.get wal in
+      {
+        trace;
+        violation = recovery_violation ~wal_bug ~wal ~init ~hist ();
+        truncated = false;
+        crashed = true;
         commits = 0;
         aborts = 0;
         events = History.length hist;
@@ -71,6 +127,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
               detail = Printexc.to_string e;
             };
         truncated = false;
+        crashed = false;
         commits = 0;
         aborts = 0;
         events = History.length hist;
@@ -89,10 +146,30 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
           ~final:(fun a -> Memory.get mem a)
           ~history:hist ~verify:p.App.verify ()
       in
+      let violation, crashed =
+        match (violation, wal) with
+        | Some _, _ | _, None -> (violation, false)
+        | None, Some wal -> (
+            (* Clean durable run: full-replay verification on every run
+               (a [+wal] run that passes the live oracle must also pass
+               crash-free recovery — silence here is the no-false-
+               positive guarantee), then a checkpoint, which under
+               [Crash_mid_checkpoint] tears and must fall back to the
+               previous checkpoint on a second recovery. *)
+            Wal.sync wal;
+            match recovery_violation ~wal_bug ~wal ~init ~hist () with
+            | Some v -> (Some v, false)
+            | None -> (
+                match Engine.checkpoint p.App.world with
+                | () -> (None, false)
+                | exception Wal.Crashed ->
+                    (recovery_violation ~wal_bug ~wal ~init ~hist (), true)))
+      in
       {
         trace;
         violation;
         truncated = false;
+        crashed;
         commits = r.Engine.stats.Stats.commits;
         aborts = r.Engine.stats.Stats.aborts;
         events = History.length hist;
@@ -111,6 +188,7 @@ type report = {
   runs : int;
   distinct : int; (* schedules not seen before (across the shared table) *)
   truncated : int;
+  crashes : int;  (* runs ending in an injected process death *)
   violations : int;
   first : found option;
   max_events : int;
@@ -121,7 +199,7 @@ type report = {
    then branch on every consume decision after its last prescribed step
    (those all followed the default = continue, so each alternative is one
    more preemption). *)
-let dfs_explore ~workload ~config ~seed ~max_steps ~bound ~budget ~note =
+let dfs_explore ~workload ~config ~seed ~max_steps ~wal_bug ~bound ~budget ~note =
   let stack = ref [ [] ] in
   let runs = ref 0 in
   while !stack <> [] && !runs < budget do
@@ -132,6 +210,7 @@ let dfs_explore ~workload ~config ~seed ~max_steps ~bound ~budget ~note =
         incr runs;
         let r =
           run_one ~workload ~config ~seed ~max_steps ~record_detail:true
+            ~wal_bug
             (Strategy.replay_control ~interventions:p ())
         in
         note r p;
@@ -158,12 +237,14 @@ let dfs_explore ~workload ~config ~seed ~max_steps ~bound ~budget ~note =
   !runs
 
 let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
-    ?(seed = 1) ?(max_steps = 200_000) ?(minimize = true) ?seen () =
+    ?(seed = 1) ?(max_steps = 200_000) ?(minimize = true) ?(wal_bug = false)
+    ?seen () =
   let seen =
     match seen with Some s -> s | None -> Hashtbl.create (4 * runs)
   in
   let distinct = ref 0
   and truncated = ref 0
+  and crashes = ref 0
   and violations = ref 0
   and max_events = ref 0
   and total_commits = ref 0
@@ -177,6 +258,7 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
       incr distinct
     end;
     if r.truncated then incr truncated;
+    if r.crashed then incr crashes;
     max_events := max !max_events r.events;
     total_commits := !total_commits + r.commits;
     match r.violation with
@@ -189,7 +271,7 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
               Minimize.ddmin
                 ~test:(fun subset ->
                   let rr =
-                    run_one ~workload ~config ~seed ~max_steps
+                    run_one ~workload ~config ~seed ~max_steps ~wal_bug
                       (Strategy.replay_control ~interventions:subset ())
                   in
                   rr.violation <> None)
@@ -203,7 +285,7 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
   | Strategy.Random { persist } ->
       for i = 0 to runs - 1 do
         let r =
-          run_one ~workload ~config ~seed ~max_steps
+          run_one ~workload ~config ~seed ~max_steps ~wal_bug
             (Strategy.random_control ~seed:(seed + (7919 * i)) ~persist)
         in
         note r (Strategy.interventions r.trace)
@@ -212,14 +294,14 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
       (* One default-policy probe estimates the schedule length PCT
          samples its priority-change points over. *)
       let probe =
-        run_one ~workload ~config ~seed ~max_steps
+        run_one ~workload ~config ~seed ~max_steps ~wal_bug
           (Strategy.replay_control ())
       in
       note probe (Strategy.interventions probe.trace);
       let length = max 1 (Strategy.steps probe.trace) in
       for i = 1 to runs - 1 do
         let r =
-          run_one ~workload ~config ~seed ~max_steps
+          run_one ~workload ~config ~seed ~max_steps ~wal_bug
             (Strategy.pct_control ~seed:(seed + (7919 * i))
                ~nthreads:workload.Workloads.nthreads ~depth ~length)
         in
@@ -227,8 +309,8 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
       done
   | Strategy.Dfs { preemptions } ->
       ignore
-        (dfs_explore ~workload ~config ~seed ~max_steps ~bound:preemptions
-           ~budget:runs ~note:(fun r p -> note r p)
+        (dfs_explore ~workload ~config ~seed ~max_steps ~wal_bug
+           ~bound:preemptions ~budget:runs ~note:(fun r p -> note r p)
           : int));
   {
     workload = workload.Workloads.name;
@@ -237,6 +319,7 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
     runs = !ran;
     distinct = !distinct;
     truncated = !truncated;
+    crashes = !crashes;
     violations = !violations;
     first = !first;
     max_events = !max_events;
@@ -244,8 +327,10 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
   }
 
 let report_to_string r =
-  Printf.sprintf "%-14s %-28s %-6s runs=%-5d new-schedules=%-5d trunc=%-3d %s"
+  Printf.sprintf "%-14s %-28s %-6s runs=%-5d new-schedules=%-5d trunc=%-3d %s%s"
     r.workload r.config r.strategy r.runs r.distinct r.truncated
+    (if r.crashes = 0 then ""
+     else Printf.sprintf "crashes=%d " r.crashes)
     (if r.violations = 0 then "ok"
      else
        match r.first with

@@ -10,6 +10,10 @@ type run = {
   trace : Strategy.trace;
   violation : Oracle.violation option;
   truncated : bool;  (** hit the step budget; not oracle-checked *)
+  crashed : bool;
+      (** the run ended in an injected process death
+          ({!Captured_stm.Wal.Crashed}); [violation] is the recovery
+          oracle's verdict *)
   commits : int;
   aborts : int;
   events : int;
@@ -22,11 +26,21 @@ val strictness_for : Config.t -> Oracle.strictness
 
 (** [run_one ~workload ~config control] prepares a fresh world, runs it
     under [control] and replays the history through the oracle.
-    Deterministic in (workload, config, seed, control). *)
+    Deterministic in (workload, config, seed, control).
+
+    Durable configurations ([Config.durable]) get a fresh WAL device
+    attached before the run.  A run ending in an injected crash
+    ({!Captured_stm.Wal.Crashed}) is judged by the recovery oracle
+    alone; a clean durable run is additionally crash-replayed in full
+    (recover-and-compare on every run) and finished with a checkpoint —
+    which, under [Fault.Crash_mid_checkpoint], tears and forces a
+    second recovery from the previous checkpoint.  [wal_bug] enables
+    the seeded apply-the-torn-tail recovery bug (ddmin self-test). *)
 val run_one :
   ?seed:int ->
   ?max_steps:int ->
   ?record_detail:bool ->
+  ?wal_bug:bool ->
   workload:Workloads.t ->
   config:Config.t ->
   Sched.control ->
@@ -47,6 +61,7 @@ type report = {
       (** schedules whose choice-sequence hash was not already in the
           shared [seen] table *)
   truncated : int;
+  crashes : int;  (** runs ending in an injected process death *)
   violations : int;
   first : found option;
   max_events : int;
@@ -65,6 +80,7 @@ val explore :
   ?seed:int ->
   ?max_steps:int ->
   ?minimize:bool ->
+  ?wal_bug:bool ->
   ?seen:(int, unit) Hashtbl.t ->
   unit ->
   report

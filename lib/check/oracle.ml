@@ -310,3 +310,280 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
     | Error m -> fail ~kind:"app-verify" ~tid:(-1) ~seq:(History.length history) m);
     None
   with Found v -> Some v
+
+(* ------------------------------------------------------------------ *)
+(* Recovery oracle (durable transactions, DESIGN.md §13).
+
+   Replays the recorded history into the sequence of *durable items* the
+   WAL device must contain — nonempty commit records in commit order,
+   raw/private stores at their barrier instants (the engine charges all
+   WAL cost before touching the device, so there is no scheduling point
+   between an append and its event: log order provably equals history
+   order) — and asserts the recovered state is a *prefix-consistent*
+   image: some cut M of that stream such that everything before M is
+   present, nothing after M is visible, and every acknowledged (fsynced)
+   item lies before M. *)
+
+type recovery_facts = {
+  rf_floor_seq : int;  (** commits already inside the restored snapshot *)
+  rf_applied_seqs : int list;  (** commit seqs replayed, in log order *)
+  rf_floor_raws : int;
+  rf_raws_applied : int;
+  rf_synced_seq : int;  (** highest commit seq acknowledged pre-crash *)
+  rf_synced_raws : int;
+  rf_freed : (int * int * int) list;
+      (** (tid, addr, carved size) of each free recovery replayed *)
+}
+
+(* One effect of a (potentially) committing attempt, mirrored from the
+   engine's scope tracking: instrumented writes feed the commit record's
+   write set; heap/static-elided writes ride inside allocation payload
+   images; allocations and deferred frees are logged structurally.
+   Stack-elided writes are transient by definition and appear nowhere. *)
+type ralloc = { a_addr : int; a_size : int; mutable a_netted : bool }
+
+type reff =
+  | RW of { w_addr : int; w_value : int; w_cls : Txn.access_class }
+  | RA of ralloc
+  | RF of { f_addr : int; f_size : int; f_counts : bool }
+      (* [f_counts]: a free the commit record carries (deferred free);
+         false for a free netted against this scope's own allocation,
+         which the engine performs immediately and never logs. *)
+
+type sitem = SRaw of int * int | SCommit of reff list
+
+let check_recovery ~initial ~recovered ~history ~facts () =
+  let kmax = facts.rf_floor_seq + List.length facts.rf_applied_seqs in
+  let raws_total = facts.rf_floor_raws + facts.rf_raws_applied in
+  try
+    (* Replayed commit seqs must continue the snapshot floor without a
+       gap or reordering: the log is applied front to back. *)
+    List.iteri
+      (fun i s ->
+        let want = facts.rf_floor_seq + i + 1 in
+        if s <> want then
+          fail ~kind:"recovery-gap" ~tid:(-1) ~seq:i
+            (Printf.sprintf
+               "replayed commit seq %d where %d was expected (floor %d)" s
+               want facts.rf_floor_seq))
+      facts.rf_applied_seqs;
+    (* Durability: an acknowledged item survives every crash. *)
+    if kmax < facts.rf_synced_seq then
+      fail ~kind:"recovery-lost-commit" ~tid:(-1) ~seq:kmax
+        (Printf.sprintf
+           "commit seq %d was acknowledged (fsynced) but recovery stopped \
+            at %d"
+           facts.rf_synced_seq kmax);
+    if raws_total < facts.rf_synced_raws then
+      fail ~kind:"recovery-lost-raw" ~tid:(-1) ~seq:raws_total
+        (Printf.sprintf
+           "%d raw stores were acknowledged but recovery replayed %d"
+           facts.rf_synced_raws raws_total);
+    (* Walk the history, mirroring the engine's per-scope effect
+       tracking, into the durable-item stream. *)
+    let live : (int, reff list list) Hashtbl.t = Hashtbl.create 8 in
+    let sizes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (_, addr, size) -> Hashtbl.replace sizes addr size)
+      facts.rf_freed;
+    let stream = ref [] in
+    let push_eff tid e =
+      match Hashtbl.find_opt live tid with
+      | Some (scope :: rest) -> Hashtbl.replace live tid ((e :: scope) :: rest)
+      | _ -> ()
+    in
+    let on_event ({ seq = _; tid; ev } : History.entry) =
+      match ev with
+      | Txn.Ev_begin _ -> Hashtbl.replace live tid [ [] ]
+      | Txn.Ev_scope_begin -> (
+          match Hashtbl.find_opt live tid with
+          | Some scopes -> Hashtbl.replace live tid ([] :: scopes)
+          | None -> ())
+      | Txn.Ev_scope_commit -> (
+          match Hashtbl.find_opt live tid with
+          | Some (child :: parent :: rest) ->
+              Hashtbl.replace live tid ((child @ parent) :: rest)
+          | _ -> ())
+      | Txn.Ev_scope_abort -> (
+          match Hashtbl.find_opt live tid with
+          | Some (_ :: rest) -> Hashtbl.replace live tid rest
+          | _ -> ())
+      | Txn.Ev_write { addr; value; cls } -> (
+          match cls with
+          | Txn.Elided_private ->
+              (* Logged raw at the barrier; survives aborts. *)
+              stream := SRaw (addr, value) :: !stream
+          | Txn.Elided_stack -> ()
+          | Txn.Instrumented | Txn.Elided_heap | Txn.Elided_static ->
+              push_eff tid (RW { w_addr = addr; w_value = value; w_cls = cls })
+          )
+      | Txn.Ev_alloc { addr; size } ->
+          Hashtbl.replace sizes addr size;
+          push_eff tid (RA { a_addr = addr; a_size = size; a_netted = false })
+      | Txn.Ev_alloca _ -> ()
+      | Txn.Ev_free { addr } -> (
+          match Hashtbl.find_opt live tid with
+          | Some (scope :: _) -> (
+              (* The engine nets a free against the innermost scope's own
+                 allocations (newest first); a netted pair is freed
+                 immediately and never reaches the commit record. *)
+              let rec net = function
+                | [] -> None
+                | RA a :: _ when a.a_addr = addr && not a.a_netted -> Some a
+                | _ :: tl -> net tl
+              in
+              match net scope with
+              | Some a ->
+                  a.a_netted <- true;
+                  push_eff tid
+                    (RF { f_addr = addr; f_size = a.a_size; f_counts = false })
+              | None ->
+                  let size =
+                    match Hashtbl.find_opt sizes addr with
+                    | Some s -> s
+                    | None -> -1
+                  in
+                  push_eff tid (RF { f_addr = addr; f_size = size; f_counts = true }))
+          | _ -> ())
+      | Txn.Ev_commit -> (
+          match Hashtbl.find_opt live tid with
+          | Some scopes ->
+              let effs = List.rev (List.concat scopes) in
+              (* Mirrors the engine's skip-empty-record decision: a
+                 record exists iff a surviving instrumented write, a
+                 surviving allocation or a deferred free does. *)
+              let nonempty =
+                List.exists
+                  (function
+                    | RW { w_cls = Txn.Instrumented; _ } -> true
+                    | RA a -> not a.a_netted
+                    | RF f -> f.f_counts
+                    | _ -> false)
+                  effs
+              in
+              if nonempty then stream := SCommit effs :: !stream;
+              Hashtbl.remove live tid
+          | None -> ())
+      | Txn.Ev_abort _ -> Hashtbl.remove live tid
+      | Txn.Ev_raw_write { addr; value } ->
+          stream := SRaw (addr, value) :: !stream
+      | Txn.Ev_read _ -> ()
+    in
+    History.iter history on_event;
+    let stream = List.rev !stream in
+    (* Attempts still in flight at the crash: their instrumented writes
+       must NOT be visible in the recovered image (no partial
+       transaction) — recovery rebuilt state from the log alone, so any
+       of them showing up is a replay bug. *)
+    let inflight : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun _tid scopes ->
+        List.iter
+          (List.iter (function
+            | RW { w_cls = Txn.Instrumented; w_addr; _ } ->
+                Hashtbl.replace inflight w_addr ()
+            | _ -> ()))
+          scopes)
+      live;
+    (* Expected recovered state: apply the stream's first M items over
+       the initial image, where M is the cut recovery claims.  Cells
+       inside allocated or freed extents are wildcards ([Fresh]) until a
+       durable write pins them: recycled blocks carry garbage and freed
+       blocks carry allocator links, both faithfully replayed via
+       payload images but outside the oracle's value model. *)
+    let expected : (int, cell) Hashtbl.t = Hashtbl.create 256 in
+    let apply_commit effs =
+      let own = Hashtbl.create 8 in
+      List.iter
+        (function
+          | RA a ->
+              for i = a.a_addr to a.a_addr + a.a_size - 1 do
+                Hashtbl.replace expected i Fresh;
+                Hashtbl.replace own i ()
+              done
+          | RW w -> (
+              match w.w_cls with
+              | Txn.Instrumented ->
+                  Hashtbl.replace expected w.w_addr (Val w.w_value)
+              | Txn.Elided_heap | Txn.Elided_static ->
+                  (* Covered by this commit's own allocation images; an
+                     elision that strays outside them (compiler-proved
+                     site hitting the stack, say) is durably
+                     unverifiable — wildcard, never a false alarm. *)
+                  if Hashtbl.mem own w.w_addr then
+                    Hashtbl.replace expected w.w_addr (Val w.w_value)
+                  else Hashtbl.replace expected w.w_addr Fresh
+              | _ -> ())
+          | RF f ->
+              if f.f_size >= 0 then
+                for i = f.f_addr to f.f_addr + f.f_size - 1 do
+                  Hashtbl.replace expected i Fresh
+                done
+              else Hashtbl.replace expected f.f_addr Fresh)
+        effs
+    in
+    let rec cut items c r =
+      if c = kmax && r = raws_total then ()
+      else
+        match items with
+        | [] ->
+            fail ~kind:"recovery-phantom" ~tid:(-1)
+              ~seq:(History.length history)
+              (Printf.sprintf
+                 "recovery claims %d commits / %d raw stores but the \
+                  history only yields %d / %d"
+                 kmax raws_total c r)
+        | SRaw (a, v) :: rest ->
+            if r = raws_total then
+              fail ~kind:"recovery-not-prefix" ~tid:(-1) ~seq:(c + r)
+                (Printf.sprintf
+                   "commit(s) up to seq %d were replayed past an \
+                    unreplayed raw store to addr %d"
+                   kmax a)
+            else begin
+              Hashtbl.replace expected a (Val v);
+              cut rest c (r + 1)
+            end
+        | SCommit effs :: rest ->
+            if c = kmax then
+              fail ~kind:"recovery-not-prefix" ~tid:(-1) ~seq:(c + r)
+                (Printf.sprintf
+                   "raw store(s) up to %d were replayed past unreplayed \
+                    commit seq %d"
+                   raws_total (c + 1))
+            else begin
+              apply_commit effs;
+              cut rest (c + 1) r
+            end
+    in
+    cut stream 0 0;
+    (* State check over every cell the model pins plus every cell an
+       in-flight attempt wrote: recovered = expected (or initial where
+       the durable prefix never touched it). *)
+    let check_addr addr =
+      match Hashtbl.find_opt expected addr with
+      | Some Fresh -> ()
+      | Some (Val v) ->
+          let got = recovered addr in
+          if got <> v then
+            fail ~kind:"recovery-state" ~tid:(-1) ~seq:kmax
+              (Printf.sprintf
+                 "addr %d holds %d after recovery, durable prefix says %d"
+                 addr got v)
+      | None ->
+          let got = recovered addr in
+          let v = initial addr in
+          if got <> v then
+            fail ~kind:"recovery-state" ~tid:(-1) ~seq:kmax
+              (Printf.sprintf
+                 "addr %d holds %d after recovery, but no durable item \
+                  touched it (initial %d)"
+                 addr got v)
+    in
+    Hashtbl.iter (fun addr _ -> check_addr addr) expected;
+    Hashtbl.iter
+      (fun addr () ->
+        if not (Hashtbl.mem expected addr) then check_addr addr)
+      inflight;
+    None
+  with Found v -> Some v

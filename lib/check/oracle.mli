@@ -70,3 +70,53 @@ val check :
   verify:(unit -> (unit, string) result) ->
   unit ->
   violation option
+
+(** {2 Recovery oracle (durable transactions)}
+
+    After a crash-and-replay, asserts the recovered image is
+    {e prefix-consistent} with the recorded history: the WAL's durable
+    items (nonempty commit records in commit order, raw/private stores
+    at their barrier instants) admit a cut M such that recovery applied
+    exactly the items before M, every acknowledged (fsynced) item lies
+    before M, and no effect of an in-flight (uncommitted) attempt is
+    visible.  Violation kinds:
+
+    - {b recovery-gap}: replayed commit seqs are not the contiguous
+      range continuing the snapshot floor;
+    - {b recovery-lost-commit} / {b recovery-lost-raw}: an acknowledged
+      item did not survive;
+    - {b recovery-not-prefix}: a later durable item was applied while an
+      earlier one was not;
+    - {b recovery-phantom}: recovery claims more durable items than the
+      history produced;
+    - {b recovery-state}: a recovered cell disagrees with the durable
+      prefix (or was touched when nothing durable wrote it — including
+      partial-transaction leakage from the crashed attempt).
+
+    Cells inside allocated/freed extents are wildcards until a durable
+    write pins them (recycled-block garbage and allocator links are
+    replayed via payload images, outside the value model), and
+    stack-elided writes are transient by definition — both by design,
+    mirroring the engine's captured-write WAL elision. *)
+
+type recovery_facts = {
+  rf_floor_seq : int;  (** commits already inside the restored snapshot *)
+  rf_applied_seqs : int list;  (** commit seqs replayed, in log order *)
+  rf_floor_raws : int;
+  rf_raws_applied : int;
+  rf_synced_seq : int;  (** highest commit seq acknowledged pre-crash *)
+  rf_synced_raws : int;
+  rf_freed : (int * int * int) list;
+      (** (tid, addr, carved size) of each free recovery replayed *)
+}
+
+(** [check_recovery ~initial ~recovered ~history ~facts ()] — [initial]
+    must describe the image the {e snapshot floor} restores (the pre-run
+    memory when the only checkpoint is the baseline one). *)
+val check_recovery :
+  initial:(int -> int) ->
+  recovered:(int -> int) ->
+  history:History.t ->
+  facts:recovery_facts ->
+  unit ->
+  violation option

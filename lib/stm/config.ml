@@ -33,6 +33,8 @@ type t = {
   orec_map : Orec.mapping;
   dclock : bool;
   lazy_versioning : bool;
+  durable : bool;
+  wal_group : int;
 }
 
 let full_scope =
@@ -69,6 +71,8 @@ let default =
     orec_map = Orec.Hash;
     dclock = false;
     lazy_versioning = false;
+    durable = false;
+    wal_group = 4;
   }
 
 let baseline = default
@@ -105,6 +109,16 @@ let with_shards ?map n t =
 
 let with_dclock ?(on = true) t = { t with dclock = on }
 let with_lazy ?(on = true) t = { t with lazy_versioning = on }
+
+let with_durable ?group ?(on = true) t =
+  let wal_group =
+    match group with
+    | None -> t.wal_group
+    | Some g ->
+        if g < 1 then invalid_arg "Config.with_durable: group must be >= 1";
+        g
+  in
+  { t with durable = on; wal_group }
 let with_orec_map m t = { t with orec_map = m }
 let with_fault fault t = { t with fault }
 let has_fault t kind = t.fault = Some kind
@@ -133,6 +147,7 @@ let name t =
     (if t.fastpath then "+fp" else "")
     ^ (if t.tvalidate then "+tv" else "")
     ^ (if t.lazy_versioning then "+lazy" else "")
+    ^ (if t.durable then "+wal" else "")
     ^ (if t.pessimistic_reads then "+pessimistic" else "")
     ^ (match t.cm with
       | Cm.Backoff -> ""
@@ -161,6 +176,7 @@ let mode_name t =
   (if t.lazy_versioning then "lazy" else "eager")
   ^ (if t.fastpath then "+fp" else "")
   ^ (if t.tvalidate then "+tv" else "")
+  ^ (if t.durable then "+wal" else "")
   ^ (if t.pessimistic_reads then "+pessimistic" else "")
   ^ (if t.orec_shards > 1 then Printf.sprintf "+shards:%d" t.orec_shards
      else "")

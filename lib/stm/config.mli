@@ -119,6 +119,18 @@ type t = {
           the buffer {e and} the commit write-back entirely
           ([Stats.redo_skips]).  Composes with every other flag;
           [false] (default) is the eager-undo engine, bit for bit. *)
+  durable : bool;
+      (** Durable transactions ([+wal] suffix): writer commits append a
+          redo-style record (derived from the redo buffer under [+lazy],
+          captured from the undo log's addresses under eager) to a
+          write-ahead log at the serialization point, batched by group
+          commit ([wal_group]).  Stores the capture analysis proved
+          transaction-local never reach the log ([Stats.wal_skips]).
+          The engine must be given a {!Wal.t} ({!Engine.attach_wal}) for
+          the toggle to take effect. *)
+  wal_group : int;
+      (** Group-commit batch size: pending WAL records accumulated
+          before an fsync ([>= 1]; 1 = sync every commit). *)
 }
 
 val full_scope : scope
@@ -182,6 +194,11 @@ val with_orec_map : Orec.mapping -> t -> t
 (** [with_lazy t] selects the deferred-update backend ([+lazy] suffix;
     [?on:false] returns to eager undo). *)
 val with_lazy : ?on:bool -> t -> t
+
+(** [with_durable t] enables durable transactions ([+wal] suffix);
+    [?group] sets the group-commit batch size (default kept).  Raises
+    [Invalid_argument] on [group < 1]. *)
+val with_durable : ?group:int -> ?on:bool -> t -> t
 
 (** [with_fault f t] injects fault [f] ([+fault:<name>] suffix). *)
 val with_fault : Fault.kind option -> t -> t

@@ -71,6 +71,13 @@ let redo_insert = 18
 let commit_acquire = 20
 let publish_per_entry = 3
 
+(* Durability (write-ahead log): serializing one word of a commit record
+   into the log buffer is about a store; an fsync is the dominant cost of
+   durable commit by orders of magnitude, which is what group commit
+   amortises. *)
+let wal_append_per_word = 1
+let wal_fsync = 500
+
 (* Fault injection: extra cycles a Delayed_unlock commit burns while
    still holding its orecs — deliberately beyond the default lock-wait
    budget (spin_limit * lock_spin = 128) so waiters spin out. *)

@@ -104,6 +104,13 @@ val publish_per_entry : int
 (** Lazy versioning: commit-time write-back of one buffered entry, on a
     line whose orec is already held. *)
 
+val wal_append_per_word : int
+(** Durability: serializing one word of a commit record into the WAL
+    buffer. *)
+
+val wal_fsync : int
+(** Durability: one fsync (group commit exists to amortise this). *)
+
 val fault_unlock_delay : int
 (** {!Fault.Delayed_unlock}: cycles a commit holds its locks beyond the
     release point. *)

@@ -15,6 +15,11 @@ type world = {
   stacks : Tstack.t array;
   arenas : Alloc.t array;
   cm_shared : Cm.shared;
+  mutable wal : Wal.t option;
+      (* Durable transactions: the world's write-ahead-log device, shared
+         by every thread.  Attached explicitly ([attach_wal]) so the
+         harness owns device lifetime and can recover from it after a
+         simulated crash. *)
 }
 
 let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
@@ -51,7 +56,36 @@ let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
     stacks;
     arenas;
     cm_shared = Cm.create_shared ();
+    wal = None;
   }
+
+(* Arena order used by snapshots and recovery: [global; arena 0; ...].
+   [Wal.recover_bytes] maps a replayed thread-[tid] free to arena
+   [min (tid+1) (len-1)], which under this ordering is exactly that
+   thread's own arena ("freeing thread keeps it"). *)
+let all_arenas w = Array.append [| w.global_arena |] w.arenas
+
+let snapshot w =
+  Captured_tmem.Snapshot.encode
+    (Captured_tmem.Snapshot.capture w.memory (all_arenas w))
+
+let checkpoint w =
+  match w.wal with
+  | None -> ()
+  | Some wal ->
+      if Config.has_fault w.config Fault.Crash_mid_checkpoint then begin
+        Wal.checkpoint_torn wal ~snapshot:(snapshot w);
+        raise Wal.Crashed
+      end
+      else Wal.checkpoint wal ~snapshot:(snapshot w)
+
+let attach_wal w wal =
+  w.wal <- Some wal;
+  (* Baseline checkpoint: recovery always has a root to restore, even if
+     the run crashes before the first periodic checkpoint. *)
+  Wal.checkpoint wal ~snapshot:(snapshot w)
+
+let wal w = w.wal
 
 let memory w = w.memory
 let global_arena w = w.global_arena
@@ -81,7 +115,7 @@ let thread_seed seed tid =
 let make_thread w ~tid ~platform ~seed =
   Txn.create_thread ~tid ~platform ~memory:w.memory ~stack:w.stacks.(tid)
     ~arena:w.arenas.(tid) ~orecs:w.orecs ~config:w.config
-    ~cm_shared:w.cm_shared ~seed:(thread_seed seed tid) ()
+    ~cm_shared:w.cm_shared ?wal:w.wal ~seed:(thread_seed seed tid) ()
 
 let collect threads makespan wall per_thread_wall =
   let per_thread = Array.map Txn.thread_stats threads in

@@ -32,6 +32,27 @@ val clock : world -> int
 (** Current value of the world's global version clock (0 until the first
     writing commit under [Config.tvalidate]). *)
 
+(** {2 Durable transactions} *)
+
+val attach_wal : world -> Wal.t -> unit
+(** Attach the write-ahead-log device and write the baseline checkpoint
+    (current memory + allocator state), so recovery always has a root.
+    Call after init-time setup, before running threads; threads made
+    afterwards log their commits to it when [Config.durable] is set. *)
+
+val wal : world -> Wal.t option
+
+val checkpoint : world -> unit
+(** Snapshot memory + all arenas into the log and truncate behind it
+    (no-op without an attached WAL).  Under the
+    [Fault.Crash_mid_checkpoint] fault this tears the checkpoint record
+    and raises {!Wal.Crashed} — recovery must fall back to the previous
+    checkpoint. *)
+
+val snapshot : world -> int array
+(** Encoded snapshot of memory + arenas ([global; per-thread...] order),
+    without touching the WAL. *)
+
 type result = {
   per_thread : Stats.t array;
   stats : Stats.t;  (** merged over threads *)

@@ -24,6 +24,11 @@ type kind =
   | Stale_epoch
   | Redo_drop
   | Publish_partial
+  | Crash_pre_commit
+  | Crash_mid_publish
+  | Crash_post_publish
+  | Crash_mid_checkpoint
+  | Torn_wal_record
 
 let all =
   [
@@ -36,6 +41,11 @@ let all =
     Stale_epoch;
     Redo_drop;
     Publish_partial;
+    Crash_pre_commit;
+    Crash_mid_publish;
+    Crash_post_publish;
+    Crash_mid_checkpoint;
+    Torn_wal_record;
   ]
 
 let name = function
@@ -48,10 +58,27 @@ let name = function
   | Stale_epoch -> "stale-epoch"
   | Redo_drop -> "redo-drop"
   | Publish_partial -> "publish-partial"
+  | Crash_pre_commit -> "crash-pre-commit"
+  | Crash_mid_publish -> "crash-mid-publish"
+  | Crash_post_publish -> "crash-post-publish"
+  | Crash_mid_checkpoint -> "crash-mid-checkpoint"
+  | Torn_wal_record -> "torn-wal-record"
 
 let names = List.map name all
 
 let of_name s = List.find_opt (fun k -> name k = s) all
+
+(* Crash-point faults kill the simulated process at their site instead of
+   corrupting a still-running one.  Their sites only exist when a WAL is
+   attached ([Config.durable]). *)
+let is_crash = function
+  | Crash_pre_commit | Crash_mid_publish | Crash_post_publish
+  | Crash_mid_checkpoint | Torn_wal_record ->
+      true
+  | Skip_validation | Stale_read | Delayed_unlock | Spurious_abort
+  | Alloc_log_drop | Clock_stall | Stale_epoch | Redo_drop | Publish_partial
+    ->
+      false
 
 type expectation = Contained | Flagged
 
@@ -59,7 +86,10 @@ let expectation = function
   | Skip_validation | Stale_read | Clock_stall | Stale_epoch | Redo_drop
   | Publish_partial ->
       Flagged
-  | Delayed_unlock | Spurious_abort | Alloc_log_drop -> Contained
+  | Delayed_unlock | Spurious_abort | Alloc_log_drop | Crash_pre_commit
+  | Crash_mid_publish | Crash_post_publish | Crash_mid_checkpoint
+  | Torn_wal_record ->
+      Contained
 
 (* Percent chance per opportunity.  [Skip_validation] is unconditional —
    it predates this registry as [bug_skip_validation] and the canary
@@ -76,6 +106,15 @@ let rate = function
   | Stale_epoch -> 50
   | Redo_drop -> 50
   | Publish_partial -> 50
+  (* Crash points: moderate rates so a few transactions usually land
+     before the process dies, giving recovery a non-trivial log.
+     [Crash_mid_checkpoint]'s only site is the explicit checkpoint call,
+     so it fires every time. *)
+  | Crash_pre_commit -> 20
+  | Crash_mid_publish -> 20
+  | Crash_post_publish -> 20
+  | Crash_mid_checkpoint -> 100
+  | Torn_wal_record -> 20
 
 let describe = function
   | Skip_validation ->
@@ -115,3 +154,27 @@ let describe = function
        half of its redo log but still releases every orec with a fresh \
        version (the unpublished tail is silently lost; only fires under \
        +lazy)"
+  | Crash_pre_commit ->
+      "the process occasionally dies at commit entry, before any orec is \
+       acquired or any WAL record written (recovery must show none of \
+       the transaction's effects; only fires under +wal)"
+  | Crash_mid_publish ->
+      "the process occasionally dies halfway through writing back the \
+       redo log (lazy) or after in-place stores but before the WAL \
+       append (eager) — memory holds a partial/unlogged transaction that \
+       recovery must discard (only fires under +wal)"
+  | Crash_post_publish ->
+      "the process occasionally dies right after the commit record is \
+       fsynced and the commit acknowledged, before orecs are released \
+       (recovery must replay the acknowledged transaction; only fires \
+       under +wal)"
+  | Crash_mid_checkpoint ->
+      "the process dies halfway through writing a checkpoint record \
+       (recovery must ignore the torn checkpoint and fall back to the \
+       previous one plus the un-truncated log; fires at every \
+       checkpoint under +wal)"
+  | Torn_wal_record ->
+      "an fsync occasionally tears mid-record: a byte prefix of the \
+       commit record reaches the log and the process dies (recovery \
+       must detect the torn tail via checksum/length framing and drop \
+       it; only fires under +wal)"

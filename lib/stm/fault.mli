@@ -35,11 +35,37 @@ type kind =
           half of its redo log yet releases every acquired orec with a
           fresh version — the tail is silently lost while readers see
           new versions.  Site only exists under [+lazy]. *)
+  | Crash_pre_commit
+      (** Process dies at commit entry: no orec acquired, no WAL record.
+          Recovery must show none of the transaction's effects.  Site
+          only exists under [+wal]. *)
+  | Crash_mid_publish
+      (** Process dies halfway through redo write-back (lazy) or after
+          in-place stores but before the WAL append (eager): memory
+          holds a partial/unlogged transaction recovery must discard.
+          Site only exists under [+wal]. *)
+  | Crash_post_publish
+      (** Process dies right after the commit record is fsynced (the
+          commit is acknowledged durable) but before orec release:
+          recovery must replay it.  Site only exists under [+wal]. *)
+  | Crash_mid_checkpoint
+      (** Process dies mid-checkpoint, leaving a torn checkpoint record:
+          recovery must fall back to the previous checkpoint plus the
+          un-truncated log.  Fires at every checkpoint under [+wal]. *)
+  | Torn_wal_record
+      (** An fsync tears mid-record: a byte prefix of a commit record
+          reaches the log and the process dies.  Recovery must drop the
+          torn tail.  Site only exists under [+wal]. *)
 
 val all : kind list
 val name : kind -> string
 val names : string list
 val of_name : string -> kind option
+
+val is_crash : kind -> bool
+(** Crash-point faults kill the simulated process at their site (their
+    sites require [Config.durable]); all other faults corrupt a
+    still-running one. *)
 
 (** What the robustness layer promises per fault: [Contained] faults are
     absorbed (runs stay correct — abort+retry, degraded elision, or

@@ -54,6 +54,10 @@ type t = {
   mutable redo_hits : int;
   mutable redo_skips : int;
   mutable publish_cycles : int;
+  mutable wal_records : int;
+  mutable wal_bytes : int;
+  mutable wal_fsyncs : int;
+  mutable wal_skips : int;
   mutable shard_acquires : int array;
   mutable shard_conflicts : int array;
   conflict_pairs : (int, int) Hashtbl.t;
@@ -116,6 +120,10 @@ let create () =
     redo_hits = 0;
     redo_skips = 0;
     publish_cycles = 0;
+    wal_records = 0;
+    wal_bytes = 0;
+    wal_fsyncs = 0;
+    wal_skips = 0;
     shard_acquires = [||];
     shard_conflicts = [||];
     conflict_pairs = Hashtbl.create 8;
@@ -207,6 +215,10 @@ let reset t =
   t.redo_hits <- 0;
   t.redo_skips <- 0;
   t.publish_cycles <- 0;
+  t.wal_records <- 0;
+  t.wal_bytes <- 0;
+  t.wal_fsyncs <- 0;
+  t.wal_skips <- 0;
   Array.fill t.shard_acquires 0 (Array.length t.shard_acquires) 0;
   Array.fill t.shard_conflicts 0 (Array.length t.shard_conflicts) 0;
   Hashtbl.reset t.conflict_pairs
@@ -275,6 +287,10 @@ let merge acc x =
   acc.redo_hits <- acc.redo_hits + x.redo_hits;
   acc.redo_skips <- acc.redo_skips + x.redo_skips;
   acc.publish_cycles <- acc.publish_cycles + x.publish_cycles;
+  acc.wal_records <- acc.wal_records + x.wal_records;
+  acc.wal_bytes <- acc.wal_bytes + x.wal_bytes;
+  acc.wal_fsyncs <- acc.wal_fsyncs + x.wal_fsyncs;
+  acc.wal_skips <- acc.wal_skips + x.wal_skips;
   ensure_shards acc (Array.length x.shard_acquires);
   Array.iteri
     (fun i v -> acc.shard_acquires.(i) <- acc.shard_acquires.(i) + v)

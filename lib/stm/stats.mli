@@ -125,6 +125,18 @@ type t = {
   mutable publish_cycles : int;
       (** Total simulated cycles charged for commit-time write-back of
           buffered values — the quantity [redo_skips] shrinks. *)
+  (* durability ([Config.durable]) *)
+  mutable wal_records : int;
+      (** Records appended to the write-ahead log (commit + raw;
+          checkpoints are counted by the engine, not per thread). *)
+  mutable wal_bytes : int;
+      (** Total serialized bytes appended to the WAL. *)
+  mutable wal_fsyncs : int;
+      (** Group-commit fsyncs this thread triggered. *)
+  mutable wal_skips : int;
+      (** The paper's insight carried into the persistence layer: writes
+          the capture check proved transaction-local, which therefore
+          need no WAL entry — the durable mirror of [redo_skips]. *)
   mutable shard_acquires : int array;
       (** Per-shard orec acquisitions (length = shard count; [[||]] until
           the thread is bound to a table). *)

@@ -86,6 +86,9 @@ type thread = {
   (* Cached shard geometry (avoids re-deriving it per barrier). *)
   orec_slot_bits : int;
   orec_shard_mask : int;
+  (* Durable transactions: the shared write-ahead log, when attached
+     ([Engine.attach_wal]).  [None] makes every WAL site free. *)
+  wal : Wal.t option;
   mutable epoch : int;
   mutable active : tx option;
 }
@@ -147,7 +150,7 @@ and scope = {
 (* Thread construction                                                 *)
 
 let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
-    ?cm_shared ~seed () =
+    ?cm_shared ?wal ~seed () =
   let n = Orec.count orecs in
   if tid < 0 || tid >= Orec.max_tids then
     invalid_arg "Txn.create_thread: tid outside the stamp encoding";
@@ -177,6 +180,7 @@ let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
     local_epoch = 0;
     orec_slot_bits = Orec.slot_bits orecs;
     orec_shard_mask = Orec.shard_count orecs - 1;
+    wal = (if config.Config.durable then wal else None);
     epoch = 0;
     active = None;
   }
@@ -354,6 +358,40 @@ let fault_fires th kind =
         th.stats.faults_injected <- th.stats.faults_injected + 1;
       fired
   | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Durable-transaction support (write-ahead log)                        *)
+
+(* Injected process death.  The exception deliberately escapes the
+   retry loop ([atomic] only catches [Retry_conflict]) and the fiber:
+   the simulated process is gone, and the harness moves to recovery. *)
+let wal_crash th =
+  (match th.wal with Some w -> Wal.crash w | None -> ());
+  raise Wal.Crashed
+
+(* Crash-point sites only exist when a WAL is attached; the [&&] keeps
+   configurations without the fault (or without durability) from ever
+   drawing the PRNG, so their schedules are untouched. *)
+let crash_point th kind = if th.wal <> None && fault_fires th kind then wal_crash th
+
+(* Append a raw (immediately-visible) store to the log.  Used for
+   non-transactional stores and for private-elided writes inside a
+   transaction — both take effect now and survive aborts, so recovery
+   must replay them unconditionally, in emission order.  All cycles are
+   charged *before* the device is touched: the append is then adjacent
+   to the store and its trace event with no scheduling point between. *)
+let wal_raw th addr value =
+  match th.wal with
+  | None -> ()
+  | Some w ->
+      let will_sync = Wal.pending_records w + 1 >= Wal.group w in
+      th.platform.consume
+        ((Costs.wal_append_per_word * Wal.raw_record_words)
+        + if will_sync then Costs.wal_fsync else 0);
+      let bytes, synced = Wal.append_raw w ~addr ~value in
+      th.stats.wal_records <- th.stats.wal_records + 1;
+      th.stats.wal_bytes <- th.stats.wal_bytes + bytes;
+      if synced then th.stats.wal_fsyncs <- th.stats.wal_fsyncs + 1
 
 (* Top-level recursion: a local [let rec] would close over the tx and
    allocate on every validation (which [maybe_validate] runs from the
@@ -929,6 +967,13 @@ let lazy_write tx addr v ~site =
        else st.writes_elided_static <- st.writes_elided_static + 1);
       st.redo_skips <- st.redo_skips + 1;
       th.platform.consume (elision_cost e + Costs.direct_access);
+      (* Durable elision: captured (stack/heap/static) stores need no
+         WAL entry — stacks are transient and own-allocation images ride
+         in the commit record.  Private stores are immediately visible
+         shared state and survive aborts, so they are logged raw. *)
+      (if th.wal <> None then
+         if cls = elide_private_code then wal_raw th addr v
+         else st.wal_skips <- st.wal_skips + 1);
       mem_set th addr v;
       match !tracer with
       | None -> ()
@@ -968,6 +1013,10 @@ let write ?(site = Site.anonymous_write) tx addr v =
           st.writes_elided_private <- st.writes_elided_private + 1
         else st.writes_elided_static <- st.writes_elided_static + 1);
        th.platform.consume (elision_cost e + Costs.direct_access);
+       (* Same durable-elision split as the lazy barrier above. *)
+       (if th.wal <> None then
+          if cls = elide_private_code then wal_raw th addr v
+          else st.wal_skips <- st.wal_skips + 1);
        mem_set th addr v
      end);
     match !tracer with
@@ -1282,9 +1331,103 @@ let publish tx =
     th.stats.publish_cycles <- th.stats.publish_cycles + cost;
     th.platform.consume cost;
     let limit = if fault_fires th Fault.Publish_partial then n / 2 else n in
+    (* Injected crash: the process dies after writing back the first
+       half of the buffer — memory holds a partial transaction whose
+       commit record never reached the log. *)
+    let crash_at =
+      if th.wal <> None && fault_fires th Fault.Crash_mid_publish then n / 2
+      else -1
+    in
     for k = 0 to limit - 1 do
+      if k = crash_at then wal_crash th;
       mem_set th (Redo.addr r k) (Redo.value r k)
     done
+  end
+
+(* Durable commit: build the redo-style record and append it at the
+   serialization point.  The write set is the redo buffer under [+lazy]
+   (one entry per distinct address, publish order); under eager undo it
+   is the undo log's addresses paired with their *current* memory values
+   (the post-transaction image — in-place stores already happened).
+   Captured writes are in neither ([wal_skips], counted at the barrier).
+   Surviving allocations are logged with their full payload images —
+   this is what makes captured-write elision sound durably: a captured
+   store only ever hits stack cells (transient by definition) or blocks
+   the transaction itself allocated, whose final image rides along here.
+   Transactions with no shared effect append nothing and consume no seq.
+
+   Every cycle is charged *before* the device is touched ([will_sync]
+   pre-computes whether this append group-commits), so there is no
+   scheduling point between the append and the [Ev_commit] emission —
+   log order provably matches recorded commit order. *)
+let wal_append_commit tx =
+  match tx.thread.wal with
+  | None -> ()
+  | Some w ->
+      let th = tx.thread in
+      let writes =
+        if th.config.Config.lazy_versioning then
+          Array.init (Redo.size tx.redo) (fun k ->
+              (Redo.addr tx.redo k, Redo.value tx.redo k))
+        else
+          Array.init tx.n_undo (fun k ->
+              let a = tx.undo_addrs.(k) in
+              (a, mem_get th a))
+      in
+      let scope = innermost tx in
+      let allocs =
+        Array.init scope.n_allocs (fun k ->
+            let addr = scope.alloc_addrs.(k) in
+            let size = Alloc.block_size th.arena addr in
+            (addr, size, Array.init size (fun i -> mem_get th (addr + i))))
+      in
+      let frees = Array.sub scope.dfree_addrs 0 scope.n_dfrees in
+      if
+        Array.length writes > 0
+        || Array.length allocs > 0
+        || Array.length frees > 0
+      then begin
+        let words = Wal.commit_record_words ~writes ~allocs ~frees in
+        let will_sync = Wal.pending_records w + 1 >= Wal.group w in
+        th.platform.consume
+          ((Costs.wal_append_per_word * words)
+          + if will_sync then Costs.wal_fsync else 0);
+        (* Injected crash: the fsync tears mid-record — a byte prefix
+           reaches the log, nothing is acknowledged, the process dies.
+           Group commit is suppressed so the record is still pending
+           when the tear happens. *)
+        if fault_fires th Fault.Torn_wal_record then begin
+          let bytes, _ =
+            Wal.append_commit ~group_commit:false w ~tid:th.tid ~writes
+              ~allocs ~frees
+          in
+          Wal.crash_torn w ~cut:(1 + Prng.int th.prng (max 1 (bytes - 1)));
+          raise Wal.Crashed
+        end;
+        let bytes, synced = Wal.append_commit w ~tid:th.tid ~writes ~allocs ~frees in
+        th.stats.wal_records <- th.stats.wal_records + 1;
+        th.stats.wal_bytes <- th.stats.wal_bytes + bytes;
+        if synced then th.stats.wal_fsyncs <- th.stats.wal_fsyncs + 1
+      end
+
+(* Serialization point of a writing commit: write back buffered values
+   (lazy), log the commit durably, emit the commit event — in that
+   order, with crash points bracketing the sequence. *)
+let commit_serialize tx =
+  let th = tx.thread in
+  if th.config.Config.lazy_versioning then publish tx
+  else
+    (* Eager "mid-publish": stores are already in place from the body;
+       the crash window is after them and before the WAL append. *)
+    crash_point th Fault.Crash_mid_publish;
+  wal_append_commit tx;
+  emit th.tid Ev_commit;
+  (* Post-publish crash: force the fsync first — the record is durable,
+     the acknowledgement was delivered, and the process dies before a
+     single orec release.  Recovery must replay this commit. *)
+  if th.wal <> None && fault_fires th Fault.Crash_post_publish then begin
+    (match th.wal with Some w -> Wal.sync w | None -> ());
+    wal_crash th
   end
 
 (* The commit event is emitted at the serialization point — validation
@@ -1299,6 +1442,9 @@ let publish tx =
 let commit_top tx =
   let th = tx.thread in
   let lazy_mode = th.config.Config.lazy_versioning in
+  (* Injected crash: death at commit entry — nothing acquired, nothing
+     published, nothing logged.  Recovery must show none of it. *)
+  crash_point th Fault.Crash_pre_commit;
   (* Lazy mode acquires the write set up front; [tx.n_acq] below then
      means the same thing it does in eager mode (notably for the
      read-only fast path: an empty buffer acquired nothing). *)
@@ -1311,6 +1457,12 @@ let commit_top tx =
           validation scan, no clock bump, nothing to release. *)
        th.platform.consume Costs.commit_base;
        th.stats.readonly_fast_commits <- th.stats.readonly_fast_commits + 1;
+       (* Acquired nothing, but may still have durable effects: an
+          alloc-only transaction (every write elided into its own
+          blocks) reaches here with a nonempty alloc set whose images
+          must survive — append its record.  True read-only commits
+          append nothing, keeping the fast path fast. *)
+       wal_append_commit tx;
        emit th.tid Ev_commit
      end
      else if th.config.Config.dclock then begin
@@ -1326,8 +1478,7 @@ let commit_top tx =
          + (Costs.commit_per_orec * tx.n_acq)
          + (Costs.commit_per_read * tx.n_reads));
        if not (validate tx) then raise Retry_conflict;
-       if lazy_mode then publish tx;
-       emit th.tid Ev_commit;
+       commit_serialize tx;
        if fault_fires th Fault.Delayed_unlock then
          th.platform.consume Costs.fault_unlock_delay;
        let stale =
@@ -1367,8 +1518,7 @@ let commit_top tx =
          th.platform.consume (Costs.commit_per_read * tx.n_reads);
          if not (validate tx) then raise Retry_conflict
        end;
-       if lazy_mode then publish tx;
-       emit th.tid Ev_commit;
+       commit_serialize tx;
        if fault_fires th Fault.Delayed_unlock then
          th.platform.consume Costs.fault_unlock_delay;
        release_all_stamped tx ~ts:wv
@@ -1380,8 +1530,7 @@ let commit_top tx =
        + (Costs.commit_per_read * tx.n_reads)
        + (Costs.commit_per_orec * tx.n_acq));
      if not (validate tx) then raise Retry_conflict;
-     if lazy_mode then publish tx;
-     emit th.tid Ev_commit;
+     commit_serialize tx;
      if tx.n_acq > 0 && fault_fires th Fault.Delayed_unlock then
        th.platform.consume Costs.fault_unlock_delay;
      release_all tx ~commit:true
@@ -1585,6 +1734,7 @@ let raw_read th addr =
 
 let raw_write th addr v =
   th.platform.consume Costs.direct_access;
+  wal_raw th addr v;
   Memory.set th.memory addr v;
   emit th.tid (Ev_raw_write { addr; value = v })
 
@@ -1603,6 +1753,7 @@ let tx_work tx cycles =
   tx.thread.platform.consume cycles
 
 let thread_stats th = th.stats
+let thread_wal th = th.wal
 let thread_id th = th.tid
 let thread_config th = th.config
 let thread_memory th = th.memory

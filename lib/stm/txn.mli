@@ -44,12 +44,14 @@ val create_thread :
   orecs:Orec.t ->
   config:Config.t ->
   ?cm_shared:Cm.shared ->
+  ?wal:Wal.t ->
   seed:int ->
   unit ->
   thread
 (** [cm_shared] links this thread's contention manager to its world's
     ticket source; omitted, the thread gets a private one (fine for
-    single-thread use). *)
+    single-thread use).  [wal] attaches the world's write-ahead log
+    device; it only takes effect when [config.durable] is set. *)
 
 (** {2 Atomic blocks} *)
 
@@ -159,6 +161,7 @@ type event =
     restores the free default.  Global — one tracer at a time. *)
 val set_tracer : (int -> event -> unit) option -> unit
 val thread_stats : thread -> Stats.t
+val thread_wal : thread -> Wal.t option
 val thread_id : thread -> int
 val thread_config : thread -> Config.t
 val thread_memory : thread -> Memory.t

@@ -1,0 +1,552 @@
+(* Write-ahead log for durable transactions.
+
+   The log is a flat byte stream of self-framing records.  Every record
+   is word-framed — [magic|kind; payload_len; payload...; checksum] —
+   with each word serialized as 8 little-endian bytes, so torn writes
+   and bit corruption are detectable at byte granularity:
+
+   - a record whose frame runs past the end of the stream is *torn*
+     (the tail of an interrupted fsync) and is dropped by recovery;
+   - a record whose magic, structure or trailing checksum does not
+     match is *corrupt* and recovery stops at it.
+
+   Commit records are redo-style regardless of the engine: under [+lazy]
+   the write set IS the redo buffer; under eager undo the record pairs
+   the undo log's addresses with their post-transaction memory values at
+   the serialization point (a true undo-style durable design presupposes
+   persisting in-place stores as they happen, which a process-model WAL
+   cannot do).  Captured writes appear in neither engine's record — the
+   paper's elision carried into the persistence layer ([Stats.wal_skips]).
+
+   The device half models a single append-only log file with group
+   commit: [append_*] serializes into a pending buffer; once [group]
+   records accumulate (or [sync] is forced) the pending bytes move to
+   the durable prefix — the moment a commit becomes *acknowledged*.  A
+   crash discards pending bytes; a torn crash persists a byte prefix of
+   the last pending record.  With [~dir] the durable prefix is mirrored
+   to [<dir>/wal.log] so `stamp_run --recover` works across processes. *)
+
+module Memory = Captured_tmem.Memory
+module Alloc = Captured_tmem.Alloc
+module Snapshot = Captured_tmem.Snapshot
+
+exception Crashed
+
+(* ------------------------------------------------------------------ *)
+(* Records and codec                                                    *)
+
+type record =
+  | Commit of {
+      seq : int;  (* 1-based commit serial number, assigned by the device *)
+      tid : int;
+      writes : (int * int) array;  (* (addr, value) *)
+      allocs : (int * int * int array) array;  (* (addr, carved size, image) *)
+      frees : int array;  (* deferred frees performed at commit *)
+    }
+  | Raw of { addr : int; value : int }
+  | Checkpoint of { seq : int; raws : int; snapshot : int array }
+
+let word_bytes = 8
+let magic = 0x57414C00 (* "WAL\0" *)
+let kind_commit = 1
+let kind_raw = 2
+let kind_checkpoint = 3
+
+let kind_of = function
+  | Commit _ -> kind_commit
+  | Raw _ -> kind_raw
+  | Checkpoint _ -> kind_checkpoint
+
+let payload_words = function
+  | Commit { writes; allocs; frees; _ } ->
+      2 + 1
+      + (2 * Array.length writes)
+      + 1
+      + Array.fold_left (fun acc (_, size, _) -> acc + 2 + size) 0 allocs
+      + 1 + Array.length frees
+  | Raw _ -> 2
+  | Checkpoint { snapshot; _ } -> 3 + Array.length snapshot
+
+(* Frame = magic word + length word + payload + checksum word. *)
+let record_words r = 3 + payload_words r
+let record_bytes r = word_bytes * record_words r
+
+let commit_record_words ~writes ~allocs ~frees =
+  record_words (Commit { seq = 0; tid = 0; writes; allocs; frees })
+
+let raw_record_words = record_words (Raw { addr = 0; value = 0 })
+
+(* Multiply-xor-shift word mix (splitmix-style, 63-bit): a single bit
+   flip anywhere in the covered words avalanches through the fold. *)
+let mix h w =
+  let h = (h lxor w) * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 31) in
+  let h = h * 0x100000001B3 in
+  h lxor (h lsr 27)
+
+let checksum_seed = 0x57414C
+
+(* No record (checkpoint snapshots included) plausibly exceeds 2^32
+   words; anything larger is structural corruption, not truncation. *)
+let max_payload_words = 1 lsl 32
+
+let encode_record r =
+  let buf = Buffer.create (record_bytes r) in
+  let sum = ref checksum_seed in
+  let put w =
+    sum := mix !sum w;
+    Buffer.add_int64_le buf (Int64.of_int w)
+  in
+  put (magic lor kind_of r);
+  put (payload_words r);
+  (match r with
+  | Commit { seq; tid; writes; allocs; frees } ->
+      put seq;
+      put tid;
+      put (Array.length writes);
+      Array.iter
+        (fun (a, v) ->
+          put a;
+          put v)
+        writes;
+      put (Array.length allocs);
+      Array.iter
+        (fun (addr, size, image) ->
+          put addr;
+          put size;
+          Array.iter put image)
+        allocs;
+      put (Array.length frees);
+      Array.iter put frees
+  | Raw { addr; value } ->
+      put addr;
+      put value
+  | Checkpoint { seq; raws; snapshot } ->
+      put seq;
+      put raws;
+      put (Array.length snapshot);
+      Array.iter put snapshot);
+  Buffer.add_int64_le buf (Int64.of_int !sum);
+  Buffer.to_bytes buf
+
+type decode_error = Torn | Corrupt
+
+(* [decode_record bytes ~pos] parses one record starting at [pos].
+   Returns the record and the position just past it. *)
+let decode_record bytes ~pos =
+  let len = Bytes.length bytes in
+  let word i = Int64.to_int (Bytes.get_int64_le bytes (pos + (i * word_bytes))) in
+  if pos + (2 * word_bytes) > len then Error Torn
+  else
+    let w0 = word 0 in
+    let kind = w0 lxor magic in
+    if kind < kind_commit || kind > kind_checkpoint then Error Corrupt
+    else
+      let n_payload = word 1 in
+      (* Absolute plausibility bound only: a length that merely runs past
+         the available bytes is a *torn* frame (interrupted write), not a
+         corrupt one — the byte count on disk cannot distinguish a huge
+         record from a truncated one, so the caller-visible distinction
+         keys on structure, not stream length. *)
+      if n_payload < 0 || n_payload > max_payload_words then Error Corrupt
+      else
+        let total = 3 + n_payload in
+        if pos + (total * word_bytes) > len then Error Torn
+        else begin
+          let sum = ref checksum_seed in
+          for i = 0 to total - 2 do
+            sum := mix !sum (word i)
+          done;
+          if word (total - 1) <> !sum then Error Corrupt
+          else
+            (* Structural parse; checksummed input can still disagree
+               with the frame length, so guard every sub-read. *)
+            let k = ref 2 in
+            let take () =
+              if !k >= total - 1 then failwith "short";
+              let v = word !k in
+              incr k;
+              v
+            in
+            let arr n f =
+              if n < 0 || n > n_payload then failwith "count";
+              Array.init n (fun _ -> f ())
+            in
+            match
+              let r =
+                if kind = kind_commit then begin
+                  let seq = take () in
+                  let tid = take () in
+                  let writes =
+                    arr (take ()) (fun () ->
+                        let a = take () in
+                        let v = take () in
+                        (a, v))
+                  in
+                  let allocs =
+                    arr (take ()) (fun () ->
+                        let addr = take () in
+                        let size = take () in
+                        let image = arr size take in
+                        (addr, size, image))
+                  in
+                  let frees = arr (take ()) take in
+                  Commit { seq; tid; writes; allocs; frees }
+                end
+                else if kind = kind_raw then begin
+                  let addr = take () in
+                  let value = take () in
+                  Raw { addr; value }
+                end
+                else begin
+                  let seq = take () in
+                  let raws = take () in
+                  let snapshot = arr (take ()) take in
+                  Checkpoint { seq; raws; snapshot }
+                end
+              in
+              if !k <> total - 1 then failwith "trailing";
+              r
+            with
+            | r -> Ok (r, pos + (total * word_bytes))
+            | exception Failure _ -> Error Corrupt
+        end
+
+type tail = Clean | Torn_tail | Corrupt_tail
+
+(* [scan bytes] decodes records front to back; stops at the first torn
+   or corrupt frame (everything past an undecodable record is lost —
+   there is no resynchronisation).  Returns the records, the tail state
+   and the byte offset where decoding stopped. *)
+let scan bytes =
+  let len = Bytes.length bytes in
+  let rec go acc pos =
+    if pos >= len then (List.rev acc, Clean, pos)
+    else
+      match decode_record bytes ~pos with
+      | Ok (r, next) -> go (r :: acc) next
+      | Error Torn -> (List.rev acc, Torn_tail, pos)
+      | Error Corrupt -> (List.rev acc, Corrupt_tail, pos)
+  in
+  go [] 0
+
+(* ------------------------------------------------------------------ *)
+(* Device                                                               *)
+
+type t = {
+  durable : Buffer.t;  (* bytes that survived an fsync *)
+  pending : Buffer.t;  (* appended, not yet fsynced *)
+  group : int;
+  mutable seq : int;  (* commit records appended (incl. pending) *)
+  mutable raws : int;  (* raw records appended (incl. pending) *)
+  mutable synced_seq : int;  (* highest acknowledged commit seq *)
+  mutable synced_raws : int;
+  mutable pending_records : int;
+  mutable last_record_bytes : int;
+  mutable fsyncs : int;
+  mutable appended_bytes : int;  (* total ever serialized *)
+  mutable records : int;  (* total records ever appended *)
+  mutable crashed : bool;
+  dir : string option;
+  mutex : Mutex.t;
+}
+
+let log_file dir = Filename.concat dir "wal.log"
+
+let create ?(group = 4) ?dir () =
+  if group < 1 then invalid_arg "Wal.create: group must be >= 1";
+  (match dir with
+  | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      (* A fresh device starts a fresh log. *)
+      let oc = open_out_bin (log_file d) in
+      close_out oc
+  | None -> ());
+  {
+    durable = Buffer.create 4096;
+    pending = Buffer.create 1024;
+    group;
+    seq = 0;
+    raws = 0;
+    synced_seq = 0;
+    synced_raws = 0;
+    pending_records = 0;
+    last_record_bytes = 0;
+    fsyncs = 0;
+    appended_bytes = 0;
+    records = 0;
+    crashed = false;
+    dir;
+    mutex = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let file_append t bytes off len =
+  match t.dir with
+  | None -> ()
+  | Some d ->
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+          0o644 (log_file d)
+      in
+      output_substring oc (Bytes.unsafe_to_string bytes) off len;
+      close_out oc
+
+let file_rewrite t =
+  match t.dir with
+  | None -> ()
+  | Some d ->
+      let oc = open_out_bin (log_file d) in
+      Buffer.output_buffer oc t.durable;
+      close_out oc
+
+let sync_unlocked t =
+  if (not t.crashed) && Buffer.length t.pending > 0 then begin
+    let bytes = Buffer.to_bytes t.pending in
+    Buffer.add_buffer t.durable t.pending;
+    Buffer.clear t.pending;
+    file_append t bytes 0 (Bytes.length bytes);
+    t.pending_records <- 0;
+    t.synced_seq <- t.seq;
+    t.synced_raws <- t.raws;
+    t.fsyncs <- t.fsyncs + 1
+  end
+
+let sync t = locked t (fun () -> sync_unlocked t)
+
+(* Serialize [r] into pending; group-commit sync once [group] records
+   accumulate.  Returns (record bytes, whether this append fsynced). *)
+let append_unlocked t ~group_commit r =
+  if t.crashed then (0, false)
+  else begin
+    let b = encode_record r in
+    Buffer.add_bytes t.pending b;
+    t.last_record_bytes <- Bytes.length b;
+    t.appended_bytes <- t.appended_bytes + Bytes.length b;
+    t.records <- t.records + 1;
+    t.pending_records <- t.pending_records + 1;
+    let syncing = group_commit && t.pending_records >= t.group in
+    if syncing then sync_unlocked t;
+    (Bytes.length b, syncing)
+  end
+
+let append_commit ?(group_commit = true) t ~tid ~writes ~allocs ~frees =
+  locked t (fun () ->
+      let seq = t.seq + 1 in
+      t.seq <- seq;
+      append_unlocked t ~group_commit (Commit { seq; tid; writes; allocs; frees }))
+
+let append_raw t ~addr ~value =
+  locked t (fun () ->
+      t.raws <- t.raws + 1;
+      append_unlocked t ~group_commit:true (Raw { addr; value }))
+
+(* Process death: pending (unacknowledged) bytes are lost. *)
+let crash t =
+  locked t (fun () ->
+      Buffer.clear t.pending;
+      t.pending_records <- 0;
+      t.crashed <- true;
+      file_rewrite t)
+
+(* Process death during an fsync of the last appended record: everything
+   pending before it reaches the durable prefix, plus [cut] bytes of the
+   record itself.  Nothing is acknowledged (the fsync never returned). *)
+let crash_torn t ~cut =
+  locked t (fun () ->
+      let plen = Buffer.length t.pending in
+      let cut = max 0 (min cut (t.last_record_bytes - 1)) in
+      let keep = max 0 (plen - t.last_record_bytes + cut) in
+      Buffer.add_subbytes t.durable (Buffer.to_bytes t.pending) 0 keep;
+      Buffer.clear t.pending;
+      t.pending_records <- 0;
+      t.crashed <- true;
+      file_rewrite t)
+
+(* Checkpoint protocol: flush the log, append the checkpoint record,
+   fsync it, then truncate the durable prefix to start at the checkpoint.
+   A crash between the fsync and the truncation merely leaves the old
+   prefix in place — recovery uses the *last* valid checkpoint either
+   way, so truncation is pure space reclamation. *)
+let checkpoint t ~snapshot =
+  locked t (fun () ->
+      if t.crashed then invalid_arg "Wal.checkpoint: crashed device";
+      sync_unlocked t;
+      let r = Checkpoint { seq = t.seq; raws = t.raws; snapshot } in
+      let b = encode_record r in
+      Buffer.clear t.durable;
+      Buffer.add_bytes t.durable b;
+      t.records <- t.records + 1;
+      t.appended_bytes <- t.appended_bytes + Bytes.length b;
+      t.fsyncs <- t.fsyncs + 1;
+      file_rewrite t)
+
+(* Crash halfway through writing the checkpoint record: the old durable
+   prefix keeps its contents (truncation never happened) and gains a
+   torn checkpoint tail that recovery must drop. *)
+let checkpoint_torn t ~snapshot =
+  locked t (fun () ->
+      sync_unlocked t;
+      let r = Checkpoint { seq = t.seq; raws = t.raws; snapshot } in
+      let b = encode_record r in
+      Buffer.add_subbytes t.durable b 0 (Bytes.length b / 2);
+      t.crashed <- true;
+      file_rewrite t)
+
+let group t = t.group
+let pending_records t = t.pending_records
+let last_record_bytes t = t.last_record_bytes
+let seq t = t.seq
+let synced_seq t = t.synced_seq
+let synced_raws t = t.synced_raws
+let fsyncs t = t.fsyncs
+let log_bytes t = Buffer.length t.durable
+let appended_bytes t = t.appended_bytes
+let records t = t.records
+let crashed t = t.crashed
+let contents t = locked t (fun () -> Buffer.to_bytes t.durable)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                             *)
+
+type recovery = {
+  r_memory : Memory.t;
+  r_arenas : Alloc.t array;
+  r_floor_seq : int;  (* commits inside the restored checkpoint *)
+  r_floor_raws : int;
+  r_applied_seqs : int list;  (* commit records replayed, log order *)
+  r_raws_applied : int;
+  r_records : int;  (* records scanned, checkpoints included *)
+  r_torn : bool;
+  r_corrupt : bool;
+  r_freed : (int * int * int) list;  (* (tid, addr, carved size) replayed frees *)
+  r_wall_ms : float;
+}
+
+(* Replay one commit record onto the restored image.  Allocations are
+   address-faithful: unlink the block from whichever arena's free list
+   holds it (cross-thread frees migrate blocks between arenas), stamp
+   the header via the owning arena, then write the logged image.  Frees
+   go to the committing thread's arena, like the live engine's
+   "freeing thread keeps it". *)
+let replay_commit mem arenas ~tid ~writes ~allocs ~frees ~freed_acc =
+  Array.iter
+    (fun (addr, size, image) ->
+      let owner =
+        match Array.find_opt (fun a -> Alloc.owns a addr) arenas with
+        | Some a -> a
+        | None -> failwith (Printf.sprintf "alloc at %d outside arenas" addr)
+      in
+      let rec unlink i =
+        if i < Array.length arenas then
+          if Alloc.unlink_free arenas.(i) ~addr ~size then ()
+          else unlink (i + 1)
+      in
+      unlink 0;
+      Alloc.replay_alloc_at owner ~addr ~size;
+      Array.iteri (fun i v -> Memory.set mem (addr + i) v) image)
+    allocs;
+  Array.iter (fun (a, v) -> Memory.set mem a v) writes;
+  Array.iter
+    (fun addr ->
+      let arena = arenas.(min (tid + 1) (Array.length arenas - 1)) in
+      let size = Alloc.block_size arena addr in
+      freed_acc := (tid, addr, size) :: !freed_acc;
+      Alloc.free arena addr)
+    frees
+
+(* Deliberately-buggy lenient replay of a torn tail, used to seed a
+   known recovery violation for the checker's ddmin self-test: applies
+   whatever complete write pairs of the torn commit record made it to
+   the log — exactly the partial-transaction visibility the framing
+   exists to prevent. *)
+let apply_torn_tail mem bytes ~pos =
+  let len = Bytes.length bytes in
+  let avail = (len - pos) / word_bytes in
+  let word i = Int64.to_int (Bytes.get_int64_le bytes (pos + (i * word_bytes))) in
+  if avail >= 5 && word 0 = magic lor kind_commit then begin
+    let nw = word 4 in
+    let n = min nw ((avail - 5) / 2) in
+    for k = 0 to n - 1 do
+      let a = word (5 + (2 * k)) in
+      let v = word (6 + (2 * k)) in
+      if a > 0 && a < Memory.size mem then Memory.set mem a v
+    done
+  end
+
+let recover_bytes ?(bug_apply_torn = false) bytes =
+  let t0 = Captured_util.Clock.now () in
+  let all, tail, stop = scan bytes in
+  (* Recovery root: the last checkpoint that made it to the log whole. *)
+  let rec split_at_last_ckpt acc best = function
+    | [] -> best
+    | (Checkpoint { seq; raws; snapshot } as r) :: rest ->
+        split_at_last_ckpt (r :: acc) (Some (seq, raws, snapshot, rest)) rest
+    | r :: rest -> split_at_last_ckpt (r :: acc) best rest
+  in
+  match split_at_last_ckpt [] None all with
+  | None -> Error "no checkpoint record in log"
+  | Some (floor_seq, floor_raws, snap_words, rest) -> (
+      match Snapshot.decode snap_words with
+      | Error e -> Error ("checkpoint snapshot: " ^ e)
+      | Ok snap ->
+          let mem, arenas = Snapshot.restore snap in
+          let applied = ref [] in
+          let raws_applied = ref 0 in
+          let freed = ref [] in
+          let err = ref None in
+          List.iter
+            (fun r ->
+              if !err = None then
+                match r with
+                | Commit { seq; tid; writes; allocs; frees } -> (
+                    match
+                      replay_commit mem arenas ~tid ~writes ~allocs ~frees
+                        ~freed_acc:freed
+                    with
+                    | () -> applied := seq :: !applied
+                    | exception Failure msg -> err := Some msg
+                    | exception Invalid_argument msg -> err := Some msg)
+                | Raw { addr; value } ->
+                    Memory.set mem addr value;
+                    incr raws_applied
+                | Checkpoint _ -> ())
+            rest;
+          (match !err with
+          | Some _ -> ()
+          | None -> if bug_apply_torn && tail = Torn_tail then
+                apply_torn_tail mem bytes ~pos:stop);
+          (match !err with
+          | Some msg -> Error ("replay: " ^ msg)
+          | None ->
+              Ok
+                {
+                  r_memory = mem;
+                  r_arenas = arenas;
+                  r_floor_seq = floor_seq;
+                  r_floor_raws = floor_raws;
+                  r_applied_seqs = List.rev !applied;
+                  r_raws_applied = !raws_applied;
+                  r_records = List.length all;
+                  r_torn = tail = Torn_tail;
+                  r_corrupt = tail = Corrupt_tail;
+                  r_freed = List.rev !freed;
+                  r_wall_ms = (Captured_util.Clock.now () -. t0) *. 1000.;
+                }))
+
+let recover ?bug_apply_torn t = recover_bytes ?bug_apply_torn (contents t)
+
+let recover_dir ?bug_apply_torn dir =
+  let path = log_file dir in
+  if not (Sys.file_exists path) then Error ("no log at " ^ path)
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let bytes = Bytes.create len in
+    really_input ic bytes 0 len;
+    close_in ic;
+    recover_bytes ?bug_apply_torn bytes
+  end

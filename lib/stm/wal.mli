@@ -1,0 +1,163 @@
+(** Write-ahead log for durable transactions (DESIGN.md §13).
+
+    Self-framing byte log + group-commit device + recovery replay.
+    Commit records are redo-style under both engines: the [+lazy] redo
+    buffer is logged as-is; eager undo logs its addresses paired with
+    their post-transaction values at the serialization point.  Writes
+    the capture analysis proved transaction-local appear in neither
+    ([Stats.wal_skips]) — the paper's elision carried into the
+    persistence layer.
+
+    The device distinguishes *appended* (pending, would be lost by a
+    crash) from *durable/acknowledged* (fsynced) bytes; crash-point
+    faults exercise the boundary, including torn mid-record fsyncs. *)
+
+exception Crashed
+(** Raised at an injected crash-point ({!Fault.is_crash}): the simulated
+    process dies on the spot and the run moves to recovery. *)
+
+(** {1 Records and codec} *)
+
+type record =
+  | Commit of {
+      seq : int;  (** 1-based commit serial, assigned by the device *)
+      tid : int;
+      writes : (int * int) array;  (** (addr, value) redo pairs *)
+      allocs : (int * int * int array) array;
+          (** (addr, carved size, payload image) per surviving
+              transactional allocation *)
+      frees : int array;  (** deferred frees performed at commit *)
+    }
+  | Raw of { addr : int; value : int }
+      (** A non-transactional or private-elided store: immediately
+          visible, survives aborts, so it is logged at the barrier. *)
+  | Checkpoint of { seq : int; raws : int; snapshot : int array }
+      (** Recovery root: commit/raw floors + {!Captured_tmem.Snapshot}
+          encoding of memory and allocator state. *)
+
+val record_words : record -> int
+val record_bytes : record -> int
+
+val commit_record_words :
+  writes:(int * int) array ->
+  allocs:(int * int * int array) array ->
+  frees:int array ->
+  int
+(** Frame size of the commit record these sets would produce — lets the
+    commit path charge WAL costs before touching the device. *)
+
+val raw_record_words : int
+
+val encode_record : record -> Bytes.t
+(** [magic|kind; payload_len; payload...; checksum], 8 LE bytes/word. *)
+
+type decode_error =
+  | Torn  (** frame runs past the end of the input (interrupted fsync) *)
+  | Corrupt  (** bad magic, structure, or checksum *)
+
+val decode_record : Bytes.t -> pos:int -> (record * int, decode_error) result
+(** Parse one record at [pos]; returns it and the position past it. *)
+
+type tail = Clean | Torn_tail | Corrupt_tail
+
+val scan : Bytes.t -> record list * tail * int
+(** Decode front to back, stopping at the first torn/corrupt frame;
+    returns records, tail state, and the byte offset where decoding
+    stopped. *)
+
+(** {1 Device} *)
+
+type t
+
+val create : ?group:int -> ?dir:string -> unit -> t
+(** In-memory log device; [group] = records per group-commit fsync
+    (default 4, [>= 1]).  With [dir], the durable prefix is mirrored to
+    [<dir>/wal.log] (created fresh) so recovery works across
+    processes. *)
+
+val append_commit :
+  ?group_commit:bool ->
+  t ->
+  tid:int ->
+  writes:(int * int) array ->
+  allocs:(int * int * int array) array ->
+  frees:int array ->
+  int * bool
+(** Assigns the next commit [seq], serializes into the pending buffer,
+    group-commits if due ([group_commit:false] suppresses the automatic
+    sync — the torn-record fault uses it to guarantee the record is
+    still pending when the crash tears it).  Returns (record bytes,
+    whether this append fsynced).  No-op returning [(0, false)] on a
+    crashed device. *)
+
+val append_raw : t -> addr:int -> value:int -> int * bool
+
+val sync : t -> unit
+(** Force pending bytes durable (the final flush of a clean run). *)
+
+val checkpoint : t -> snapshot:int array -> unit
+(** Flush, append a checkpoint record, fsync, truncate the log behind
+    it.  [snapshot] is {!Captured_tmem.Snapshot.encode} output. *)
+
+val checkpoint_torn : t -> snapshot:int array -> unit
+(** [Fault.Crash_mid_checkpoint]'s effect: flush, then die halfway
+    through the checkpoint record — the old log survives with a torn
+    checkpoint tail and no truncation.  Leaves the device crashed. *)
+
+val crash : t -> unit
+(** Process death: pending (unacknowledged) bytes are lost. *)
+
+val crash_torn : t -> cut:int -> unit
+(** Process death tearing the last appended record: earlier pending
+    bytes persist, plus [cut] bytes (clamped to [0, len-1]) of the last
+    record.  Nothing becomes acknowledged. *)
+
+val group : t -> int
+val pending_records : t -> int
+val last_record_bytes : t -> int
+
+val seq : t -> int
+(** Commit records appended so far (including unsynced). *)
+
+val synced_seq : t -> int
+(** Highest *acknowledged* commit seq: recovery must never lose a
+    commit [<= synced_seq]. *)
+
+val synced_raws : t -> int
+val fsyncs : t -> int
+
+val log_bytes : t -> int
+(** Durable prefix length now (drops at checkpoint truncation). *)
+
+val appended_bytes : t -> int
+(** Total bytes ever serialized (monotone; the WAL-volume metric). *)
+
+val records : t -> int
+val crashed : t -> bool
+val contents : t -> Bytes.t
+
+(** {1 Recovery} *)
+
+type recovery = {
+  r_memory : Captured_tmem.Memory.t;
+  r_arenas : Captured_tmem.Alloc.t array;
+  r_floor_seq : int;  (** commits already inside the restored snapshot *)
+  r_floor_raws : int;
+  r_applied_seqs : int list;  (** commit records replayed, in log order *)
+  r_raws_applied : int;
+  r_records : int;  (** records scanned, checkpoints included *)
+  r_torn : bool;
+  r_corrupt : bool;
+  r_freed : (int * int * int) list;
+      (** (tid, addr, carved size) of each replayed deferred free *)
+  r_wall_ms : float;
+}
+
+val recover_bytes : ?bug_apply_torn:bool -> Bytes.t -> (recovery, string) result
+(** Scan → restore the last valid checkpoint → redo committed records →
+    drop the torn/corrupt tail.  [bug_apply_torn] deliberately applies
+    the torn tail's write pairs (a seeded recovery bug for the checker's
+    ddmin self-test). *)
+
+val recover : ?bug_apply_torn:bool -> t -> (recovery, string) result
+val recover_dir : ?bug_apply_torn:bool -> string -> (recovery, string) result

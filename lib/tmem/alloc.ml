@@ -100,3 +100,83 @@ let block_size t addr = check_live t addr
 let live_blocks t = t.live_blocks
 let live_words t = t.live_words
 let mem t = t.memory
+let base t = t.base
+let words t = t.limit - t.base
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / recovery support (durable transactions)                 *)
+
+(* The whole OCaml-side allocator state fits in a few words plus the
+   free-list heads: the lists themselves live IN memory cells (the first
+   payload word of each free block links to the next), so a memory image
+   plus this record reconstructs the allocator exactly. *)
+type state = {
+  s_base : Memory.addr;
+  s_words : int;
+  s_wilderness : Memory.addr;
+  s_free_lists : int array;
+  s_live_blocks : int;
+  s_live_words : int;
+}
+
+let capture_state t =
+  {
+    s_base = t.base;
+    s_words = t.limit - t.base;
+    s_wilderness = t.wilderness;
+    s_free_lists = Array.copy t.free_lists;
+    s_live_blocks = t.live_blocks;
+    s_live_words = t.live_words;
+  }
+
+let restore_state memory s =
+  if Array.length s.s_free_lists <> num_classes then
+    invalid_arg "Alloc.restore_state: class count mismatch";
+  {
+    memory;
+    base = s.s_base;
+    limit = s.s_base + s.s_words;
+    wilderness = s.s_wilderness;
+    free_lists = Array.copy s.s_free_lists;
+    live_blocks = s.s_live_blocks;
+    live_words = s.s_live_words;
+  }
+
+(* Remove a specific block from this arena's free lists, if present.
+   Free lists are singly linked through the first payload word, so this
+   is an O(list) walk — recovery-path only, never on the hot path. *)
+let unlink_free t ~addr ~size =
+  let cls = class_of_size size in
+  let head = t.free_lists.(cls) in
+  if head = 0 then false
+  else if head = addr then begin
+    t.free_lists.(cls) <- Memory.get t.memory addr;
+    true
+  end
+  else begin
+    let rec go prev =
+      let next = Memory.get t.memory prev in
+      if next = 0 then false
+      else if next = addr then begin
+        Memory.set t.memory prev (Memory.get t.memory addr);
+        true
+      end
+      else go next
+    in
+    go head
+  end
+
+(* Address-faithful replay of a logged allocation: the block goes exactly
+   where the original run put it.  Blocks carved beyond the snapshot's
+   wilderness advance it (any gap left by allocations that never
+   committed stays dead space — the allocator never walks the heap, so
+   unreachable gaps are harmless).  The caller is responsible for
+   unlinking the block from a free list first ({!unlink_free} — possibly
+   a different arena's, cross-thread frees move blocks between arenas)
+   and for writing the payload image. *)
+let replay_alloc_at t ~addr ~size =
+  if not (owns t addr) then invalid_arg "Alloc.replay_alloc_at: not owned";
+  if addr + size > t.wilderness then t.wilderness <- addr + size;
+  set_header t addr size true;
+  t.live_blocks <- t.live_blocks + 1;
+  t.live_words <- t.live_words + size

@@ -32,6 +32,12 @@ val free : t -> Memory.addr -> unit
     [addr]. *)
 val block_size : t -> Memory.addr -> int
 
+(** [carve_size n] — the payload size actually carved for an [n]-word
+    request (exact up to 64 words, next power of two above).  Exposed so
+    the recovery oracle can reason about the extent a logged allocation
+    really occupies. *)
+val carve_size : int -> int
+
 val live_blocks : t -> int
 val live_words : t -> int
 
@@ -39,3 +45,39 @@ val live_words : t -> int
 val owns : t -> Memory.addr -> bool
 
 val mem : t -> Memory.t
+val base : t -> Memory.addr
+val words : t -> int
+
+(** {2 Checkpoint / recovery support}
+
+    The free lists live inside memory cells (each free block's first
+    payload word links to the next), so a memory image plus the small
+    [state] record below reconstructs an arena exactly — which is what
+    durable-transaction snapshots persist. *)
+
+type state = {
+  s_base : Memory.addr;
+  s_words : int;
+  s_wilderness : Memory.addr;
+  s_free_lists : int array;  (** head payload address per size class *)
+  s_live_blocks : int;
+  s_live_words : int;
+}
+
+val capture_state : t -> state
+
+(** [restore_state mem s] rebuilds an arena over [mem] from a captured
+    state.  [mem] must already hold the matching memory image. *)
+val restore_state : Memory.t -> state -> t
+
+(** [unlink_free t ~addr ~size] removes the free block at [addr] from
+    this arena's size-class list if present (O(list) walk; recovery-path
+    only).  [size] is the carved payload size from the block header. *)
+val unlink_free : t -> addr:Memory.addr -> size:int -> bool
+
+(** [replay_alloc_at t ~addr ~size] re-performs a logged allocation at
+    its original address during recovery: advances the wilderness past
+    the block if needed, writes the header and bumps live counts.  The
+    caller unlinks the block from free lists first and writes the
+    payload image. *)
+val replay_alloc_at : t -> addr:Memory.addr -> size:int -> unit

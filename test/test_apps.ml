@@ -173,6 +173,43 @@ let test_app_hybrid app () =
         check "still elides" true (Stats.writes_elided r.Engine.stats > 0)
   | Error m -> Alcotest.failf "hybrid verify failed: %s" m
 
+(* Durable run: under a capture-eliding [+wal] config every app must
+   still verify, recovery must replay every synced commit record, and
+   the allocation-heavy apps must skip a nonzero number of captured
+   writes in the log (the WAL elision payoff on real workloads). *)
+module Wal = Captured_stm.Wal
+
+let test_app_durable app () =
+  let cfg =
+    Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Tree
+    |> Config.with_lazy |> Config.with_tvalidate |> Config.with_durable
+  in
+  let p = app.App.prepare ~nthreads:2 ~scale:App.Test cfg in
+  let w = Wal.create ~group:cfg.Config.wal_group () in
+  Engine.attach_wal p.App.world w;
+  let r = Engine.run_sim ~seed:9 p.App.world p.App.body in
+  Wal.sync w;
+  (match p.App.verify () with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "durable verify failed: %s" m);
+  let rc =
+    match Wal.recover w with
+    | Ok rc -> rc
+    | Error m -> Alcotest.failf "recovery failed: %s" m
+  in
+  Alcotest.(check int)
+    "recovery replays every synced commit"
+    (Wal.synced_seq w)
+    (List.length rc.Wal.r_applied_seqs);
+  check "clean log tail" true (not rc.Wal.r_torn && not rc.Wal.r_corrupt);
+  check "logged something" true (r.Engine.stats.Stats.wal_records > 0);
+  if
+    List.mem app.App.name
+      [ "vacation-high"; "vacation-low"; "genome"; "intruder"; "yada" ]
+  then
+    check "captured writes skip the log" true
+      (r.Engine.stats.Stats.wal_skips > 0)
+
 let suite_for app =
   let cases =
     List.concat_map
@@ -194,6 +231,7 @@ let suite_for app =
         Alcotest.test_case "bench scale" `Quick (test_app_bench_scale app);
         Alcotest.test_case "mode matrix" `Quick (test_app_mode_matrix app);
         Alcotest.test_case "hybrid" `Quick (test_app_hybrid app);
+        Alcotest.test_case "durable wal" `Quick (test_app_durable app);
       ]
   in
   (app.App.name, cases)

@@ -501,6 +501,131 @@ let test_clean_config_no_false_positive () =
   in
   Alcotest.(check int) "no violations" 0 r.Harness.violations
 
+
+(* ------------------------------------------------------------------ *)
+(* Durable transactions: crash faults recover cleanly, clean +wal      *)
+(* sweeps stay silent, and the seeded recovery bug is caught+minimized *)
+
+let crash_fault_kinds =
+  [
+    Fault.Crash_pre_commit;
+    Fault.Crash_mid_publish;
+    Fault.Crash_post_publish;
+    Fault.Crash_mid_checkpoint;
+    Fault.Torn_wal_record;
+  ]
+
+(* Whether a commit crashes is drawn from the thread PRNG (world seed),
+   not the schedule, so each leg sweeps several world seeds. *)
+let crash_world_seeds = [ 3; 34; 65; 96; 127 ]
+
+let test_crash_faults_recover_clean () =
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun (mname, mode) ->
+          let config =
+            tree |> mode
+            |> Config.with_fault (Some fault)
+            |> Config.with_durable
+          in
+          let crashes = ref 0 in
+          List.iter
+            (fun seed ->
+              let r =
+                Harness.explore
+                  ~workload:(Workloads.counter ~nthreads:2 ~incs:3)
+                  ~config
+                  ~strategy:(Strategy.Random { persist = 85 })
+                  ~runs:15 ~seed ()
+              in
+              crashes := !crashes + r.Harness.crashes;
+              if r.Harness.violations > 0 then
+                Alcotest.failf "%s/%s: %s" (Fault.name fault) mname
+                  (Harness.report_to_string r))
+            crash_world_seeds;
+          if !crashes = 0 then
+            Alcotest.failf "%s/%s: fault never fired (vacuous)"
+              (Fault.name fault) mname)
+        [ ("eager", fun c -> c); ("lazy", Config.with_lazy ~on:true) ])
+    crash_fault_kinds
+
+let test_clean_wal_sweep_silent () =
+  (* Every clean durable run is additionally full-replay-checked by the
+     recovery oracle inside the harness, so silence here covers both the
+     live and the recovery oracle. *)
+  List.iter
+    (fun (mname, mode) ->
+      let config = tree |> mode |> Config.with_durable in
+      let r =
+        Harness.explore
+          ~workload:(Workloads.bank ~nthreads:2 ~accounts:3 ~transfers:3)
+          ~config
+          ~strategy:(Strategy.Random { persist = 85 })
+          ~runs:120 ~seed:3 ()
+      in
+      if r.Harness.violations > 0 then
+        Alcotest.failf "clean +wal (%s): %s" mname
+          (Harness.report_to_string r);
+      Alcotest.(check int)
+        (mname ^ ": no crashes without crash faults")
+        0 r.Harness.crashes)
+    [
+      ("eager", fun c -> c);
+      ("lazy+tv",
+       fun c -> c |> Config.with_lazy |> Config.with_tvalidate);
+    ]
+
+let test_wal_bug_caught_and_minimized () =
+  let config =
+    tree
+    |> Config.with_fault (Some Fault.Torn_wal_record)
+    |> Config.with_durable
+  in
+  let workload = Workloads.bank ~nthreads:2 ~accounts:3 ~transfers:3 in
+  let strategy = Strategy.Random { persist = 85 } in
+  (* The seeded replay-the-torn-tail bug must be flagged by the recovery
+     oracle on some world seed... *)
+  let found =
+    List.find_map
+      (fun seed ->
+        let r =
+          Harness.explore ~workload ~config ~strategy ~runs:40 ~seed
+            ~wal_bug:true ()
+        in
+        if r.Harness.violations > 0 then Some (seed, r) else None)
+      crash_world_seeds
+  in
+  match found with
+  | None -> Alcotest.fail "seeded recovery bug never flagged"
+  | Some (seed, r) -> (
+      match r.Harness.first with
+      | None -> Alcotest.fail "violations counted but none recorded"
+      | Some f ->
+          (* ...as a recovery violation, delta-debugged to a replayable
+             intervention list no longer than the original... *)
+          Alcotest.(check bool)
+            "recovery-kind violation" true
+            (String.length f.Harness.violation.Oracle.kind >= 8
+            && String.sub f.Harness.violation.Oracle.kind 0 8 = "recovery");
+          Alcotest.(check bool)
+            "ddmin did not grow the reproducer" true
+            (List.length f.Harness.minimized
+            <= List.length f.Harness.interventions);
+          let replay =
+            Harness.run_one ~workload ~config ~seed ~wal_bug:true
+              (Strategy.replay_control ~interventions:f.Harness.minimized ())
+          in
+          Alcotest.(check bool)
+            "minimized reproducer replays" true
+            (replay.Harness.violation <> None);
+          (* ...and the identical sweep without the bug is silent. *)
+          let clean =
+            Harness.explore ~workload ~config ~strategy ~runs:40 ~seed ()
+          in
+          Alcotest.(check int)
+            "no violations without the seeded bug" 0 clean.Harness.violations)
+
 let () =
   Alcotest.run "check"
     [
@@ -553,6 +678,12 @@ let () =
             test_redo_drop_flagged_under_lazy;
           Alcotest.test_case "publish-partial flagged under lazy" `Quick
             test_publish_partial_flagged_under_lazy;
+          Alcotest.test_case "crash faults recover clean" `Quick
+            test_crash_faults_recover_clean;
+          Alcotest.test_case "clean +wal sweep silent" `Quick
+            test_clean_wal_sweep_silent;
+          Alcotest.test_case "seeded recovery bug caught+minimized" `Quick
+            test_wal_bug_caught_and_minimized;
           Alcotest.test_case "clean lazy config silent" `Quick
             test_clean_lazy_config_no_false_positive;
         ] );

@@ -1208,6 +1208,354 @@ let prop_lazy_read_own_write =
       Hashtbl.iter (fun a v -> if Memory.get m a <> v then ok := false) model;
       !ok)
 
+
+(* ------------------------------------------------------------------ *)
+(* Durable transactions: WAL codec properties + crash-recovery          *)
+
+module Sched = Captured_sim.Sched
+module Snapshot = Captured_tmem.Snapshot
+
+(* -- codec generators ---------------------------------------------- *)
+
+let gen_commit_record =
+  QCheck.Gen.(
+    let word = map (fun n -> n - 500_000) (int_bound 1_000_000) in
+    let addr = int_range 1 100_000 in
+    let writes = array_size (int_bound 8) (pair addr word) in
+    let alloc =
+      int_range 1 6 >>= fun size ->
+      addr >>= fun a ->
+      array_repeat size word >>= fun image -> return (a, size, image)
+    in
+    let allocs = array_size (int_bound 3) alloc in
+    let frees = array_size (int_bound 3) addr in
+    int_range 1 10_000 >>= fun seq ->
+    int_bound 15 >>= fun tid ->
+    writes >>= fun writes ->
+    allocs >>= fun allocs ->
+    frees >>= fun frees ->
+    return (Wal.Commit { seq; tid; writes; allocs; frees }))
+
+let gen_record =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, gen_commit_record);
+        ( 2,
+          map2
+            (fun addr value -> Wal.Raw { addr; value })
+            (int_range 1 100_000)
+            (map (fun n -> n - 500) (int_bound 1_000)) );
+        ( 1,
+          map2
+            (fun seq snapshot -> Wal.Checkpoint { seq; raws = 0; snapshot })
+            (int_bound 100)
+            (array_size (int_bound 12) (int_bound 1_000)) );
+      ])
+
+let arb_record = QCheck.make ~print:(fun _ -> "<record>") gen_record
+
+let prop_wal_roundtrip =
+  QCheck.Test.make ~name:"wal codec roundtrip" ~count:500 arb_record (fun r ->
+      let b = Wal.encode_record r in
+      match Wal.decode_record b ~pos:0 with
+      | Ok (r', stop) -> r' = r && stop = Bytes.length b
+      | Error _ -> false)
+
+let prop_wal_bitflip_rejected =
+  QCheck.Test.make ~name:"wal checksum rejects single-bit flips" ~count:500
+    QCheck.(pair arb_record (int_bound 1_000_000))
+    (fun (r, salt) ->
+      let b = Wal.encode_record r in
+      (* Bit 63 of each word is dead space (OCaml ints are 63-bit): a
+         flip there decodes to the identical record, which loses
+         nothing.  Every *live* bit must be caught. *)
+      let bit = salt mod (8 * Bytes.length b) in
+      let bit = if bit mod 64 = 63 then bit - 1 else bit in
+      let byte = bit / 8 in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))));
+      match Wal.decode_record b ~pos:0 with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let prop_wal_truncation_torn =
+  QCheck.Test.make ~name:"wal truncation detected at any cut" ~count:500
+    QCheck.(pair arb_record (int_bound 1_000_000))
+    (fun (r, salt) ->
+      let b = Wal.encode_record r in
+      let cut = 1 + (salt mod (Bytes.length b - 1)) in
+      (* A byte-level prefix of a single record must scan to zero
+         records with a torn tail at offset 0 — never to a record. *)
+      match Wal.scan (Bytes.sub b 0 cut) with
+      | [], Wal.Torn_tail, 0 -> true
+      | _ -> false)
+
+(* Commit records over pairwise-disjoint write sets must replay to the
+   same state in any interleaving — the redo images are absolute, so
+   non-conflicting transaction order is immaterial to recovery. *)
+let prop_wal_replay_order_insensitive =
+  QCheck.Test.make ~name:"wal replay order-insensitive (disjoint writes)"
+    ~count:100
+    QCheck.(pair (int_range 1 1_000_000) (int_range 2 6))
+    (fun (seed, n) ->
+      let module P = Captured_util.Prng in
+      let g = P.create seed in
+      let words = 64 in
+      let mem = Memory.create ~words in
+      let arena = Alloc.create mem ~base:1 ~words:(words - 1) in
+      let snapshot = Snapshot.encode (Snapshot.capture mem [| arena |]) in
+      let ckpt = Wal.Checkpoint { seq = 0; raws = 0; snapshot } in
+      (* one single-write commit per distinct address *)
+      let commits =
+        List.init n (fun i ->
+            Wal.Commit
+              {
+                seq = i + 1;
+                tid = 0;
+                writes = [| (1 + i, 100 + P.int g 1_000) |];
+                allocs = [||];
+                frees = [||];
+              })
+      in
+      let recover_order order =
+        let buf = Buffer.create 256 in
+        List.iter
+          (fun r -> Buffer.add_bytes buf (Wal.encode_record r))
+          (ckpt :: order);
+        match Wal.recover_bytes (Buffer.to_bytes buf) with
+        | Error m -> failwith m
+        | Ok rc -> List.init n (fun i -> Memory.get rc.Wal.r_memory (1 + i))
+      in
+      let shuffle l =
+        l
+        |> List.map (fun r -> (P.int g 1_000_000, r))
+        |> List.sort compare |> List.map snd
+      in
+      recover_order commits = recover_order (shuffle commits))
+
+(* -- crash-point recovery ------------------------------------------ *)
+
+let durable_counter ?fault ?(nthreads = 2) ?(incs = 6) mode =
+  let config =
+    Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Tree
+    |> mode |> Config.with_fault fault |> Config.with_durable
+  in
+  let w = Engine.create ~nthreads config in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let wal = Wal.create ~group:config.Config.wal_group () in
+  Engine.attach_wal w wal;
+  let body th =
+    for _ = 1 to incs do
+      Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+    done
+  in
+  (w, wal, cell, body)
+
+let crash_modes =
+  [
+    ("eager", fun c -> c);
+    ("lazy", Config.with_lazy ~on:true);
+    ("lazy+tv", fun c -> c |> Config.with_lazy |> Config.with_tvalidate);
+  ]
+
+let crash_faults =
+  [
+    Fault.Crash_pre_commit;
+    Fault.Crash_mid_publish;
+    Fault.Crash_post_publish;
+    Fault.Torn_wal_record;
+  ]
+
+(* Run one durable counter under an injected crash fault and check the
+   recovered state is prefix-consistent.  Whether (and when) the fault
+   fires depends on the seed; clean completions are checked by full
+   replay instead. *)
+let run_crash_counter ~fault ~mode ~seed ~cell_of =
+  let w, wal, cell, body = durable_counter ~fault ~nthreads:2 ~incs:6 mode in
+  ignore w;
+  let ctx =
+    Printf.sprintf "%s/seed %d" (Fault.name fault) seed
+  in
+  let crashed =
+    match Engine.run_sim ~seed w body with
+    | (_ : Engine.result) ->
+        Wal.sync wal;
+        false
+    | exception Sched.Fiber_failure (_, Wal.Crashed) -> true
+  in
+  (match Wal.recover wal with
+  | Error m -> Alcotest.failf "%s: recovery failed: %s" ctx m
+  | Ok rc ->
+      let applied = rc.Wal.r_floor_seq + List.length rc.Wal.r_applied_seqs in
+      (* gapless replay *)
+      List.iteri
+        (fun i seq ->
+          if seq <> rc.Wal.r_floor_seq + i + 1 then
+            Alcotest.failf "%s: replay gap at %d" ctx seq)
+        rc.Wal.r_applied_seqs;
+      (* durability floor: every acknowledged commit survived *)
+      if applied < Wal.synced_seq wal then
+        Alcotest.failf "%s: lost synced commit (%d < %d)" ctx applied
+          (Wal.synced_seq wal);
+      (* prefix consistency: commit k wrote k *)
+      let v = Memory.get rc.Wal.r_memory (cell_of cell) in
+      if v <> applied then
+        Alcotest.failf "%s: recovered counter %d, %d commits replayed" ctx v
+          applied;
+      if (not crashed) && v <> 12 then
+        Alcotest.failf "%s: clean run replayed %d/12 increments" ctx v);
+  crashed
+
+let test_crash_recovery_prefix_consistent () =
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun (mname, mode) ->
+          let crashes = ref 0 in
+          for seed = 1 to 10 do
+            if run_crash_counter ~fault ~mode ~seed ~cell_of:(fun c -> c)
+            then incr crashes
+          done;
+          if !crashes = 0 then
+            Alcotest.failf "%s/%s: fault never fired in 10 seeds"
+              (Fault.name fault) mname)
+        crash_modes)
+    crash_faults
+
+(* 30-seed torture on the highest-traffic crash point, lazy mode. *)
+let test_crash_recovery_torture () =
+  let crashes = ref 0 in
+  for seed = 1 to 30 do
+    if
+      run_crash_counter ~fault:Fault.Crash_mid_publish
+        ~mode:(Config.with_lazy ~on:true) ~seed ~cell_of:(fun c -> c)
+    then incr crashes
+  done;
+  check "torture saw crashes" true (!crashes > 0)
+
+(* Kill-anywhere: truncate a clean run\'s log at every record boundary
+   (simulating death at each acknowledged point) and at unaligned cuts
+   inside each record (torn tails); every prefix must recover to the
+   matching counter prefix. *)
+let test_kill_anywhere_recovery () =
+  let w, wal, cell, body = durable_counter (fun c -> c) ~incs:8 in
+  ignore w;
+  (match Engine.run_sim ~seed:3 w body with
+  | (_ : Engine.result) -> Wal.sync wal
+  | exception Sched.Fiber_failure _ -> Alcotest.fail "clean run crashed");
+  let bytes = Wal.contents wal in
+  let len = Bytes.length bytes in
+  (* collect record boundaries *)
+  let rec boundaries acc pos =
+    if pos >= len then List.rev acc
+    else
+      match Wal.decode_record bytes ~pos with
+      | Ok (_, next) -> boundaries (next :: acc) next
+      | Error _ -> Alcotest.fail "undecodable clean log"
+  in
+  let bounds = boundaries [] 0 in
+  check "log has records" true (List.length bounds > 8);
+  let check_prefix ~torn cut =
+    match Wal.recover_bytes (Bytes.sub bytes 0 cut) with
+    | Error m -> Alcotest.failf "cut %d: %s" cut m
+    | Ok rc ->
+        let applied =
+          rc.Wal.r_floor_seq + List.length rc.Wal.r_applied_seqs
+        in
+        let v = Memory.get rc.Wal.r_memory cell in
+        if v <> applied then
+          Alcotest.failf "cut %d: counter %d from %d commits" cut v applied;
+        if torn && not rc.Wal.r_torn then
+          Alcotest.failf "cut %d: torn tail not reported" cut
+  in
+  List.iter
+    (fun b ->
+      check_prefix ~torn:false b;
+      if b + 9 < len then check_prefix ~torn:true (b + 9))
+    bounds
+
+(* The torn-checkpoint crash: a later checkpoint that tears must fall
+   back to the previous checkpoint, losing nothing acknowledged. *)
+let test_torn_checkpoint_falls_back () =
+  let config =
+    Config.runtime ~scope:Config.heap_write_only_scope Alloc_log.Tree
+    |> Config.with_fault (Some Fault.Crash_mid_checkpoint)
+    |> Config.with_durable
+  in
+  let w = Engine.create ~nthreads:1 config in
+  let cell = Alloc.alloc (Engine.global_arena w) 1 in
+  let wal = Wal.create ~group:1 () in
+  Engine.attach_wal w wal;
+  let th = Engine.setup_thread w in
+  for _ = 1 to 5 do
+    Txn.atomic th (fun tx -> Txn.write tx cell (Txn.read tx cell + 1))
+  done;
+  Wal.sync wal;
+  (match Engine.checkpoint w with
+  | () -> Alcotest.fail "checkpoint did not tear"
+  | exception Wal.Crashed -> ());
+  match Wal.recover wal with
+  | Error m -> Alcotest.failf "recovery failed: %s" m
+  | Ok rc ->
+      check "torn ckpt reported" true (rc.Wal.r_torn || rc.Wal.r_corrupt);
+      check_int "all commits survive"
+        5
+        (rc.Wal.r_floor_seq + List.length rc.Wal.r_applied_seqs);
+      check_int "counter restored" 5 (Memory.get rc.Wal.r_memory cell)
+
+(* Captured-write WAL elision: every write the capture analysis elides
+   (stack, heap, static) stays out of the log, mirroring redo elision. *)
+let test_wal_skips_equal_elided_writes () =
+  let config =
+    Config.runtime Alloc_log.Tree |> Config.with_lazy |> Config.with_tvalidate
+    |> Config.with_durable
+  in
+  let w = Engine.create ~nthreads:1 config in
+  let shared = Alloc.alloc (Engine.global_arena w) 1 in
+  let wal = Wal.create ~group:2 () in
+  Engine.attach_wal w wal;
+  let th = Engine.setup_thread w in
+  for round = 1 to 4 do
+    Txn.atomic th (fun tx ->
+        (* captured block: writes elided from redo buffer AND log *)
+        let b = Txn.alloc tx 4 in
+        for i = 0 to 3 do
+          Txn.write tx (b + i) (round * 10 + i)
+        done;
+        (* stack cells: elided as well *)
+        let sp = Txn.alloca tx 2 in
+        Txn.write tx sp round;
+        (* shared: instrumented, must reach the log *)
+        Txn.write tx shared (Txn.read tx shared + 1))
+  done;
+  Wal.sync wal;
+  let s = Txn.thread_stats th in
+  let elided =
+    s.Stats.writes_elided_stack + s.Stats.writes_elided_heap
+    + s.Stats.writes_elided_static
+  in
+  check "elided some writes" true (elided > 0);
+  check_int "wal_skips = elided writes" elided s.Stats.wal_skips;
+  check_int "one record per txn" 4 s.Stats.wal_records;
+  (* recovery restores the shared counter and the captured images *)
+  match Wal.recover wal with
+  | Error m -> Alcotest.failf "recovery failed: %s" m
+  | Ok rc -> check_int "shared restored" 4 (Memory.get rc.Wal.r_memory shared)
+
+let test_mode_name_wal_suffix () =
+  check "eager+wal" true
+    (Config.mode_name (Config.with_durable Config.baseline) = "eager+wal");
+  check "lazy+tv+wal" true
+    (Config.mode_name
+       (Config.baseline |> Config.with_lazy |> Config.with_tvalidate
+      |> Config.with_durable)
+    = "lazy+tv+wal");
+  check "+wal before +shards" true
+    (Config.mode_name
+       (Config.with_durable (Config.with_shards 4 Config.baseline))
+    = "eager+wal+shards:4")
+
 let config_cases name f =
   List.map
     (fun cfg ->
@@ -1338,6 +1686,28 @@ let () =
             test_lazy_waw_single_publish;
         ]
         @ List.map Qc.to_alcotest [ prop_lazy_read_own_write ] );
+      ( "wal",
+        [
+          Alcotest.test_case "crash recovery prefix-consistent" `Quick
+            test_crash_recovery_prefix_consistent;
+          Alcotest.test_case "crash torture (30 seeds)" `Slow
+            test_crash_recovery_torture;
+          Alcotest.test_case "kill-anywhere recovery" `Quick
+            test_kill_anywhere_recovery;
+          Alcotest.test_case "torn checkpoint falls back" `Quick
+            test_torn_checkpoint_falls_back;
+          Alcotest.test_case "wal skips = elided writes" `Quick
+            test_wal_skips_equal_elided_writes;
+          Alcotest.test_case "mode name +wal" `Quick
+            test_mode_name_wal_suffix;
+        ]
+        @ List.map Qc.to_alcotest
+            [
+              prop_wal_roundtrip;
+              prop_wal_bitflip_rejected;
+              prop_wal_truncation_torn;
+              prop_wal_replay_order_insensitive;
+            ] );
       qsuite "invariants" (List.map prop_sim_invariant all_configs);
       qsuite "torture" (List.map prop_stm_torture all_configs);
     ]

@@ -240,6 +240,94 @@ let prop_free_then_alloc_live_count =
       List.iter (Alloc.free a) ps;
       ok1 && Alloc.live_blocks a = 0 && Alloc.live_words a = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot (checkpoint images for the durable-transaction layer) *)
+
+let test_snapshot_roundtrip () =
+  let m = Memory.create ~words:256 in
+  let a = Alloc.create m ~base:64 ~words:128 in
+  Memory.set m 5 42;
+  Memory.set m 17 (-9);
+  let p = Alloc.alloc a 4 in
+  let q = Alloc.alloc a 8 in
+  Memory.set m p 7;
+  Memory.set m (q + 3) 11;
+  Alloc.free a p;
+  let snap = Snapshot.capture m [| a |] in
+  check "sparse image nonempty" true (Snapshot.live_cells snap >= 3);
+  let snap' =
+    match Snapshot.decode (Snapshot.encode snap) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  let m', arenas' = Snapshot.restore snap' in
+  check_int "words" (Memory.size m) (Memory.size m');
+  for addr = 1 to Memory.size m - 1 do
+    if Memory.get m addr <> Memory.get m' addr then
+      Alcotest.failf "cell %d: %d <> %d" addr (Memory.get m addr)
+        (Memory.get m' addr)
+  done;
+  let a' = arenas'.(0) in
+  check_int "arena base" (Alloc.base a) (Alloc.base a');
+  check_int "arena live blocks" (Alloc.live_blocks a) (Alloc.live_blocks a');
+  check_int "arena live words" (Alloc.live_words a) (Alloc.live_words a');
+  (* The restored allocator must also have inherited the free list: the
+     freed block [p] is the next allocation of its size class. *)
+  check_int "free list carried over" p (Alloc.alloc a' 4)
+
+let test_snapshot_decode_truncated () =
+  let m = Memory.create ~words:64 in
+  let a = Alloc.create m ~base:8 ~words:32 in
+  Memory.set m 3 1;
+  ignore (Alloc.alloc a 4);
+  let words = Snapshot.encode (Snapshot.capture m [| a |]) in
+  for cut = 0 to Array.length words - 1 do
+    match Snapshot.decode (Array.sub words 0 cut) with
+    | Ok _ -> Alcotest.failf "truncation to %d words accepted" cut
+    | Error _ -> ()
+  done
+
+(* Property: capture/encode/decode/restore is the identity on the memory
+   image and on the allocator's observable state, for arbitrary
+   write/alloc/free interleavings. *)
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot encode/decode/restore roundtrip"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (pair (int_range 0 2) (pair (int_range 1 62) small_signed_int)))
+    (fun ops ->
+      let m = Memory.create ~words:256 in
+      let a = Alloc.create m ~base:64 ~words:128 in
+      let live = ref [] in
+      List.iter
+        (fun (op, (x, v)) ->
+          match op with
+          | 0 -> Memory.set m x v
+          | 1 ->
+              let p = Alloc.alloc a (1 + (x mod 8)) in
+              Memory.set m p v;
+              live := p :: !live
+          | _ -> (
+              match !live with
+              | p :: rest ->
+                  Alloc.free a p;
+                  live := rest
+              | [] -> ()))
+        ops;
+      let snap = Snapshot.capture m [| a |] in
+      match Snapshot.decode (Snapshot.encode snap) with
+      | Error _ -> false
+      | Ok snap' ->
+          let m', arenas' = Snapshot.restore snap' in
+          let a' = arenas'.(0) in
+          Memory.size m' = Memory.size m
+          && Alloc.live_blocks a' = Alloc.live_blocks a
+          && Alloc.live_words a' = Alloc.live_words a
+          && List.for_all
+               (fun addr -> Memory.get m addr = Memory.get m' addr)
+               (List.init (Memory.size m - 1) (fun i -> i + 1)))
+
 let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
@@ -275,4 +363,11 @@ let () =
           Alcotest.test_case "foreign free" `Quick test_alloc_foreign_free;
         ] );
       qsuite "alloc-props" [ prop_no_overlap; prop_free_then_alloc_live_count ];
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "decode rejects truncation" `Quick
+            test_snapshot_decode_truncated;
+        ] );
+      qsuite "snapshot-props" [ prop_snapshot_roundtrip ];
     ]
