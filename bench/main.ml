@@ -28,7 +28,7 @@ let known_sections =
   [
     "fig8"; "fig9"; "table1"; "table2"; "fig10"; "fig11a"; "fig11b"; "micro";
     "ablation"; "fastpath"; "tvalidate"; "contention"; "scale"; "shards";
-    "lazyab"; "wal";
+    "lazyab"; "wal"; "reclaim";
   ]
 
 let scale_domains : int list ref = ref []
@@ -1094,6 +1094,61 @@ let wal_section () =
     apps
 
 (* ------------------------------------------------------------------ *)
+(* Epoch-based reclamation A/B: limbo depth and reclaim-stall overhead  *)
+
+let reclaim_json ~app ~ebr ~threads (r : Engine.result) =
+  let s = r.Engine.stats in
+  Printf.printf
+    "{\"section\":\"reclaim\",\"app\":\"%s\",\"ebr\":%b,\"threads\":%d,\
+     \"commits\":%d,\"aborts\":%d,\"user_aborts\":%d,\"tx_frees\":%d,\
+     \"limbo_blocks\":%d,\"limbo_words\":%d,\"epoch_advances\":%d,\
+     \"reclaim_stalls\":%d,\"grace_waits\":%d,\"makespan\":%d}\n"
+    app ebr threads s.Stats.commits s.Stats.aborts s.Stats.user_aborts
+    s.Stats.tx_frees s.Stats.limbo_blocks s.Stats.limbo_words
+    s.Stats.epoch_advances s.Stats.reclaim_stalls s.Stats.grace_waits
+    r.Engine.makespan
+
+let reclaim_section () =
+  headline
+    "Reclaim A/B: epoch-based reclamation on vs off — identical outcomes, \
+     limbo high-water and stall overhead (simulator, JSON lines)";
+  let cfg = Config.runtime Alloc_log.Tree in
+  List.iter
+    (fun app ->
+      (* (a) Single-thread A/B under identical seeds: EBR only defers when
+         a freed block returns to the free lists, so commit and user-abort
+         counts must match exactly. *)
+      let off = run_sim app cfg ~nthreads:1 ~seed:1 in
+      let on = run_sim app (Config.with_ebr cfg) ~nthreads:1 ~seed:1 in
+      assert (off.Engine.stats.Stats.commits = on.Engine.stats.Stats.commits);
+      assert (
+        off.Engine.stats.Stats.user_aborts = on.Engine.stats.Stats.user_aborts);
+      reclaim_json ~app:app.App.name ~ebr:false ~threads:1 off;
+      reclaim_json ~app:app.App.name ~ebr:true ~threads:1 on;
+      (* (b) 16-thread leg: limbo depth and epoch traffic under real
+         contention (EBR's extra cycles shift interleavings, so only the
+         +ebr run's own counters are meaningful here). *)
+      let off16 = run_sim app cfg ~nthreads:sim_threads ~seed:1 in
+      let on16 =
+        run_sim app (Config.with_ebr cfg) ~nthreads:sim_threads ~seed:1
+      in
+      reclaim_json ~app:app.App.name ~ebr:false ~threads:sim_threads off16;
+      reclaim_json ~app:app.App.name ~ebr:true ~threads:sim_threads on16;
+      let s = on16.Engine.stats in
+      Printf.printf
+        "# %-14s frees %6d  limbo high-water %4d blocks / %5d words  \
+         epoch-advances %5d  stalls %4d  makespan %+5.1f%% (1 thr %+5.1f%%)\n"
+        app.App.name s.Stats.tx_frees s.Stats.limbo_blocks s.Stats.limbo_words
+        s.Stats.epoch_advances s.Stats.reclaim_stalls
+        (-.improvement
+            ~base:(float_of_int (max 1 off16.Engine.makespan))
+            (float_of_int on16.Engine.makespan))
+        (-.improvement
+            ~base:(float_of_int (max 1 off.Engine.makespan))
+            (float_of_int on.Engine.makespan)))
+    apps
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -1116,4 +1171,5 @@ let () =
   if wants "shards" then shards_section ();
   if wants "lazyab" then lazyab ();
   if wants "wal" then wal_section ();
+  if wants "reclaim" then reclaim_section ();
   Printf.printf "\ndone.\n"

@@ -51,11 +51,12 @@ let json_escape s =
 
 let report_json (r : Harness.report) union =
   Printf.sprintf
-    "{\"workload\":\"%s\",\"config\":\"%s\",\"strategy\":\"%s\",\"runs\":%d,\"new_schedules\":%d,\"union_distinct\":%d,\"truncated\":%d,\"crashes\":%d,\"violations\":%d%s}"
+    "{\"workload\":\"%s\",\"config\":\"%s\",\"strategy\":\"%s\",\"runs\":%d,\"new_schedules\":%d,\"union_distinct\":%d,\"truncated\":%d,\"crashes\":%d,\"dfrees\":%d,\"violations\":%d%s}"
     (json_escape r.Harness.workload)
     (json_escape r.Harness.config)
     r.Harness.strategy r.Harness.runs r.Harness.distinct union
-    r.Harness.truncated r.Harness.crashes r.Harness.violations
+    r.Harness.truncated r.Harness.crashes r.Harness.total_dfrees
+    r.Harness.violations
     (match r.Harness.first with
     | None -> ""
     | Some f ->
@@ -67,6 +68,7 @@ let report_json (r : Harness.report) union =
    durable, judged by the recovery oracle.  Zero violations means every
    simulated process death replayed to a prefix-consistent state. *)
 let crash_matrix nthreads runs seed max_steps persist pct_depth json =
+  let ( %> ) f g x = g (f x) in
   (* Crash faults draw from the *thread* PRNG (seeded by the world
      seed), so whether a given commit crashes is a property of the world
      seed, not the schedule.  Sweeping several world seeds per cell is
@@ -92,6 +94,13 @@ let crash_matrix nthreads runs seed max_steps persist pct_depth json =
          c |> Config.with_fastpath ~on:true |> Config.with_tvalidate ~on:true);
       ("lazy+shards4",
        fun c -> c |> Config.with_lazy ~on:true |> Config.with_shards 4);
+      (* +ebr legs: crash while deferred frees sit in limbo — recovery
+         must apply exactly the durably-freed set (never materialize a
+         still-limbo block as free, never leak a durably freed one). *)
+      ("eager+ebr", Config.with_ebr ~on:true);
+      ("lazy+shards4+ebr",
+       Config.with_lazy ~on:true %> Config.with_shards 4
+       %> Config.with_ebr ~on:true);
     ]
   in
   let workload_names = [ "counter"; "bank"; "publish" ] in
@@ -111,6 +120,13 @@ let crash_matrix nthreads runs seed max_steps persist pct_depth json =
             base |> modify
             |> Config.with_fault (Some fault)
             |> Config.with_durable
+          in
+          (* The reclaim workload rides only in the [+ebr] cells: without
+             EBR its frees race readers by design and the live oracle
+             would (correctly) go red before recovery is even at issue. *)
+          let workload_names =
+            if config.Config.ebr then workload_names @ [ "free_race" ]
+            else workload_names
           in
           List.iter
             (fun wname ->
@@ -184,8 +200,8 @@ let crash_matrix nthreads runs seed max_steps persist pct_depth json =
 
 let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
     strategies_csv runs seed max_steps persist pct_depth dfs_preemptions
-    min_distinct fault_name inject_bug wal wal_bug crash_matrix_flag json
-    smoke =
+    min_distinct fault_name inject_bug wal wal_bug ebr_flag min_dfrees
+    crash_matrix_flag json smoke =
   if crash_matrix_flag then
     crash_matrix nthreads runs seed max_steps persist pct_depth json
   else
@@ -205,13 +221,19 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
   with
   | Error msg -> `Error (false, msg)
   | Ok fault ->
+  (* premature-reuse only exists on the commit-time deferred-free path:
+     the fault requires +ebr (it skips the grace period EBR imposes) and
+     a workload that actually frees across threads. *)
+  let ebr = ebr_flag || fault = Some Fault.Premature_reuse in
   (* The zombie workload's spin is bounded only by correct validation —
      the one thing the injected faults deliberately break — so fault
      sweeps leave it out of the default set. *)
   let workload_names =
     if workloads_csv = "" && apps_csv = "" then
-      [ "counter"; "bank"; "publish"; "scoped" ]
-      @ (if fault = None then [ "zombie" ] else [])
+      if fault = Some Fault.Premature_reuse then [ "free_race" ]
+      else
+        [ "counter"; "bank"; "publish"; "scoped" ]
+        @ (if fault = None then [ "zombie" ] else [])
     else split_csv workloads_csv
   in
   let resolve name =
@@ -268,6 +290,7 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
             let failures = ref 0
             and caught = ref 0
             and crashed = ref 0
+            and vacuous = ref 0
             and hung = ref 0
             and total_runs = ref 0
             and total_distinct = ref 0
@@ -290,8 +313,10 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
                       |> Config.with_shards shards
                       |> Config.with_fault fault
                       |> Config.with_durable ~on:durable
+                      |> Config.with_ebr ~on:ebr
                     in
                     let seen = Hashtbl.create (8 * runs) in
+                    let cell_dfrees = ref 0 in
                     (* Crash-point faults (and the seeded recovery bug)
                        draw from the thread PRNG: whether a commit
                        crashes depends on the world seed, not the
@@ -313,6 +338,7 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
                             ~wal_bug ~seen ()
                         in
                         total_runs := !total_runs + r.Harness.runs;
+                        cell_dfrees := !cell_dfrees + r.Harness.total_dfrees;
                         (match r.Harness.first with
                         | Some f
                           when f.Harness.violation.Oracle.kind
@@ -348,6 +374,17 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
                       strategies;
                     let union = Hashtbl.length seen in
                     total_distinct := !total_distinct + union;
+                    (* Vacuity floor: a reclaim cell that never executed
+                       a deferred free proved nothing about reuse. *)
+                    if !cell_dfrees < min_dfrees then begin
+                      incr vacuous;
+                      if not json then
+                        Printf.printf
+                          "FAIL %s %s: %d deferred frees < %d required \
+                           (vacuous reclaim cell)\n"
+                          w.Workloads.name (Config.name config) !cell_dfrees
+                          min_dfrees
+                    end;
                     if fault = None && union < min_distinct then begin
                       incr failures;
                       if not json then
@@ -371,6 +408,12 @@ let sweep workloads_csv apps_csv nthreads analysis_name modes_csv shards_csv
                 ( false,
                   Printf.sprintf
                     "%d cells truncated runs (possible livelock)" !hung )
+            else if !vacuous > 0 then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "%d cells below the --min-dfrees floor (vacuous)"
+                    !vacuous )
             else
               match fault with
               | Some f -> (
@@ -427,9 +470,11 @@ open Cmdliner
 let workloads_arg =
   let doc =
     "Comma-separated micro workloads (counter, bank, publish, scoped, \
-     zombie).  Default: all five — fault sweeps drop zombie, whose \
-     termination depends on the validation machinery faults break \
-     (unless $(b,--apps) is given alone)."
+     zombie, free_race, privatize_race).  Default: the first five — \
+     fault sweeps drop zombie, whose termination depends on the \
+     validation machinery faults break (unless $(b,--apps) is given \
+     alone); the reclaim pair is red by design without $(b,--ebr) and \
+     must be named explicitly."
   in
   Arg.(value & opt string "" & info [ "workloads"; "w" ] ~docv:"NAMES" ~doc)
 
@@ -503,7 +548,7 @@ let fault_arg =
   let doc =
     "Inject a structured fault (skip-validation, stale-read, \
      delayed-unlock, spurious-abort, alloc-log-drop, clock-stall, \
-     stale-epoch, redo-drop, publish-partial) and \
+     stale-epoch, redo-drop, publish-partial, premature-reuse) and \
      judge the sweep by the fault's expectation: $(i,contained) faults \
      must produce zero violations, $(i,flagged) faults must be detected \
      by the oracle with no exception escaping a fiber."
@@ -534,13 +579,31 @@ let wal_bug_arg =
   in
   Arg.(value & flag & info [ "wal-bug-torn" ] ~doc)
 
+let ebr_arg =
+  let doc =
+    "Run every cell with epoch-based reclamation (+ebr): deferred frees \
+     park in per-thread limbo lists for two grace periods before the \
+     allocator may reuse them, and the oracle's use-after-free rule is \
+     armed.  Implied by $(b,--fault premature-reuse)."
+  in
+  Arg.(value & flag & info [ "ebr" ] ~doc)
+
+let min_dfrees_arg =
+  let doc =
+    "Fail any workload×config cell whose runs executed fewer than N \
+     deferred frees in total — the reclaim sweeps' vacuity floor (a \
+     cell that never freed proves nothing about reuse safety)."
+  in
+  Arg.(value & opt int 0 & info [ "min-dfrees" ] ~docv:"N" ~doc)
+
 let crash_matrix_arg =
   let doc =
     "Sweep every crash-point fault (crash-pre-commit, crash-mid-publish, \
      crash-post-publish, crash-mid-checkpoint, torn-wal-record) across \
-     eager, lazy, fptv and lazy+shards:4 durable configurations; every \
-     simulated death must recover to a prefix-consistent state (zero \
-     violations)."
+     eager, lazy, fptv, lazy+shards:4 and the +ebr pair of durable \
+     configurations (the +ebr cells add the free_race workload, so \
+     crashes land while frees sit in limbo); every simulated death must \
+     recover to a prefix-consistent state (zero violations)."
   in
   Arg.(value & flag & info [ "crash-matrix" ] ~doc)
 
@@ -580,6 +643,12 @@ let cmd =
       `Pre "  stamp_check --crash-matrix --seed 1";
       `P "Recovery-oracle self-test — a seeded replay bug must be flagged:";
       `Pre "  stamp_check --fault torn-wal-record --wal-bug-torn -w bank";
+      `P "Reclaim sweep — use-after-free rule armed, reuse gated on epochs:";
+      `Pre
+        "  stamp_check -w free_race,privatize_race --ebr -s random,pct \
+         --min-dfrees 1";
+      `P "Premature-reuse fault — the oracle must flag the skipped grace:";
+      `Pre "  stamp_check --fault premature-reuse";
     ]
   in
   Cmd.v
@@ -589,7 +658,7 @@ let cmd =
         (const sweep $ workloads_arg $ apps_arg $ threads_arg $ analysis_arg
        $ modes_arg $ shards_arg $ strategies_arg $ runs_arg $ seed_arg $ max_steps_arg
        $ persist_arg $ pct_depth_arg $ dfs_preemptions_arg $ min_distinct_arg
-       $ fault_arg $ inject_bug_arg $ wal_arg $ wal_bug_arg
-       $ crash_matrix_arg $ json_arg $ smoke_arg))
+       $ fault_arg $ inject_bug_arg $ wal_arg $ wal_bug_arg $ ebr_arg
+       $ min_dfrees_arg $ crash_matrix_arg $ json_arg $ smoke_arg))
 
 let () = exit (Cmd.eval cmd)

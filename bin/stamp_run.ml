@@ -87,7 +87,9 @@ let print_json ~app ~config ~mode ~threads (r : Engine.result) ~native =
      \"cm_starvation_events\":%d,\"shard_acquires\":%s,\
      \"shard_conflicts\":%s,\"top_conflict_pairs\":%s,\
      \"wal_records\":%d,\"wal_bytes\":%d,\"wal_fsyncs\":%d,\
-     \"wal_skips\":%d,\"makespan\":%d,\
+     \"wal_skips\":%d,\"limbo_blocks\":%d,\"limbo_words\":%d,\
+     \"epoch_advances\":%d,\"reclaim_stalls\":%d,\"grace_waits\":%d,\
+     \"makespan\":%d,\
      \"wall_ms\":%.3f,\"per_thread_wall_ms\":[%s]}\n"
     app config threads
     (if native then "native" else "sim")
@@ -113,7 +115,9 @@ let print_json ~app ~config ~mode ~threads (r : Engine.result) ~native =
     (int_array_json s.Stats.shard_acquires)
     (int_array_json s.Stats.shard_conflicts)
     (pairs_json s) s.Stats.wal_records s.Stats.wal_bytes s.Stats.wal_fsyncs
-    s.Stats.wal_skips r.Engine.makespan
+    s.Stats.wal_skips s.Stats.limbo_blocks s.Stats.limbo_words
+    s.Stats.epoch_advances s.Stats.reclaim_stalls s.Stats.grace_waits
+    r.Engine.makespan
     (1000. *. r.Engine.wall)
     (String.concat ","
        (Array.to_list
@@ -189,6 +193,17 @@ let print_result (r : Engine.result) ~native =
                    captured-skips %d\n"
       s.Stats.wal_records s.Stats.wal_bytes s.Stats.wal_fsyncs
       s.Stats.wal_skips;
+  if
+    s.Stats.epoch_advances + s.Stats.limbo_blocks + s.Stats.reclaim_stalls
+    + s.Stats.grace_waits
+    > 0
+  then begin
+    Printf.printf "reclaim:            epoch-advances %d / stalls %d / \
+                   grace-waits %d\n"
+      s.Stats.epoch_advances s.Stats.reclaim_stalls s.Stats.grace_waits;
+    Printf.printf "  limbo high-water: %d blocks / %d words\n"
+      s.Stats.limbo_blocks s.Stats.limbo_words
+  end;
   if native then begin
     Printf.printf "wall time:          %.3f ms\n" (1000. *. r.Engine.wall);
     Printf.printf "native makespan:    %.3f ms (slowest domain)\n"
@@ -252,8 +267,8 @@ let print_recovery ~json dir (rc : Wal.recovery) =
   end
 
 let run_cmd app_name config_name scope_name scale_name threads native seed
-    pessimistic fastpath tvalidate lazy_ fences shards orec_map_name cm_name
-    fuel fault_name wal_dir wal_group recover json =
+    pessimistic fastpath tvalidate lazy_ fences ebr shards orec_map_name
+    cm_name fuel fault_name wal_dir wal_group recover json =
   let ( let* ) = Result.bind in
   let outcome =
     let* scope = scope_of_name scope_name in
@@ -263,6 +278,7 @@ let run_cmd app_name config_name scope_name scale_name threads native seed
     let config = if tvalidate then Config.with_tvalidate config else config in
     let config = if lazy_ then Config.with_lazy config else config in
     let config = if fences then Config.with_fences config else config in
+    let config = if ebr then Config.with_ebr config else config in
     let* orec_map = orec_map_of_name orec_map_name in
     let* config =
       if shards < 1 || shards land (shards - 1) <> 0 then
@@ -443,6 +459,15 @@ let fences_arg =
                  use to separate ordering bugs from logic bugs on native \
                  runs.")
 
+let ebr_arg =
+  Arg.(value & flag
+       & info [ "ebr" ]
+           ~doc:"Epoch-based reclamation (+ebr): committed transactional \
+                 frees park in a per-thread limbo list and return to the \
+                 allocator only after two grace periods, so no concurrent \
+                 attempt can read a recarved block.  Adds the limbo / \
+                 epoch-advance / reclaim-stall counters to the report.")
+
 let shards_arg =
   Arg.(value & opt int 1
        & info [ "shards" ] ~docv:"N"
@@ -475,8 +500,9 @@ let fault_arg =
        & info [ "fault" ] ~docv:"NAME"
            ~doc:"Inject a structured fault (skip-validation | stale-read | \
                  delayed-unlock | spurious-abort | alloc-log-drop | \
-                 clock-stall | stale-epoch | redo-drop | publish-partial). \
-                 Testing only: verification may fail, which is the point.")
+                 clock-stall | stale-epoch | redo-drop | publish-partial | \
+                 premature-reuse). Testing only: verification may fail, \
+                 which is the point.")
 
 let json_arg =
   Arg.(value & flag
@@ -511,8 +537,9 @@ let run_term =
   Term.(ret (const run_cmd $ app_arg $ config_arg $ scope_arg $ scale_arg
              $ threads_arg $ native_arg $ seed_arg $ pessimistic_arg
              $ fastpath_arg $ tvalidate_arg $ lazy_arg $ fences_arg
-             $ shards_arg $ orec_map_arg $ cm_arg $ fuel_arg $ fault_arg
-             $ wal_dir_arg $ wal_group_arg $ recover_arg $ json_arg))
+             $ ebr_arg $ shards_arg $ orec_map_arg $ cm_arg $ fuel_arg
+             $ fault_arg $ wal_dir_arg $ wal_group_arg $ recover_arg
+             $ json_arg))
 
 let recover_term =
   Term.(ret (const recover_cmd $ wal_pos_arg $ json_arg))

@@ -15,7 +15,19 @@ type run = {
   commits : int;
   aborts : int;
   events : int;
+  dfrees : int;
+      (* [Ev_free] events observed — the reclaim sweeps' vacuity signal:
+         a cell claiming the use-after-free rule held must actually have
+         exercised frees *)
 }
+
+let count_dfrees hist =
+  let n = ref 0 in
+  History.iter hist (fun e ->
+      match e.History.ev with
+      | Captured_stm.Txn.Ev_free _ -> incr n
+      | _ -> ());
+  !n
 
 (* The oracle's strict (aborted-attempts-too) mode is sound exactly when
    every read is validated as it happens. *)
@@ -88,6 +100,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         | Step_budget_exceeded -> `Truncated
         | Sched.Fiber_failure (tid, e) -> `Crashed (tid, e))
   in
+  let dfrees = count_dfrees hist in
   match outcome with
   | `Truncated ->
       {
@@ -98,6 +111,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         commits = 0;
         aborts = 0;
         events = History.length hist;
+        dfrees;
       }
   | `Crashed (_, Wal.Crashed) when wal <> None ->
       (* Injected process death: the run ends mid-flight by design.  The
@@ -112,6 +126,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         commits = 0;
         aborts = 0;
         events = History.length hist;
+        dfrees;
       }
   | `Crashed (tid, e) ->
       (* No fiber raises in a correct run (conflicts retry internally):
@@ -131,6 +146,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         commits = 0;
         aborts = 0;
         events = History.length hist;
+        dfrees;
       }
   | `Done r ->
       let orecs = Engine.orecs p.App.world in
@@ -138,6 +154,8 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         Oracle.check
           ~strictness:(strictness_for config)
           ~lazy_mode:config.Config.lazy_versioning
+          ~reclaim:
+            (config.Config.ebr || workload.Workloads.reclaim_oracle)
           ~index_of:(fun a ->
             let i = Captured_stm.Orec.index_of orecs a in
             ( Captured_stm.Orec.shard_of orecs i,
@@ -173,6 +191,7 @@ let run_one ?(seed = 7) ?(max_steps = 200_000) ?(record_detail = false)
         commits = r.Engine.stats.Stats.commits;
         aborts = r.Engine.stats.Stats.aborts;
         events = History.length hist;
+        dfrees;
       }
 
 type found = {
@@ -193,6 +212,9 @@ type report = {
   first : found option;
   max_events : int;
   total_commits : int;
+  total_dfrees : int;
+      (* deferred frees summed over runs — zero means the sweep never
+         exercised the path it claims to check (vacuous) *)
 }
 
 (* Bounded exhaustive DFS with preemption bounding: run a prescription,
@@ -248,6 +270,7 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
   and violations = ref 0
   and max_events = ref 0
   and total_commits = ref 0
+  and total_dfrees = ref 0
   and ran = ref 0 in
   let first = ref None in
   let note (r : run) interventions =
@@ -261,6 +284,7 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
     if r.crashed then incr crashes;
     max_events := max !max_events r.events;
     total_commits := !total_commits + r.commits;
+    total_dfrees := !total_dfrees + r.dfrees;
     match r.violation with
     | None -> ()
     | Some v ->
@@ -324,13 +348,17 @@ let explore ~(workload : Workloads.t) ~config ~strategy ?(runs = 200)
     first = !first;
     max_events = !max_events;
     total_commits = !total_commits;
+    total_dfrees = !total_dfrees;
   }
 
 let report_to_string r =
   Printf.sprintf "%-14s %-28s %-6s runs=%-5d new-schedules=%-5d trunc=%-3d %s%s"
     r.workload r.config r.strategy r.runs r.distinct r.truncated
-    (if r.crashes = 0 then ""
-     else Printf.sprintf "crashes=%d " r.crashes)
+    ((if r.crashes = 0 then ""
+      else Printf.sprintf "crashes=%d " r.crashes)
+    ^
+    if r.total_dfrees = 0 then ""
+    else Printf.sprintf "dfrees=%d " r.total_dfrees)
     (if r.violations = 0 then "ok"
      else
        match r.first with

@@ -17,6 +17,9 @@ type run = {
   commits : int;
   aborts : int;
   events : int;
+  dfrees : int;
+      (** [Ev_free] events observed — reclaim sweeps use it as a
+          vacuity signal (a cell that never freed proves nothing) *)
 }
 
 (** Oracle strictness a configuration has earned: [All_attempts] under
@@ -66,6 +69,7 @@ type report = {
   first : found option;
   max_events : int;
   total_commits : int;
+  total_dfrees : int;  (** deferred frees summed over the runs *)
 }
 
 (** [explore ~workload ~config ~strategy ()] runs one strategy's budget

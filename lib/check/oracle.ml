@@ -21,8 +21,13 @@ type attempt = {
   first_reads : (int, int * int) Hashtbl.t; (* addr -> value, seq *)
   mutable pending : (int * int * bool) list; (* newest first: addr, value, elided *)
   mutable pending_n : int;
-  mutable marks : int list; (* pending_n at each open nested scope *)
+  mutable marks : (int * int) list;
+      (* (pending_n, freed_n) at each open nested scope *)
   mutable owned : (int * int) list; (* [lo, hi) alloc/alloca ranges *)
+  mutable freed : int list;
+      (* deferred frees (addresses this attempt did not allocate),
+         newest first; they take effect only if the attempt commits *)
+  mutable freed_n : int;
   locked : (int * int, unit) Hashtbl.t;
       (* (shard, slot) of each orec this attempt write-locked.  A read of
          ANY address mapping to a locked orec — the written address
@@ -49,6 +54,8 @@ let new_attempt seq =
     pending_n = 0;
     marks = [];
     owned = [];
+    freed = [];
+    freed_n = 0;
     locked = Hashtbl.create 8;
     deferred = None;
   }
@@ -64,13 +71,27 @@ let in_owned a addr =
   List.exists (fun (lo, hi) -> addr >= lo && addr < hi) a.owned
 
 let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
-    ?(lazy_mode = false) ~initial ~final ~history ~verify () =
+    ?(lazy_mode = false) ?(reclaim = false) ~initial ~final ~history ~verify
+    () =
   (* Per-address committed-value timeline, newest entry first.  An address
      absent from the table has held its initial value throughout. *)
   let timeline : (int, (int * cell) list ref) Hashtbl.t =
     Hashtbl.create 256
   in
   let allocated : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Reclamation model ([reclaim]): requested sizes from allocation
+     events; words covered by committed deferred frees and not yet
+     reused ([freed_words] : word -> freeing commit seq); and words
+     whose freed block a later allocation recarved ([recarved], same
+     payload).  A read of a recarved word by an attempt that began
+     before the free committed is a use-after-free: the allocator
+     rewrote the header and zeroed the payload underneath a pointer
+     obtained before the free, with no orec bump for validation to
+     catch.  Correct EBR makes the rule unreachable — reuse is held in
+     limbo until every such attempt is provably gone. *)
+  let sizes : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let freed_words : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let recarved : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let value_at addr t =
     match Hashtbl.find_opt timeline addr with
     | None -> Val (initial addr)
@@ -128,7 +149,7 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
     | Txn.Ev_begin _ -> Hashtbl.replace live tid (new_attempt seq)
     | Txn.Ev_scope_begin -> (
         match Hashtbl.find_opt live tid with
-        | Some a -> a.marks <- a.pending_n :: a.marks
+        | Some a -> a.marks <- (a.pending_n, a.freed_n) :: a.marks
         | None -> ())
     | Txn.Ev_scope_commit -> (
         match Hashtbl.find_opt live tid with
@@ -142,14 +163,17 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
         match Hashtbl.find_opt live tid with
         | Some a -> (
             match a.marks with
-            | m :: r ->
-                let rec drop l n =
-                  if n <= m then l
+            | (m, fm) :: r ->
+                let rec drop l n to_n =
+                  if n <= to_n then l
                   else
-                    match l with [] -> [] | _ :: tl -> drop tl (n - 1)
+                    match l with [] -> [] | _ :: tl -> drop tl (n - 1) to_n
                 in
-                a.pending <- drop a.pending a.pending_n;
+                a.pending <- drop a.pending a.pending_n m;
                 a.pending_n <- m;
+                (* The scope's deferred frees are cancelled with it. *)
+                a.freed <- drop a.freed a.freed_n fm;
+                a.freed_n <- fm;
                 a.marks <- r
             | [] -> ())
         | None -> ())
@@ -164,6 +188,23 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
                     (Printf.sprintf "addr %d read %d, own write was %d" addr
                        value w)
             | None ->
+                (* Memory safety first: a read of a word that was freed
+                   by a commit newer than this attempt's begin and then
+                   recarved by a fresh allocation dereferences reclaimed
+                   memory.  The reader is usually a doomed zombie, so the
+                   rule fires immediately in every strictness mode —
+                   commit-gating would hide exactly the dangerous case. *)
+                (if reclaim && not (in_owned a addr) then
+                   match Hashtbl.find_opt recarved addr with
+                   | Some fseq when a.begin_seq < fseq ->
+                       fail ~kind:"use-after-free" ~tid ~seq
+                         (Printf.sprintf
+                            "addr %d was freed by the commit at %d and \
+                             recarved by a later allocation, yet this \
+                             attempt (begun at %d) still read it — a stale \
+                             pointer survived reclamation"
+                            addr fseq a.begin_seq)
+                   | _ -> ());
                 (* Elided reads of this attempt's own allocations are
                    thread-private by construction (that is the property
                    being tested); private-annotated data is outside the
@@ -230,6 +271,18 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
         for i = addr to addr + size - 1 do
           Hashtbl.replace allocated i ()
         done;
+        if reclaim then begin
+          Hashtbl.replace sizes addr size;
+          (* Reuse of freed words: from here on, a read of these words
+             by an attempt older than the free is a use-after-free. *)
+          for i = addr to addr + size - 1 do
+            match Hashtbl.find_opt freed_words i with
+            | Some fseq ->
+                Hashtbl.replace recarved i fseq;
+                Hashtbl.remove freed_words i
+            | None -> ()
+          done
+        end;
         match Hashtbl.find_opt live tid with
         | None -> ()
         | Some a ->
@@ -238,7 +291,21 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
             for i = addr to addr + size - 1 do
               append i seq Fresh
             done)
-    | Txn.Ev_free _ -> ()
+    | Txn.Ev_free { addr } -> (
+        (* Only deferred frees matter for reclamation: a free netted
+           against this attempt's own allocation releases a block no
+           other thread ever saw committed.  [in_owned] over-approximates
+           the engine's innermost-scope netting, which errs toward
+           silence, never toward a false alarm. *)
+        (* Once freed, the block's first word holds allocator links (and a
+           recycler may carve it) — its liveness is no longer tracked, so
+           exclude it from the final-state replay like any recycled cell. *)
+        Hashtbl.replace allocated addr ();
+        match Hashtbl.find_opt live tid with
+        | Some a when reclaim && not (in_owned a addr) ->
+            a.freed <- addr :: a.freed;
+            a.freed_n <- a.freed_n + 1
+        | _ -> ())
     | Txn.Ev_commit -> (
         match Hashtbl.find_opt live tid with
         | None -> ()
@@ -271,6 +338,21 @@ let check ?(strictness = Committed_only) ?(index_of = fun (a : int) -> (0, a))
             List.iter
               (fun (addr, v, _) -> append addr seq (Val v))
               (List.rev a.pending);
+            (* Deferred frees take effect now: the block's words become
+               reusable, stamped with this commit's instant. *)
+            if reclaim then
+              List.iter
+                (fun addr ->
+                  let size =
+                    match Hashtbl.find_opt sizes addr with
+                    | Some s -> Captured_tmem.Alloc.carve_size s
+                    | None -> 1 (* size unknown (pre-history block) *)
+                  in
+                  for i = addr to addr + size - 1 do
+                    Hashtbl.replace freed_words i seq;
+                    Hashtbl.remove recarved i
+                  done)
+                a.freed;
             Hashtbl.remove live tid)
     | Txn.Ev_abort _ -> (
         match Hashtbl.find_opt live tid with
@@ -492,11 +574,20 @@ let check_recovery ~initial ~recovered ~history ~facts () =
        blocks carry allocator links, both faithfully replayed via
        payload images but outside the oracle's value model. *)
     let expected : (int, cell) Hashtbl.t = Hashtbl.create 256 in
+    (* Block liveness at the cut: addr -> (carved size, live?).  Fed by
+       the same replay; used below to hold the recovered image to the
+       reclamation layer's crash invariant (allocated headers for blocks
+       the durable prefix leaves live, freed headers for blocks it
+       durably freed). *)
+    let blocks : (int, int * bool) Hashtbl.t = Hashtbl.create 32 in
     let apply_commit effs =
       let own = Hashtbl.create 8 in
       List.iter
         (function
           | RA a ->
+              if not a.a_netted then
+                Hashtbl.replace blocks a.a_addr
+                  (Captured_tmem.Alloc.carve_size a.a_size, true);
               for i = a.a_addr to a.a_addr + a.a_size - 1 do
                 Hashtbl.replace expected i Fresh;
                 Hashtbl.replace own i ()
@@ -515,6 +606,9 @@ let check_recovery ~initial ~recovered ~history ~facts () =
                   else Hashtbl.replace expected w.w_addr Fresh
               | _ -> ())
           | RF f ->
+              if f.f_counts && f.f_size >= 0 then
+                Hashtbl.replace blocks f.f_addr
+                  (Captured_tmem.Alloc.carve_size f.f_size, false);
               if f.f_size >= 0 then
                 for i = f.f_addr to f.f_addr + f.f_size - 1 do
                   Hashtbl.replace expected i Fresh
@@ -557,6 +651,31 @@ let check_recovery ~initial ~recovered ~history ~facts () =
             end
     in
     cut stream 0 0;
+    (* Allocator-header consistency at the cut (DESIGN.md §14): a block
+       the durable prefix leaves live must carry an allocated header in
+       the recovered image.  This is the crash-time face of the
+       reclamation invariant — a block sitting in a limbo list whose
+       free record is past the cut is still reader-visible, and
+       materializing it as free would let post-recovery allocations
+       recarve live state.  Conversely a block the prefix durably freed
+       must read free, or recovery leaked it. *)
+    Hashtbl.iter
+      (fun addr (size, live_now) ->
+        let header = recovered (addr - 1) in
+        let want = (size lsl 1) lor (if live_now then 1 else 0) in
+        if header <> want then
+          fail
+            ~kind:
+              (if live_now then "recovery-freed-live-block"
+               else "recovery-leaked-block")
+            ~tid:(-1) ~seq:kmax
+            (Printf.sprintf
+               "block %d (carved %d) is %s at the durable cut but its \
+                recovered header reads %d, expected %d"
+               addr size
+               (if live_now then "live" else "freed")
+               header want))
+      blocks;
     (* State check over every cell the model pins plus every cell an
        in-flight attempt wrote: recovered = expected (or initial where
        the durable prefix never touched it). *)

@@ -11,6 +11,14 @@
       between must agree.  Under [Committed_only] the verdict is held
       until the attempt commits — a mismatched zombie read in an attempt
       the STM later aborts is legal there;
+    - {b use-after-free} (only with [reclaim]): a read of a word that a
+      commit newer than the attempt's begin freed and a later allocation
+      then recarved.  Fires immediately in every strictness mode — the
+      reader is usually a doomed zombie, and the allocator's header/link
+      stores bump no ownership record, so no validation discipline can
+      catch the access.  Epoch-based reclamation ([Config.ebr]) makes
+      the rule unreachable by holding reuse in limbo until every such
+      attempt has finished;
     - {b no-snapshot}: a committed attempt's first reads must all match
       the committed state at {e some} instant between its begin and its
       commit (opacity's snapshot condition);
@@ -59,11 +67,18 @@ val violation_to_string : violation -> string
     take no locks until commit, so the self-locked-orec read exemption
     never applies mid-attempt — the oracle is strictly {e stricter}
     there.  Read-own-write is still enforced (the engine answers those
-    reads from its redo buffer). *)
+    reads from its redo buffer).
+
+    [reclaim] arms the use-after-free rule (default off: workloads whose
+    frees are coordinated by the application — STAMP's vacation, bayes —
+    would otherwise be held to a guarantee the no-EBR engine never
+    claimed).  The harness arms it when the config runs [+ebr] or the
+    workload opts in ([Workloads.reclaim_oracle]). *)
 val check :
   ?strictness:strictness ->
   ?index_of:(int -> int * int) ->
   ?lazy_mode:bool ->
+  ?reclaim:bool ->
   initial:(int -> int) ->
   final:(int -> int) ->
   history:History.t ->
@@ -91,7 +106,14 @@ val check :
       history produced;
     - {b recovery-state}: a recovered cell disagrees with the durable
       prefix (or was touched when nothing durable wrote it — including
-      partial-transaction leakage from the crashed attempt).
+      partial-transaction leakage from the crashed attempt);
+    - {b recovery-freed-live-block}: a block the durable prefix leaves
+      live (allocated, not durably freed) whose recovered header reads
+      free — the crash-time face of the reclamation invariant: a limbo
+      block whose free record lies past the cut is still reader-visible
+      and must never be materialized as reusable;
+    - {b recovery-leaked-block}: the converse — a durably freed block
+      whose recovered header still reads allocated.
 
     Cells inside allocated/freed extents are wildcards until a durable
     write pins them (recycled-block garbage and allocator links are

@@ -8,7 +8,16 @@ module Prng = Captured_util.Prng
 module App = Captured_apps.App
 module Registry = Captured_apps.Registry
 
-type t = { name : string; nthreads : int; prepare : Config.t -> App.prepared }
+type t = {
+  name : string;
+  nthreads : int;
+  reclaim_oracle : bool;
+      (* Arm the oracle's use-after-free rule even without [Config.ebr]:
+         set by workloads whose frees deliberately race readers.  App
+         workloads leave it off — their frees are coordinated by the
+         application, a guarantee the no-EBR engine never made. *)
+  prepare : Config.t -> App.prepared;
+}
 
 (* Micro worlds are tiny on purpose: the harness snapshots all of memory
    before every run and replays thousands of schedules.  The orec table
@@ -25,6 +34,7 @@ let counter ~nthreads ~incs =
   {
     name = Printf.sprintf "counter-%dx%d" nthreads incs;
     nthreads;
+    reclaim_oracle = false;
     prepare =
       (fun config ->
         let world = small_world ~nthreads config in
@@ -49,6 +59,7 @@ let bank ~nthreads ~accounts ~transfers =
   {
     name = Printf.sprintf "bank-%dx%d" nthreads transfers;
     nthreads;
+    reclaim_oracle = false;
     prepare =
       (fun config ->
         let world = small_world ~nthreads config in
@@ -94,6 +105,7 @@ let publish ~nthreads ~nodes =
   {
     name = Printf.sprintf "publish-%dx%d" nthreads nodes;
     nthreads;
+    reclaim_oracle = false;
     prepare =
       (fun config ->
         let world = small_world ~nthreads config in
@@ -152,6 +164,7 @@ let scoped ~nthreads ~incs =
   {
     name = Printf.sprintf "scoped-%dx%d" nthreads incs;
     nthreads;
+    reclaim_oracle = false;
     prepare =
       (fun config ->
         let world = small_world ~nthreads config in
@@ -195,6 +208,7 @@ let zombie_loop ~nthreads ~rounds =
   {
     name = Printf.sprintf "zombie-%dx%d" nthreads rounds;
     nthreads;
+    reclaim_oracle = false;
     prepare =
       (fun config ->
         let config =
@@ -242,6 +256,158 @@ let zombie_loop ~nthreads ~rounds =
         { App.world; body; verify });
   }
 
+(* Free race: the reclamation hazard end to end.  Thread 0 publishes a
+   fresh node, retracts it with a deferred [Txn.free], then immediately
+   allocates the same size class — without [+ebr] the LIFO free list
+   hands back the very block it just freed, recarving (header rewrite +
+   zeroing) memory a racing reader obtained a pointer to before the
+   retraction.  None of those allocator stores bumps an orec, so no
+   validation discipline catches the reader; only the oracle's
+   use-after-free rule (armed via [reclaim_oracle]) flags it.  With
+   [+ebr] the freed block sits in limbo past every reader's attempt and
+   the recycler carves from the wilderness instead. *)
+let free_race ~nthreads ~rounds =
+  {
+    name = Printf.sprintf "free_race-%dx%d" nthreads rounds;
+    nthreads;
+    reclaim_oracle = true;
+    prepare =
+      (fun config ->
+        let world = small_world ~nthreads config in
+        let arena = Engine.global_arena world in
+        let ptr = Alloc.alloc arena 1 in
+        let sink = Alloc.alloc arena 1 in
+        let body th =
+          if Txn.thread_id th = 0 then
+            for r = 1 to rounds do
+              (* Publish a fresh 2-word node. *)
+              Txn.atomic th (fun tx ->
+                  let n = Txn.alloc tx 2 in
+                  Txn.write tx n (7000 + r);
+                  Txn.write tx (n + 1) (8000 + r);
+                  Txn.write tx ptr n);
+              Txn.work th 8;
+              (* Retract it: the free is deferred to this commit. *)
+              Txn.atomic th (fun tx ->
+                  let p = Txn.read tx ptr in
+                  if p <> 0 then begin
+                    Txn.write tx ptr 0;
+                    Txn.free tx p
+                  end);
+              (* Recycle: same size class, so without EBR this pops the
+                 block freed one commit ago. *)
+              Txn.atomic th (fun tx ->
+                  let m = Txn.alloc tx 2 in
+                  Txn.write tx m 9999;
+                  Txn.write tx (m + 1) 9999;
+                  Txn.write tx sink m)
+            done
+          else
+            for _ = 1 to rounds do
+              Txn.atomic th (fun tx ->
+                  let p = Txn.read tx ptr in
+                  if p <> 0 then begin
+                    (* Window between taking the pointer and the
+                       dereference — room for retract + recycle. *)
+                    Txn.tx_work tx 12;
+                    ignore (Txn.read tx p : int);
+                    ignore (Txn.read tx (p + 1) : int)
+                  end);
+              Txn.work th 3
+            done
+        in
+        let verify () =
+          let mem = Engine.memory world in
+          if rounds = 0 then Ok ()
+          else
+            let s = Memory.get mem sink in
+            if s = 0 then Error "free_race: no recycled block published"
+            else if Memory.get mem s <> 9999 then
+              Error
+                (Printf.sprintf "free_race: recycled block holds %d"
+                   (Memory.get mem s))
+            else Ok ()
+        in
+        { App.world; body; verify });
+  }
+
+(* Privatize race: the quiescence fence end to end.  Thread 0 detaches
+   the shared block transactionally, calls [Txn.privatize] and mutates
+   it with raw (uninstrumented) stores; the other threads run
+   speculative writers that dirty the block in place (eager versioning)
+   and always user-abort.  Without [+ebr] the fence is a no-op, so a
+   raw store can land between a writer's in-place dirty write and its
+   undo — the rollback then clobbers the privatizer's update (or the
+   raw read sees dirty state), and the final tally misses increments:
+   app-verify red.  With [+ebr], [quiesce] outwaits every attempt that
+   could still reach the block (the detach already hides it from new
+   ones), so each round's increment survives: deterministic green. *)
+let privatize_race ~nthreads ~rounds =
+  {
+    name = Printf.sprintf "privatize_race-%dx%d" nthreads rounds;
+    nthreads;
+    reclaim_oracle = true;
+    prepare =
+      (fun config ->
+        let world = small_world ~nthreads config in
+        let arena = Engine.global_arena world in
+        let mem = Engine.memory world in
+        let ptr = Alloc.alloc arena 1 in
+        let result = Alloc.alloc arena 1 in
+        let block = Alloc.alloc arena 2 in
+        Memory.set mem ptr block;
+        let body th =
+          if Txn.thread_id th = 0 then begin
+            for _ = 1 to rounds do
+              let p =
+                Txn.atomic th (fun tx ->
+                    let p = Txn.read tx ptr in
+                    Txn.write tx ptr 0;
+                    p)
+              in
+              if p <> 0 then begin
+                Txn.privatize th ~addr:p ~size:2;
+                Txn.raw_write th p (Txn.raw_read th p + 1);
+                Txn.remove_private_block th ~addr:p ~size:2;
+                Txn.atomic th (fun tx -> Txn.write tx ptr p)
+              end
+            done;
+            (* Tear down: tally the block, then free it (a deferred
+               free, so reclaim sweeps always exercise one). *)
+            Txn.atomic th (fun tx ->
+                let p = Txn.read tx ptr in
+                if p <> 0 then begin
+                  Txn.write tx result (Txn.read tx p);
+                  Txn.write tx ptr 0;
+                  Txn.free tx p
+                end)
+          end
+          else
+            for _ = 1 to rounds do
+              (try
+                 Txn.atomic th (fun tx ->
+                     let p = Txn.read tx ptr in
+                     if p <> 0 then begin
+                       (* Dirty the block in place, linger, roll back. *)
+                       Txn.write tx p (Txn.read tx p + 100);
+                       Txn.tx_work tx 25
+                     end;
+                     Txn.abort tx)
+               with Txn.User_abort -> ());
+              Txn.work th 5
+            done
+        in
+        let verify () =
+          let v = Memory.get mem result in
+          if v = rounds then Ok ()
+          else
+            Error
+              (Printf.sprintf
+                 "privatize_race: %d increments survived of %d" v rounds)
+        in
+        { App.world; body; verify });
+  }
+
 let micros ~nthreads =
   [
     counter ~nthreads ~incs:4;
@@ -251,11 +417,18 @@ let micros ~nthreads =
     zombie_loop ~nthreads ~rounds:3;
   ]
 
+(* Kept out of [micros]: without [+ebr] these are red by design (they
+   demonstrate the hazard), so the default sweeps must not inherit
+   them.  Reclaim sweeps name them explicitly (or use both lists). *)
+let reclaim_micros ~nthreads =
+  [ free_race ~nthreads ~rounds:3; privatize_race ~nthreads ~rounds:2 ]
+
 (* STAMP app adapter: same verdict-loading dispatch as [App.run]. *)
 let of_app ?(scale = App.Test) app ~nthreads =
   {
     name = app.App.name;
     nthreads;
+    reclaim_oracle = false;
     prepare =
       (fun config ->
         (match config.Config.analysis with
@@ -273,7 +446,9 @@ let find name ~nthreads =
     || String.length w.name > String.length name
        && String.sub w.name 0 (String.length name + 1) = name ^ "-"
   in
-  match List.find_opt micro_matches (micros ~nthreads) with
+  match
+    List.find_opt micro_matches (micros ~nthreads @ reclaim_micros ~nthreads)
+  with
   | Some w -> Some w
   | None -> (
       match Registry.find name with

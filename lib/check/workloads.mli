@@ -5,7 +5,15 @@
 module Config = Captured_stm.Config
 module App = Captured_apps.App
 
-type t = { name : string; nthreads : int; prepare : Config.t -> App.prepared }
+type t = {
+  name : string;
+  nthreads : int;
+  reclaim_oracle : bool;
+      (** arm the oracle's use-after-free rule even without
+          [Config.ebr] — set by workloads whose frees deliberately race
+          readers; app workloads coordinate their frees themselves *)
+  prepare : Config.t -> App.prepared;
+}
 
 val counter : nthreads:int -> incs:int -> t
 (** Shared-counter increments — the minimal lost-update shape. *)
@@ -27,6 +35,23 @@ val zombie_loop : nthreads:int -> rounds:int -> t
 
 val micros : nthreads:int -> t list
 (** The five micro workloads at smoke-test sizes. *)
+
+val free_race : nthreads:int -> rounds:int -> t
+(** Publish / retract-with-deferred-free / recycle-same-class against
+    racing readers: without [+ebr] the recycler recarves the block a
+    reader still points into (use-after-free the oracle flags); with
+    [+ebr] reuse waits out the readers in limbo. *)
+
+val privatize_race : nthreads:int -> rounds:int -> t
+(** Transactional detach + {!Captured_stm.Txn.privatize} + raw mutation
+    against speculative writers that always roll back: without [+ebr]
+    the quiescence fence is a no-op and an abort's undo can clobber the
+    raw store (app-verify red); with [+ebr] every round's update
+    survives. *)
+
+val reclaim_micros : nthreads:int -> t list
+(** [free_race] and [privatize_race] at smoke-test sizes — kept out of
+    {!micros} because they are red by design without [+ebr]. *)
 
 val of_app : ?scale:App.scale -> App.t -> nthreads:int -> t
 (** A registered STAMP app as a workload ([Test] scale by default);

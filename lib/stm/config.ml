@@ -35,6 +35,7 @@ type t = {
   lazy_versioning : bool;
   durable : bool;
   wal_group : int;
+  ebr : bool;
 }
 
 let full_scope =
@@ -73,6 +74,7 @@ let default =
     lazy_versioning = false;
     durable = false;
     wal_group = 4;
+    ebr = false;
   }
 
 let baseline = default
@@ -119,6 +121,8 @@ let with_durable ?group ?(on = true) t =
         g
   in
   { t with durable = on; wal_group }
+
+let with_ebr ?(on = true) t = { t with ebr = on }
 let with_orec_map m t = { t with orec_map = m }
 let with_fault fault t = { t with fault }
 let has_fault t kind = t.fault = Some kind
@@ -148,6 +152,7 @@ let name t =
     ^ (if t.tvalidate then "+tv" else "")
     ^ (if t.lazy_versioning then "+lazy" else "")
     ^ (if t.durable then "+wal" else "")
+    ^ (if t.ebr then "+ebr" else "")
     ^ (if t.pessimistic_reads then "+pessimistic" else "")
     ^ (match t.cm with
       | Cm.Backoff -> ""
@@ -177,6 +182,7 @@ let mode_name t =
   ^ (if t.fastpath then "+fp" else "")
   ^ (if t.tvalidate then "+tv" else "")
   ^ (if t.durable then "+wal" else "")
+  ^ (if t.ebr then "+ebr" else "")
   ^ (if t.pessimistic_reads then "+pessimistic" else "")
   ^ (if t.orec_shards > 1 then Printf.sprintf "+shards:%d" t.orec_shards
      else "")

@@ -131,6 +131,15 @@ type t = {
   wal_group : int;
       (** Group-commit batch size: pending WAL records accumulated
           before an fsync ([>= 1]; 1 = sync every commit). *)
+  ebr : bool;
+      (** Epoch-based reclamation ([+ebr] suffix; DESIGN.md §14):
+          committed deferred frees park on a per-thread limbo list
+          ({!Reclaim}) for two grace periods before {!Alloc.free} runs,
+          so no in-flight reader — including a sandboxed zombie running
+          on stale reads — can ever see a block it holds a pointer into
+          recarved for a new allocation.  Also arms {!Txn.quiesce} /
+          {!Txn.privatize} (without EBR they are no-op fences).
+          [false] (default) frees at commit, bit for bit as before. *)
 }
 
 val full_scope : scope
@@ -199,6 +208,10 @@ val with_lazy : ?on:bool -> t -> t
     [?group] sets the group-commit batch size (default kept).  Raises
     [Invalid_argument] on [group < 1]. *)
 val with_durable : ?group:int -> ?on:bool -> t -> t
+
+(** [with_ebr t] enables ([?on:false]: disables) epoch-based
+    reclamation of transactionally freed blocks ([+ebr] suffix). *)
+val with_ebr : ?on:bool -> t -> t
 
 (** [with_fault f t] injects fault [f] ([+fault:<name>] suffix). *)
 val with_fault : Fault.kind option -> t -> t

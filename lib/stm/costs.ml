@@ -78,6 +78,16 @@ let publish_per_entry = 3
 let wal_append_per_word = 1
 let wal_fsync = 500
 
+(* Epoch-based reclamation: announcing is one padded-slot store plus a
+   global-epoch load; pushing a limbo entry is a few stores on a line
+   the thread owns; an advance attempt scans the slot table and CASes
+   the shared epoch word; a grace-period wait iteration re-runs that
+   scan and yields. *)
+let ebr_announce = 2
+let limbo_push = 4
+let ebr_advance = 6
+let grace_wait = 10
+
 (* Fault injection: extra cycles a Delayed_unlock commit burns while
    still holding its orecs — deliberately beyond the default lock-wait
    budget (spin_limit * lock_spin = 128) so waiters spin out. *)

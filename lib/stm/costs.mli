@@ -111,6 +111,22 @@ val wal_append_per_word : int
 val wal_fsync : int
 (** Durability: one fsync (group commit exists to amortise this). *)
 
+val ebr_announce : int
+(** Epoch-based reclamation: one announcement-slot store plus the
+    global-epoch load it publishes (begin/commit/abort hooks). *)
+
+val limbo_push : int
+(** Epoch-based reclamation: parking one committed free on the limbo
+    list (stores on a thread-owned line). *)
+
+val ebr_advance : int
+(** Epoch-based reclamation: one advance attempt — slot-table scan plus
+    the global-epoch CAS (also a scheduling point under the checker). *)
+
+val grace_wait : int
+(** Epoch-based reclamation: one {!Txn.quiesce} spin iteration behind
+    the privatization fence (also a scheduling point). *)
+
 val fault_unlock_delay : int
 (** {!Fault.Delayed_unlock}: cycles a commit holds its locks beyond the
     release point. *)

@@ -20,6 +20,10 @@ type world = {
          by every thread.  Attached explicitly ([attach_wal]) so the
          harness owns device lifetime and can recover from it after a
          simulated crash. *)
+  reclaim : Reclaim.shared;
+      (* Epoch-based reclamation: announcement slots + global epoch,
+         one slot per logical thread.  Always allocated (a few padded
+         atomics); threads only link into it when [Config.ebr] is set. *)
 }
 
 let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
@@ -57,6 +61,7 @@ let create ?(global_words = 1 lsl 18) ?(stack_words = 1 lsl 14)
     arenas;
     cm_shared = Cm.create_shared ();
     wal = None;
+    reclaim = Reclaim.create_shared nthreads;
   }
 
 (* Arena order used by snapshots and recovery: [global; arena 0; ...].
@@ -86,6 +91,7 @@ let attach_wal w wal =
   Wal.checkpoint wal ~snapshot:(snapshot w)
 
 let wal w = w.wal
+let reclaim w = w.reclaim
 
 let memory w = w.memory
 let global_arena w = w.global_arena
@@ -115,7 +121,26 @@ let thread_seed seed tid =
 let make_thread w ~tid ~platform ~seed =
   Txn.create_thread ~tid ~platform ~memory:w.memory ~stack:w.stacks.(tid)
     ~arena:w.arenas.(tid) ~orecs:w.orecs ~config:w.config
-    ~cm_shared:w.cm_shared ?wal:w.wal ~seed:(thread_seed seed tid) ()
+    ~cm_shared:w.cm_shared ?wal:w.wal ~reclaim_shared:w.reclaim
+    ~seed:(thread_seed seed tid) ()
+
+(* End-of-run limbo flush: every fiber has finished / every domain has
+   joined, so the world is provably quiescent and the remaining limbo
+   entries can be released unconditionally — into the retiring thread's
+   own arena (slot = tid), the same placement the immediate free would
+   have used.  Restores exact allocator parity with a no-EBR run, so
+   leak checks and post-run checkpoints never see a limbo block. *)
+let flush_limbo w =
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | None -> ()
+      | Some r ->
+          ignore
+            (Reclaim.flush r
+               ~free:(fun ~addr ~size:_ -> Alloc.free w.arenas.(tid) addr)
+              : int))
+    (Reclaim.handles w.reclaim)
 
 let collect threads makespan wall per_thread_wall =
   let per_thread = Array.map Txn.thread_stats threads in
@@ -146,6 +171,7 @@ let run_sim ?quantum ?control ?(seed = 42) w body =
   let threads =
     Array.map (function Some th -> th | None -> assert false) threads
   in
+  flush_limbo w;
   collect threads (Sched.makespan sim) wall (Array.make w.nthreads 0.)
 
 let run_native ?(seed = 42) w body =
@@ -177,6 +203,7 @@ let run_native ?(seed = 42) w body =
       (function Some (th, _) -> th | None -> assert false)
       slots
   in
+  flush_limbo w;
   let per_thread_wall =
     Array.map (function Some (_, tw) -> tw | None -> assert false) slots
   in

@@ -32,6 +32,13 @@ val clock : world -> int
 (** Current value of the world's global version clock (0 until the first
     writing commit under [Config.tvalidate]). *)
 
+val reclaim : world -> Reclaim.shared
+(** The world's epoch-based-reclamation state (always allocated; only
+    linked into threads when [Config.ebr] is set).  Both runners flush
+    every limbo list at end of run — after fibers complete / domains
+    join, a provably quiescent point — so results and post-run
+    checkpoints see exact allocator parity with a no-EBR run. *)
+
 (** {2 Durable transactions} *)
 
 val attach_wal : world -> Wal.t -> unit

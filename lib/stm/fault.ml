@@ -29,6 +29,7 @@ type kind =
   | Crash_post_publish
   | Crash_mid_checkpoint
   | Torn_wal_record
+  | Premature_reuse
 
 let all =
   [
@@ -46,6 +47,7 @@ let all =
     Crash_post_publish;
     Crash_mid_checkpoint;
     Torn_wal_record;
+    Premature_reuse;
   ]
 
 let name = function
@@ -63,6 +65,7 @@ let name = function
   | Crash_post_publish -> "crash-post-publish"
   | Crash_mid_checkpoint -> "crash-mid-checkpoint"
   | Torn_wal_record -> "torn-wal-record"
+  | Premature_reuse -> "premature-reuse"
 
 let names = List.map name all
 
@@ -77,14 +80,14 @@ let is_crash = function
       true
   | Skip_validation | Stale_read | Delayed_unlock | Spurious_abort
   | Alloc_log_drop | Clock_stall | Stale_epoch | Redo_drop | Publish_partial
-    ->
+  | Premature_reuse ->
       false
 
 type expectation = Contained | Flagged
 
 let expectation = function
   | Skip_validation | Stale_read | Clock_stall | Stale_epoch | Redo_drop
-  | Publish_partial ->
+  | Publish_partial | Premature_reuse ->
       Flagged
   | Delayed_unlock | Spurious_abort | Alloc_log_drop | Crash_pre_commit
   | Crash_mid_publish | Crash_post_publish | Crash_mid_checkpoint
@@ -115,6 +118,7 @@ let rate = function
   | Crash_post_publish -> 20
   | Crash_mid_checkpoint -> 100
   | Torn_wal_record -> 20
+  | Premature_reuse -> 50
 
 let describe = function
   | Skip_validation ->
@@ -178,3 +182,9 @@ let describe = function
        commit record reaches the log and the process dies (recovery \
        must detect the torn tail via checksum/length framing and drop \
        it; only fires under +wal)"
+  | Premature_reuse ->
+      "a commit-time deferred free occasionally skips the grace period \
+       and returns its block to the arena free lists immediately, so the \
+       next same-class allocation recarves it while stale readers may \
+       still hold pointers in (use-after-free the oracle must flag; only \
+       fires under +ebr)"

@@ -56,6 +56,11 @@ type kind =
       (** An fsync tears mid-record: a byte prefix of a commit record
           reaches the log and the process dies.  Recovery must drop the
           torn tail.  Site only exists under [+wal]. *)
+  | Premature_reuse
+      (** A commit-time deferred free occasionally bypasses the limbo
+          list and frees immediately, so the next same-class allocation
+          recarves the block while stale readers may still hold pointers
+          in (use-after-free).  Site only exists under [+ebr]. *)
 
 val all : kind list
 val name : kind -> string

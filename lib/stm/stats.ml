@@ -58,6 +58,11 @@ type t = {
   mutable wal_bytes : int;
   mutable wal_fsyncs : int;
   mutable wal_skips : int;
+  mutable limbo_blocks : int;
+  mutable limbo_words : int;
+  mutable epoch_advances : int;
+  mutable reclaim_stalls : int;
+  mutable grace_waits : int;
   mutable shard_acquires : int array;
   mutable shard_conflicts : int array;
   conflict_pairs : (int, int) Hashtbl.t;
@@ -124,6 +129,11 @@ let create () =
     wal_bytes = 0;
     wal_fsyncs = 0;
     wal_skips = 0;
+    limbo_blocks = 0;
+    limbo_words = 0;
+    epoch_advances = 0;
+    reclaim_stalls = 0;
+    grace_waits = 0;
     shard_acquires = [||];
     shard_conflicts = [||];
     conflict_pairs = Hashtbl.create 8;
@@ -219,6 +229,11 @@ let reset t =
   t.wal_bytes <- 0;
   t.wal_fsyncs <- 0;
   t.wal_skips <- 0;
+  t.limbo_blocks <- 0;
+  t.limbo_words <- 0;
+  t.epoch_advances <- 0;
+  t.reclaim_stalls <- 0;
+  t.grace_waits <- 0;
   Array.fill t.shard_acquires 0 (Array.length t.shard_acquires) 0;
   Array.fill t.shard_conflicts 0 (Array.length t.shard_conflicts) 0;
   Hashtbl.reset t.conflict_pairs
@@ -291,6 +306,13 @@ let merge acc x =
   acc.wal_bytes <- acc.wal_bytes + x.wal_bytes;
   acc.wal_fsyncs <- acc.wal_fsyncs + x.wal_fsyncs;
   acc.wal_skips <- acc.wal_skips + x.wal_skips;
+  (* Limbo depth is a per-thread high-water mark, like
+     [cm_max_consec_aborts]: merging takes the max. *)
+  acc.limbo_blocks <- max acc.limbo_blocks x.limbo_blocks;
+  acc.limbo_words <- max acc.limbo_words x.limbo_words;
+  acc.epoch_advances <- acc.epoch_advances + x.epoch_advances;
+  acc.reclaim_stalls <- acc.reclaim_stalls + x.reclaim_stalls;
+  acc.grace_waits <- acc.grace_waits + x.grace_waits;
   ensure_shards acc (Array.length x.shard_acquires);
   Array.iteri
     (fun i v -> acc.shard_acquires.(i) <- acc.shard_acquires.(i) + v)

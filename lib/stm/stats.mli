@@ -137,6 +137,21 @@ type t = {
       (** The paper's insight carried into the persistence layer: writes
           the capture check proved transaction-local, which therefore
           need no WAL entry — the durable mirror of [redo_skips]. *)
+  (* epoch-based reclamation ([Config.ebr]) *)
+  mutable limbo_blocks : int;
+      (** High-water mark of blocks simultaneously in this thread's limbo
+          list (merged across threads with [max], not [+]). *)
+  mutable limbo_words : int;
+      (** High-water mark of payload words in limbo (max-merged). *)
+  mutable epoch_advances : int;
+      (** Successful global-epoch CASes this thread performed. *)
+  mutable reclaim_stalls : int;
+      (** Reclaim sweeps that left at least one limbo entry behind — its
+          grace period had not elapsed (in-flight readers still hold the
+          epoch back). *)
+  mutable grace_waits : int;
+      (** Spin iterations inside {!Txn.quiesce} waiting for the global
+          epoch to pass the privatization fence. *)
   mutable shard_acquires : int array;
       (** Per-shard orec acquisitions (length = shard count; [[||]] until
           the thread is bound to a table). *)

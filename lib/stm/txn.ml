@@ -89,6 +89,11 @@ type thread = {
   (* Durable transactions: the shared write-ahead log, when attached
      ([Engine.attach_wal]).  [None] makes every WAL site free. *)
   wal : Wal.t option;
+  (* Epoch-based reclamation (Config.ebr): this thread's announcement
+     slot + limbo list.  [None] makes every EBR site free — non-ebr
+     configurations draw no PRNG, consume no cycles, so their schedules
+     stay bit-identical. *)
+  reclaim : Reclaim.t option;
   mutable epoch : int;
   mutable active : tx option;
 }
@@ -150,7 +155,7 @@ and scope = {
 (* Thread construction                                                 *)
 
 let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
-    ?cm_shared ?wal ~seed () =
+    ?cm_shared ?wal ?reclaim_shared ~seed () =
   let n = Orec.count orecs in
   if tid < 0 || tid >= Orec.max_tids then
     invalid_arg "Txn.create_thread: tid outside the stamp encoding";
@@ -181,6 +186,12 @@ let create_thread ~tid ~platform ~memory ~stack ~arena ~orecs ~config
     orec_slot_bits = Orec.slot_bits orecs;
     orec_shard_mask = Orec.shard_count orecs - 1;
     wal = (if config.Config.durable then wal else None);
+    reclaim =
+      (if config.Config.ebr then
+         match reclaim_shared with
+         | Some s -> Some (Reclaim.handle s ~slot:tid)
+         | None -> None
+       else None);
     epoch = 0;
     active = None;
   }
@@ -358,6 +369,24 @@ let fault_fires th kind =
         th.stats.faults_injected <- th.stats.faults_injected + 1;
       fired
   | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-based reclamation hooks (Config.ebr)                          *)
+
+(* One reclaim sweep: try to advance the global epoch, then release
+   every limbo entry whose two grace periods have elapsed back to this
+   thread's arena (same "freeing thread keeps it" placement as the
+   immediate free it replaces).  A sweep that leaves entries behind is
+   a stall — some in-flight reader is still holding the epoch back. *)
+let ebr_service th r =
+  th.platform.consume Costs.ebr_advance;
+  if Reclaim.try_advance (Reclaim.shared_of r) then
+    th.stats.epoch_advances <- th.stats.epoch_advances + 1;
+  ignore
+    (Reclaim.drain r ~free:(fun ~addr ~size:_ -> Alloc.free th.arena addr)
+      : int);
+  if Reclaim.pending r > 0 then
+    th.stats.reclaim_stalls <- th.stats.reclaim_stalls + 1
 
 (* ------------------------------------------------------------------ *)
 (* Durable-transaction support (write-ahead log)                        *)
@@ -1183,6 +1212,15 @@ let begin_top tx =
   (* Small random jitter decorrelates thread phases (memory and pipeline
      variance on a real machine). *)
   th.platform.consume (Costs.txn_begin + Prng.int th.prng 8);
+  (* EBR: publish "active at the epoch I just observed" before any read
+     can happen.  The freeing side stamps limbo entries with the global
+     epoch at commit, so this announcement is exactly what holds the
+     global back from advancing two steps while this attempt runs. *)
+  (match th.reclaim with
+  | None -> ()
+  | Some r ->
+      th.platform.consume Costs.ebr_announce;
+      Reclaim.announce r);
   th.epoch <- th.epoch + 1;
   tx.n_reads <- 0;
   tx.n_undo <- 0;
@@ -1284,10 +1322,34 @@ let release_all_stamped tx ~ts =
 let commit_epilogue tx =
   let th = tx.thread in
   let scope = innermost tx in
-  (* Newest-first, matching the order the old cons-list executed in. *)
-  for k = scope.n_dfrees - 1 downto 0 do
-    Alloc.free th.arena scope.dfree_addrs.(k)
-  done;
+  (match th.reclaim with
+  | None ->
+      (* Newest-first, matching the order the old cons-list executed in. *)
+      for k = scope.n_dfrees - 1 downto 0 do
+        Alloc.free th.arena scope.dfree_addrs.(k)
+      done
+  | Some r ->
+      (* EBR: committed frees park in limbo (header still allocated, no
+         free-list link written) until two grace periods pass, so a
+         lagging or zombie reader that still holds a pre-free pointer
+         can never see the block recarved under it.  [Premature_reuse]
+         skips the grace period for one free — the use-after-free the
+         oracle must flag. *)
+      for k = scope.n_dfrees - 1 downto 0 do
+        let addr = scope.dfree_addrs.(k) in
+        if fault_fires th Fault.Premature_reuse then
+          Alloc.free th.arena addr
+        else begin
+          th.platform.consume Costs.limbo_push;
+          Reclaim.retire r ~addr ~size:(Alloc.block_size th.arena addr)
+        end
+      done;
+      let st = th.stats in
+      st.limbo_blocks <- max st.limbo_blocks (Reclaim.pending r);
+      st.limbo_words <- max st.limbo_words (Reclaim.pending_words r);
+      th.platform.consume Costs.ebr_announce;
+      Reclaim.announce_quiescent r;
+      ebr_service th r);
   tx.scopes <- [];
   tx.live <- false;
   tx.attempts <- 0;
@@ -1577,6 +1639,15 @@ let abort_top tx ~user =
       th.peer_epoch.(th.tid) <- th.local_epoch
     end
   end;
+  (* EBR: an aborted attempt is quiescent too — its reads are dead, so
+     it must stop holding the global epoch back before the retry's
+     begin re-announces. *)
+  (match th.reclaim with
+  | None -> ()
+  | Some r ->
+      th.platform.consume Costs.ebr_announce;
+      Reclaim.announce_quiescent r;
+      ebr_service th r);
   emit th.tid (Ev_abort { user })
 
 (* Nested commit: fold the child scope into its parent. *)
@@ -1724,6 +1795,44 @@ let restart _tx = raise Retry_conflict
 
 let in_txn th =
   match th.active with Some tx -> tx.live | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Privatization                                                       *)
+
+(* Wait until the global epoch has advanced twice past the value read
+   on entry.  Every transaction attempt in flight when the wait began
+   announced an epoch at or below the entry value, so it must finish
+   (commit or abort) before the second advance can happen — after
+   [quiesce] returns, no attempt that predates the call is still
+   running, and anything it privatized beforehand is invisible to
+   transactional readers.  Each spin iteration helps: it tries the
+   advance itself and drains this thread's own limbo.  Without [+ebr]
+   there is no epoch to wait on and the fence is a no-op. *)
+let quiesce th =
+  if in_txn th then invalid_arg "Txn.quiesce: called inside a transaction";
+  match th.reclaim with
+  | None -> ()
+  | Some r ->
+      let s = Reclaim.shared_of r in
+      let target = Reclaim.global_epoch s + 2 in
+      while Reclaim.global_epoch s < target do
+        th.stats.grace_waits <- th.stats.grace_waits + 1;
+        th.platform.consume Costs.grace_wait;
+        if Reclaim.try_advance s then
+          th.stats.epoch_advances <- th.stats.epoch_advances + 1;
+        ignore
+          (Reclaim.drain r
+             ~free:(fun ~addr ~size:_ -> Alloc.free th.arena addr)
+            : int);
+        th.platform.yield ()
+      done
+
+(* Privatize a block: once the grace period has passed, no in-flight
+   reader can reach it, so annotating it private (every later barrier
+   elides it) is safe and the caller may touch it with raw accesses. *)
+let privatize th ~addr ~size =
+  quiesce th;
+  add_private_block th ~addr ~size
 
 (* ------------------------------------------------------------------ *)
 (* Non-transactional ("plain code") accesses                           *)

@@ -45,13 +45,17 @@ val create_thread :
   config:Config.t ->
   ?cm_shared:Cm.shared ->
   ?wal:Wal.t ->
+  ?reclaim_shared:Reclaim.shared ->
   seed:int ->
   unit ->
   thread
 (** [cm_shared] links this thread's contention manager to its world's
     ticket source; omitted, the thread gets a private one (fine for
     single-thread use).  [wal] attaches the world's write-ahead log
-    device; it only takes effect when [config.durable] is set. *)
+    device; it only takes effect when [config.durable] is set.
+    [reclaim_shared] links this thread into the world's epoch-based
+    reclamation state (announcement slot = [tid]); it only takes effect
+    when [config.ebr] is set. *)
 
 (** {2 Atomic blocks} *)
 
@@ -99,6 +103,27 @@ val stack_restore : tx -> Captured_tmem.Tstack.frame -> unit
 
 val add_private_block : thread -> addr:Memory.addr -> size:int -> unit
 val remove_private_block : thread -> addr:Memory.addr -> size:int -> unit
+
+(** {2 Privatization ([Config.ebr])}
+
+    The quiescence fence the reclamation layer provides: after
+    {!quiesce} returns, every transaction attempt that was in flight
+    when it was called has finished, so state a committed transaction
+    detached beforehand can be accessed non-transactionally.  Without
+    [+ebr] there is no epoch to wait on and both calls degrade to the
+    (unsafe) pre-EBR behaviour — a no-op fence. *)
+
+val quiesce : thread -> unit
+(** Block (spinning through scheduling points) until the global epoch
+    has advanced two grace periods past its value at entry.  Raises
+    [Invalid_argument] if called inside a transaction — waiting on
+    peers while holding reads is a deadlock by construction. *)
+
+val privatize : thread -> addr:Memory.addr -> size:int -> unit
+(** [privatize th ~addr ~size] — {!quiesce}, then annotate the block
+    private ({!add_private_block}), after which raw access is safe:
+    no in-flight reader survives the fence, and later transactions
+    elide (and so never version-check) the privatized range. *)
 
 (** {2 Plain (non-transactional) code} *)
 

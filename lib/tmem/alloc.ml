@@ -143,10 +143,18 @@ let restore_state memory s =
   }
 
 (* Remove a specific block from this arena's free lists, if present.
-   Free lists are singly linked through the first payload word, so this
-   is an O(list) walk — recovery-path only, never on the hot path. *)
+   Free lists are singly linked through the first payload word, so a hit
+   is an O(list) walk — recovery-path only, never on the hot path.  The
+   common recovery miss (the block is free in a *different* arena, or
+   not free at all) is answered in O(1) from the block's own header:
+   an allocated bit or a class mismatch means it cannot be on this
+   class's list, so the walk is skipped entirely. *)
 let unlink_free t ~addr ~size =
   let cls = class_of_size size in
+  let header = header_of t addr in
+  if is_allocated header || class_of_size (payload_size header) <> cls then
+    false
+  else
   let head = t.free_lists.(cls) in
   if head = 0 then false
   else if head = addr then begin

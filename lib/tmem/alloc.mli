@@ -71,8 +71,11 @@ val capture_state : t -> state
 val restore_state : Memory.t -> state -> t
 
 (** [unlink_free t ~addr ~size] removes the free block at [addr] from
-    this arena's size-class list if present (O(list) walk; recovery-path
-    only).  [size] is the carved payload size from the block header. *)
+    this arena's size-class list if present.  Misses are answered in
+    O(1) from the block's own header (allocated bit or size-class
+    mismatch proves it is not on the list); a hit still walks the list
+    (recovery-path only, never hot).  [size] is the carved payload size
+    from the block header. *)
 val unlink_free : t -> addr:Memory.addr -> size:int -> bool
 
 (** [replay_alloc_at t ~addr ~size] re-performs a logged allocation at

@@ -343,6 +343,7 @@ let test_zombie_trap_fires_and_terminates () =
     {
       Workloads.name = "zombie-probe";
       nthreads = 2;
+      reclaim_oracle = false;
       prepare =
         (fun config ->
           let config = Config.with_fuel 256 config in
@@ -626,6 +627,80 @@ let test_wal_bug_caught_and_minimized () =
           Alcotest.(check int)
             "no violations without the seeded bug" 0 clean.Harness.violations)
 
+(* ------------------------------------------------------------------ *)
+(* Epoch-based reclamation: the free-race zombie UAF is red without    *)
+(* +ebr (deterministically reproducible from the minimized schedule)   *)
+(* and green with it, across config suffixes and 30 world seeds        *)
+
+let test_free_race_red_without_ebr () =
+  let workload = Workloads.free_race ~nthreads:2 ~rounds:3 in
+  let r =
+    Harness.explore ~workload ~config:tree
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:200 ~seed:3 ()
+  in
+  match r.Harness.first with
+  | None -> Alcotest.fail "free race never flagged without +ebr"
+  | Some f ->
+      Alcotest.(check string)
+        "flagged as use-after-free" "use-after-free"
+        f.Harness.violation.Oracle.kind;
+      (* The ddmin-minimized intervention list is a deterministic zombie
+         reproducer: replaying it from scratch hits a violation again. *)
+      let again =
+        Harness.run_one ~seed:3 ~workload ~config:tree
+          (Strategy.replay_control ~interventions:f.Harness.minimized ())
+      in
+      Alcotest.(check bool)
+        "minimized schedule reproduces" true
+        (again.Harness.violation <> None)
+
+let test_privatize_race_red_without_ebr () =
+  let workload = Workloads.privatize_race ~nthreads:2 ~rounds:2 in
+  let r =
+    Harness.explore ~workload ~config:tree
+      ~strategy:(Strategy.Random { persist = 85 })
+      ~runs:300 ~seed:3 ()
+  in
+  Alcotest.(check bool)
+    "privatization race flagged without +ebr" true
+    (r.Harness.violations > 0)
+
+let test_reclaim_green_with_ebr_torture () =
+  (* 30-seed torture: both reclaim micros across config suffixes, all
+     with +ebr — zero violations, and non-vacuously so (every cell must
+     actually push frees through limbo). *)
+  let ebr_configs =
+    List.map Config.with_ebr
+      [
+        tree;
+        Config.with_fastpath tree;
+        Config.with_tvalidate tree;
+        Config.with_tvalidate (Config.with_fastpath tree);
+        Config.with_lazy tree;
+      ]
+  in
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun config ->
+          let dfrees = ref 0 in
+          for seed = 1 to 30 do
+            let r =
+              Harness.explore ~workload ~config
+                ~strategy:(Strategy.Random { persist = 85 })
+                ~runs:10 ~seed ~minimize:false ()
+            in
+            if r.Harness.violations > 0 then
+              Alcotest.failf "seed %d: %s" seed (Harness.report_to_string r);
+            dfrees := !dfrees + r.Harness.total_dfrees
+          done;
+          if !dfrees = 0 then
+            Alcotest.failf "%s/%s: no deferred frees (vacuous)"
+              workload.Workloads.name (Config.name config))
+        ebr_configs)
+    (Workloads.reclaim_micros ~nthreads:2)
+
 let () =
   Alcotest.run "check"
     [
@@ -686,5 +761,14 @@ let () =
             test_wal_bug_caught_and_minimized;
           Alcotest.test_case "clean lazy config silent" `Quick
             test_clean_lazy_config_no_false_positive;
+        ] );
+      ( "reclaim",
+        [
+          Alcotest.test_case "free race red without +ebr" `Quick
+            test_free_race_red_without_ebr;
+          Alcotest.test_case "privatize race red without +ebr" `Quick
+            test_privatize_race_red_without_ebr;
+          Alcotest.test_case "green with +ebr (30-seed torture)" `Slow
+            test_reclaim_green_with_ebr_torture;
         ] );
     ]

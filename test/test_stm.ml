@@ -1565,6 +1565,86 @@ let config_cases name f =
         (fun () -> f cfg))
     all_configs
 
+(* ------------------------------------------------------------------ *)
+(* Epoch-based reclamation (Reclaim) unit tests                        *)
+
+let test_reclaim_advance_gated () =
+  let s = Reclaim.create_shared 2 in
+  let h0 = Reclaim.handle s ~slot:0 in
+  let _h1 = Reclaim.handle s ~slot:1 in
+  check_int "initial epoch" 1 (Reclaim.global_epoch s);
+  (* A fully quiescent world always advances. *)
+  check "advance when all quiescent" true (Reclaim.try_advance s);
+  check_int "epoch bumped" 2 (Reclaim.global_epoch s);
+  (* An active thread that has observed the current epoch doesn't
+     block; once the epoch moves past its announcement it does. *)
+  Reclaim.announce h0;
+  check "current active observer ok" true (Reclaim.try_advance s);
+  check "stale active observer blocks" false (Reclaim.try_advance s);
+  Reclaim.announce_quiescent h0;
+  check "quiescence unblocks" true (Reclaim.try_advance s)
+
+let test_reclaim_two_grace_periods () =
+  let s = Reclaim.create_shared 1 in
+  let h = Reclaim.handle s ~slot:0 in
+  let released = ref [] in
+  let free ~addr ~size = released := (addr, size) :: !released in
+  Reclaim.retire h ~addr:100 ~size:4;
+  check_int "pending" 1 (Reclaim.pending h);
+  check_int "pending words" 4 (Reclaim.pending_words h);
+  check_int "no release at the stamp epoch" 0 (Reclaim.drain h ~free);
+  ignore (Reclaim.try_advance s : bool);
+  check_int "one grace period is not enough" 0 (Reclaim.drain h ~free);
+  ignore (Reclaim.try_advance s : bool);
+  check_int "two grace periods release" 1 (Reclaim.drain h ~free);
+  check "callback saw the block" true (!released = [ (100, 4) ]);
+  check_int "limbo empty" 0 (Reclaim.pending h)
+
+let test_reclaim_flush_unconditional () =
+  let s = Reclaim.create_shared 1 in
+  let h = Reclaim.handle s ~slot:0 in
+  let count = ref 0 in
+  Reclaim.retire h ~addr:10 ~size:2;
+  Reclaim.retire h ~addr:20 ~size:8;
+  check_int "words pending" 10 (Reclaim.pending_words h);
+  check_int "flush releases regardless of epoch" 2
+    (Reclaim.flush h ~free:(fun ~addr:_ ~size:_ -> incr count));
+  check_int "callback ran per block" 2 !count;
+  check_int "nothing pending" 0 (Reclaim.pending h)
+
+(* End-of-run parity: the engine flushes every limbo list once the world
+   is provably quiescent, so +ebr leaves the allocator in exactly the
+   state a no-EBR run does — while the stats prove frees really were
+   deferred through limbo along the way. *)
+let test_reclaim_engine_parity () =
+  let run cfg =
+    let w = mk_world cfg in
+    let arena = Engine.global_arena w in
+    let blocks = Array.init 4 (fun _ -> Alloc.alloc arena 2) in
+    let r =
+      Engine.run_sim ~seed:1 w (fun th ->
+          Array.iter
+            (fun b -> Txn.atomic th (fun tx -> Txn.free tx b))
+            blocks)
+    in
+    (Alloc.live_blocks arena, Alloc.live_words arena, r.Engine.stats)
+  in
+  let cfg = Config.runtime Alloc_log.Tree in
+  let live0, words0, _ = run cfg in
+  let live1, words1, s = run (Config.with_ebr cfg) in
+  check_int "live blocks parity after end-of-run flush" live0 live1;
+  check_int "live words parity" words0 words1;
+  check "frees went through limbo" true (s.Stats.limbo_blocks > 0)
+
+let test_ebr_config_name () =
+  check "config suffix" true
+    (Config.name (Config.with_ebr Config.baseline) = "baseline+ebr");
+  check "mode suffix" true
+    (Config.mode_name (Config.with_ebr Config.baseline) = "eager+ebr");
+  check "with_ebr ~on:false round-trips" true
+    (Config.name (Config.with_ebr ~on:false (Config.with_ebr Config.baseline))
+    = "baseline")
+
 let qsuite name tests = (name, List.map Qc.to_alcotest tests)
 
 let () =
@@ -1708,6 +1788,18 @@ let () =
               prop_wal_truncation_torn;
               prop_wal_replay_order_insensitive;
             ] );
+      ( "reclaim",
+        [
+          Alcotest.test_case "advance gated on active observers" `Quick
+            test_reclaim_advance_gated;
+          Alcotest.test_case "two grace periods hold limbo" `Quick
+            test_reclaim_two_grace_periods;
+          Alcotest.test_case "flush releases everything" `Quick
+            test_reclaim_flush_unconditional;
+          Alcotest.test_case "end-of-run allocator parity" `Quick
+            test_reclaim_engine_parity;
+          Alcotest.test_case "config name +ebr" `Quick test_ebr_config_name;
+        ] );
       qsuite "invariants" (List.map prop_sim_invariant all_configs);
       qsuite "torture" (List.map prop_stm_torture all_configs);
     ]

@@ -240,6 +240,51 @@ let prop_free_then_alloc_live_count =
       List.iter (Alloc.free a) ps;
       ok1 && Alloc.live_blocks a = 0 && Alloc.live_words a = 0)
 
+(* Property (recovery path): a block carved by [a] and freed into [b]
+   (Hoard-style cross-arena free) is found and removed by [b]'s
+   [unlink_free] — and provably absent from [a]'s lists — then
+   re-materialised at its original address by [a]'s [replay_alloc_at].
+   Live counters are per-arena deltas (a free lands on the freeing
+   arena), so the conserved quantity is the cross-arena sum, which must
+   return to the post-alloc totals. *)
+let prop_cross_arena_free_replay =
+  QCheck.Test.make
+    ~name:"cross-arena free/unlink/replay round-trips live counts" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 1 20))
+    (fun sizes ->
+      let m = Memory.create ~words:8192 in
+      let a = Alloc.create m ~base:1 ~words:4000 in
+      let b = Alloc.create m ~base:4100 ~words:4000 in
+      let ps = List.map (Alloc.alloc a) sizes in
+      let n = List.length ps in
+      let words0 = Alloc.live_words a in
+      let freed =
+        List.filteri (fun i _ -> i mod 2 = 0) ps
+        |> List.map (fun p -> (p, Alloc.block_size a p))
+      in
+      List.iter (fun (p, _) -> Alloc.free b p) freed;
+      let k = List.length freed in
+      let sum f = f a + f b in
+      let ok_mid = sum Alloc.live_blocks = n - k in
+      let ok_unlink =
+        List.for_all
+          (fun (p, size) ->
+            (not (Alloc.unlink_free a ~addr:p ~size))
+            && Alloc.unlink_free b ~addr:p ~size)
+          freed
+      in
+      List.iter (fun (p, size) -> Alloc.replay_alloc_at a ~addr:p ~size) freed;
+      let ok_counts =
+        sum Alloc.live_blocks = n && sum Alloc.live_words = words0
+      in
+      (* The unlinked blocks are really off [b]'s lists: same-class
+         allocations from [b] now carve [b]'s own region instead of
+         handing out a block whose header reads allocated. *)
+      let ok_fresh =
+        List.for_all (fun (_, size) -> Alloc.owns b (Alloc.alloc b size)) freed
+      in
+      ok_mid && ok_unlink && ok_counts && ok_fresh)
+
 (* ------------------------------------------------------------------ *)
 (* Snapshot (checkpoint images for the durable-transaction layer) *)
 
@@ -362,7 +407,12 @@ let () =
           Alcotest.test_case "large class" `Quick test_alloc_large_class;
           Alcotest.test_case "foreign free" `Quick test_alloc_foreign_free;
         ] );
-      qsuite "alloc-props" [ prop_no_overlap; prop_free_then_alloc_live_count ];
+      qsuite "alloc-props"
+        [
+          prop_no_overlap;
+          prop_free_then_alloc_live_count;
+          prop_cross_arena_free_replay;
+        ];
       ( "snapshot",
         [
           Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
